@@ -1,0 +1,63 @@
+"""Demo 4 — application crash failures, both paper scenarios:
+
+1. the primary's application crashes and hangs (socket stays open, no FIN);
+2. the OS cleans up and closes the socket (a FIN is generated, which
+   ST-TCP must intercept and hold for MaxDelayFIN).
+"""
+
+from repro.faults.faults import AppCrashWithCleanup, AppHang
+from repro.metrics.report import banner, format_duration, format_table
+from repro.scenarios.runner import run_failover_experiment
+from repro.sim.core import seconds
+from repro.sttcp.config import SttcpConfig
+from repro.sttcp.events import EventKind
+
+from _util import emit, once
+
+CONFIG = SttcpConfig(max_delay_fin_ns=seconds(5))
+
+
+def run_demo4():
+    hang = run_failover_experiment(
+        lambda tb, sp, sb: AppHang(sp),
+        total_bytes=30_000_000, fault_at_s=1.0, run_until_s=60, seed=5,
+        config=CONFIG)
+    cleanup = run_failover_experiment(
+        lambda tb, sp, sb: AppCrashWithCleanup(sp),
+        total_bytes=30_000_000, fault_at_s=1.0, run_until_s=60, seed=5,
+        config=CONFIG)
+    return hang, cleanup
+
+
+def render(hang, cleanup) -> str:
+    def row(name, result, fin_note):
+        timeline = result.timeline
+        return [name,
+                format_duration(timeline.detection_latency_ns),
+                format_duration(timeline.failover_time_ns),
+                fin_note,
+                "yes" if result.stream_intact else "NO"]
+
+    held = cleanup.testbed.pair.primary.events.has(EventKind.FIN_HELD)
+    rows = [
+        row("crash without cleanup (no FIN)", hang, "no FIN generated"),
+        row("crash with OS cleanup (FIN)", cleanup,
+            "FIN held" if held else "FIN NOT held"),
+    ]
+    table = format_table(
+        ["scenario", "detection", "failover time", "FIN handling",
+         "stream intact"], rows)
+    symptom = hang.testbed.pair.backup.events.first(
+        EventKind.APP_FAILURE_DETECTED).detail["symptom"]
+    return "\n".join([
+        banner("Demo 4: application crash failures"),
+        table, "",
+        f"detection criterion observed: {symptom}",
+    ])
+
+
+def test_demo4_app_crash(benchmark):
+    hang, cleanup = once(benchmark, run_demo4)
+    emit("demo4_app_crash", render(hang, cleanup))
+    assert hang.stream_intact and cleanup.stream_intact
+    assert cleanup.testbed.pair.primary.events.has(EventKind.FIN_HELD)

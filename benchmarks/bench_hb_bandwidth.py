@@ -1,0 +1,73 @@
+"""Sec. 3 heartbeat bandwidth analysis.
+
+Paper: "The HB is less than 20 bytes per TCP connection, and assuming a HB
+every 200ms, this translates to a bandwidth of 0.8 kbps per TCP
+connection.  Thus, the serial link provides enough bandwidth for around
+100 simultaneous TCP connections."
+
+This benchmark measures the actual serial-link HB traffic of a running
+pair with N connections and reproduces the capacity estimate.
+"""
+
+from repro.apps.streaming import StreamClient, StreamServer
+from repro.metrics.report import banner, format_table
+from repro.net.serial_link import SERIAL_DEFAULT_BAUD
+from repro.scenarios.builder import build_testbed
+from repro.sttcp.state import PER_CONNECTION_BYTES
+
+from _util import emit, once
+
+N_CONNECTIONS = 8
+MEASURE_S = 10.0
+
+
+def run_measurement():
+    tb = build_testbed(seed=17)
+    StreamServer(tb.primary, "srv-p", port=80).start()
+    StreamServer(tb.backup, "srv-b", port=80).start()
+    tb.pair.start()
+    clients = []
+    for i in range(N_CONNECTIONS):
+        client = StreamClient(tb.client, f"c{i}", tb.service_ip, port=80,
+                              total_bytes=100_000_000,  # never finishes
+                              request_chunk=4096)
+        client.start()
+        clients.append(client)
+    tb.run_until(1.0)   # connections up and replicated
+    bytes_before = tb.pair.primary.hb.bytes_sent_serial
+    t_before = tb.world.sim.now
+    tb.run_until(1.0 + MEASURE_S)
+    bytes_sent = tb.pair.primary.hb.bytes_sent_serial - bytes_before
+    elapsed_s = (tb.world.sim.now - t_before) / 1e9
+    return tb, bytes_sent, elapsed_s
+
+
+def render(tb, bytes_sent, elapsed_s) -> str:
+    measured_bps = bytes_sent * 8 / elapsed_s
+    per_conn_bps = measured_bps / N_CONNECTIONS
+    # On-wire serial cost includes 8N1 framing (10 bits/byte).
+    per_conn_wire_bps = per_conn_bps * 10 / 8
+    capacity = SERIAL_DEFAULT_BAUD / per_conn_wire_bps if per_conn_wire_bps else 0
+    rows = [
+        ["HB bytes per connection", f"{PER_CONNECTION_BYTES} B",
+         "< 20 B (paper)"],
+        ["HB bandwidth per connection", f"{per_conn_bps / 1000:.2f} kbps",
+         "0.8 kbps (paper)"],
+        ["serial link capacity", f"{capacity:.0f} connections",
+         "~100 (paper)"],
+    ]
+    table = format_table(["quantity", "measured", "paper"], rows)
+    return "\n".join([
+        banner("Sec. 3: heartbeat bandwidth on the serial link"),
+        table, "",
+        f"measured over {elapsed_s:.1f}s with {N_CONNECTIONS} replicated "
+        f"connections ({bytes_sent} HB bytes on the serial line)",
+    ])
+
+
+def test_hb_bandwidth(benchmark):
+    tb, bytes_sent, elapsed_s = once(benchmark, run_measurement)
+    emit("hb_bandwidth", render(tb, bytes_sent, elapsed_s))
+    per_conn_bps = bytes_sent * 8 / elapsed_s / N_CONNECTIONS
+    # Paper: 0.8 kbps per connection (plus a little per-message base).
+    assert 0.5 * 800 <= per_conn_bps <= 2 * 800

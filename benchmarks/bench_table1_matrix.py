@@ -1,0 +1,87 @@
+"""Table 1 — the complete single-failure scenario matrix.
+
+Regenerates the paper's table: failure, location, observed symptom, and
+recovery action taken, for every row and both locations.
+"""
+
+from repro.faults.faults import (AppCrashWithCleanup, AppHang, HwCrash,
+                                 NicFailure)
+from repro.metrics.report import banner, format_table
+from repro.scenarios.runner import run_failover_experiment
+from repro.sim.core import seconds
+from repro.sttcp.config import SttcpConfig
+from repro.sttcp.events import EventKind
+
+from _util import emit, once
+
+CONFIG = SttcpConfig(max_delay_fin_ns=seconds(5))
+
+SCENARIOS = [
+    ("1", "HW/OS crash", "Primary", lambda tb, sp, sb: HwCrash(tb.primary)),
+    ("1", "HW/OS crash", "Backup", lambda tb, sp, sb: HwCrash(tb.backup)),
+    ("2", "App failure (no FIN)", "Primary", lambda tb, sp, sb: AppHang(sp)),
+    ("2", "App failure (no FIN)", "Backup", lambda tb, sp, sb: AppHang(sb)),
+    ("3", "App failure (FIN)", "Primary",
+     lambda tb, sp, sb: AppCrashWithCleanup(sp)),
+    ("3", "App failure (FIN)", "Backup",
+     lambda tb, sp, sb: AppCrashWithCleanup(sb)),
+    ("4", "NIC failure", "Primary",
+     lambda tb, sp, sb: NicFailure(tb.primary.nics[0])),
+    ("4", "NIC failure", "Backup",
+     lambda tb, sp, sb: NicFailure(tb.backup.nics[0])),
+]
+
+_DETECTIONS = (EventKind.PEER_CRASH_DETECTED,
+               EventKind.APP_FAILURE_DETECTED,
+               EventKind.NIC_FAILURE_DETECTED)
+
+
+def run_matrix():
+    results = []
+    for row, failure, location, fault in SCENARIOS:
+        result = run_failover_experiment(
+            fault, total_bytes=30_000_000, fault_at_s=1.0, run_until_s=60,
+            seed=3, config=CONFIG)
+        results.append((row, failure, location, result))
+    return results
+
+
+def _observed_symptom(result):
+    for log in (result.testbed.pair.backup.events,
+                result.testbed.pair.primary.events):
+        for kind in _DETECTIONS:
+            event = log.first(kind)
+            if event is not None:
+                return kind
+    return "-"
+
+
+def _recovery_action(result):
+    pair = result.testbed.pair
+    if pair.backup.takeover_at is not None:
+        return "backup takes over; primary shut down"
+    if pair.primary.mode == "non-fault-tolerant":
+        return "primary non-FT; backup shut down"
+    return "-"
+
+
+def render(results) -> str:
+    rows = []
+    for row, failure, location, result in results:
+        rows.append([
+            row, failure, location,
+            _observed_symptom(result),
+            _recovery_action(result),
+            "yes" if result.stream_intact else "NO",
+        ])
+    table = format_table(
+        ["#", "failure", "location", "observed symptom",
+         "recovery action taken", "client unaffected"], rows)
+    return "\n".join([banner("Table 1: single-failure scenarios"), table])
+
+
+def test_table1_matrix(benchmark):
+    results = once(benchmark, run_matrix)
+    emit("table1_matrix", render(results))
+    for _row, failure, location, result in results:
+        assert result.stream_intact, f"{failure}@{location}"

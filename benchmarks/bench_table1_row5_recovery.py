@@ -1,0 +1,83 @@
+"""Table 1 row 5 — temporary network failure and missed-byte recovery.
+
+The backup misses client bytes during a loss burst and retrieves them from
+the primary's extra receive buffer; under sustained overload the primary
+instead declares the backup failed (paper Sec. 4.3).
+"""
+
+from repro.apps.echo import EchoClient, EchoServer
+from repro.faults.faults import TransientLoss
+from repro.metrics.report import banner, format_table
+from repro.scenarios.builder import build_testbed
+from repro.sim.core import millis, seconds
+from repro.sttcp.events import EventKind
+
+from _util import emit, once
+
+
+def run_case(interval_ms: int, count: int, config=None):
+    tb = build_testbed(seed=11, config=config)
+    EchoServer(tb.primary, "echo-p", port=80).start()
+    EchoServer(tb.backup, "echo-b", port=80).start()
+    tb.pair.start()
+    client = EchoClient(tb.client, "client", tb.service_ip, port=80,
+                        message_size=4096, interval_ns=millis(interval_ms),
+                        count=count)
+    client.start()
+    tb.inject.loss_burst(seconds(1), millis(300),
+                         TransientLoss(tb.backup_cable, 0.7))
+    tb.run_until(60)
+    return tb, client
+
+
+def run_row5():
+    from repro.sttcp.config import SttcpConfig
+
+    moderate = run_case(interval_ms=8, count=1500)   # ~4 Mbps upload
+    # "Unable to catch up": a deployment with a small extra receive buffer
+    # and a slow fetch pipeline, hit by a fast upload.
+    overload = run_case(
+        interval_ms=2, count=3000,
+        config=SttcpConfig(retain_buffer_bytes=786432,
+                           fetch_max_bytes_per_round=16384,
+                           fetch_round_interval_ns=millis(200)))
+    return moderate, overload
+
+
+def render(moderate, overload) -> str:
+    def describe(tb, client, label):
+        events = tb.pair.backup.events
+        return [label,
+                len(events.of_kind(EventKind.FETCH_REQUESTED)),
+                len(events.of_kind(EventKind.FETCH_RECOVERED)),
+                tb.pair.primary.mode,
+                f"{len(client.rtts_ns)}/{client.count}"]
+
+    tb_m, client_m = moderate
+    tb_o, client_o = overload
+    rows = [describe(tb_m, client_m, "moderate upload (4 Mbps)"),
+            describe(tb_o, client_o,
+                     "16 Mbps upload, slow fetch, small retain")]
+    table = format_table(
+        ["client upload", "fetch rounds", "chunks recovered",
+         "primary mode after", "echoes completed"], rows)
+    return "\n".join([
+        banner("Table 1 row 5: temporary network failure at the backup"),
+        table, "",
+        "Moderate loss: the backup requests and receives missed bytes and",
+        "the pair stays fault-tolerant.  Under sustained overload the",
+        "backup cannot catch up and the primary (correctly, per Sec. 4.3)",
+        "declares it failed and runs non-fault-tolerant.",
+    ])
+
+
+def test_table1_row5_recovery(benchmark):
+    moderate, overload = once(benchmark, run_row5)
+    emit("table1_row5_recovery", render(moderate, overload))
+    tb_m, client_m = moderate
+    tb_o, client_o = overload
+    assert tb_m.pair.backup.events.has(EventKind.FETCH_RECOVERED)
+    assert tb_m.pair.primary.mode == "fault-tolerant"
+    assert tb_o.pair.primary.mode == "non-fault-tolerant"
+    assert len(client_m.rtts_ns) == client_m.count
+    assert len(client_o.rtts_ns) == client_o.count

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Demo 4 as a script: tolerating application crash failures.
+
+Shows both paper scenarios against a live transfer:
+
+1. the primary's application *hangs* (no FIN — Sec. 4.2.1): detected via
+   the AppMaxLagBytes / AppMaxLagTime criteria carried in the heartbeat;
+2. the OS *cleans up* the crashed application and closes its socket
+   (a FIN is generated — Sec. 4.2.2): the FIN is intercepted and held for
+   MaxDelayFIN while the failure is confirmed, then the backup takes over.
+
+Run:  python examples/app_crash_tolerance.py
+"""
+
+from repro.faults import AppCrashWithCleanup, AppHang
+from repro.metrics import format_duration
+from repro.scenarios import run_failover_experiment
+from repro.sim import seconds
+from repro.sttcp import EventKind, SttcpConfig
+
+CONFIG = SttcpConfig(max_delay_fin_ns=seconds(5))
+
+
+def report(result, title: str) -> None:
+    print(f"\n--- {title} ---")
+    pair = result.testbed.pair
+    detection = pair.backup.events.first(EventKind.APP_FAILURE_DETECTED)
+    print("  detected as       :", detection.kind if detection else "-")
+    if detection:
+        print("  symptom           :", detection.detail["symptom"])
+    held = pair.primary.events.first(EventKind.FIN_HELD)
+    print("  FIN intercepted   :", "yes (held, MaxDelayFIN)" if held else
+          "no FIN was generated")
+    print("  failover time     :",
+          format_duration(result.timeline.failover_time_ns))
+    print("  stream intact     :", result.stream_intact,
+          f"({result.client.received:,} bytes, "
+          f"{result.client.reset_count} resets)")
+
+
+def main() -> None:
+    print("30 MB stream; the primary's APPLICATION (not the machine) "
+          "fails at t=1s.")
+
+    hang = run_failover_experiment(
+        lambda tb, sp, sb: AppHang(sp),
+        total_bytes=30_000_000, fault_at_s=1.0, run_until_s=60, seed=5,
+        config=CONFIG)
+    report(hang, "scenario 1: application hangs, socket stays open (no FIN)")
+
+    cleanup = run_failover_experiment(
+        lambda tb, sp, sb: AppCrashWithCleanup(sp),
+        total_bytes=30_000_000, fault_at_s=1.0, run_until_s=60, seed=5,
+        config=CONFIG)
+    report(cleanup, "scenario 2: OS cleanup closes the socket (FIN)")
+
+    print("\nIn both scenarios the TCP layer stayed up and heartbeats kept"
+          "\nflowing — only the application-progress counters exposed the"
+          "\nfailure, and the client-facing FIN was never allowed out.")
+
+
+if __name__ == "__main__":
+    main()

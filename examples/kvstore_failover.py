@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""A *stateful* service under ST-TCP: a replicated key-value store.
+
+ST-TCP assumes the server application is deterministic — given the same
+input stream, the replica computes the same state.  This example writes 50
+keys, crashes the primary, and reads all 50 back from the backup **over
+the same TCP connection**, without the client noticing anything.
+
+Run:  python examples/kvstore_failover.py
+"""
+
+from repro.apps.kvstore import KvClient, KvServer
+from repro.faults import HwCrash
+from repro.scenarios import build_testbed
+from repro.sim import millis, seconds
+
+
+def main() -> None:
+    tb = build_testbed(seed=41)
+    KvServer(tb.primary, "kv-primary", port=80).start()
+    backup_kv = KvServer(tb.backup, "kv-backup", port=80)
+    backup_kv.start()
+    tb.pair.start()
+
+    writes = [b"SET user:%d name%d" % (i, i) for i in range(50)]
+    reads = [b"GET user:%d" % i for i in range(50)]
+    client = KvClient(tb.client, "client", tb.service_ip, port=80,
+                      commands=writes + [b"KEYS"] + reads,
+                      interval_ns=millis(20))
+    client.start()
+
+    # All 50 writes land in the first second; the primary dies at 1.2s,
+    # before any of the reads are issued.
+    tb.inject.at(seconds(1.2), HwCrash(tb.primary))
+    tb.run_until(60)
+
+    print("commands issued :", len(client.commands))
+    print("replies received:", len(client.replies))
+    print("connection reset:", client.reset_count)
+    print("KEYS after crash:", client.replies[50].decode())
+    reads_ok = client.replies[51:] == [b"VALUE name%d" % i for i in range(50)]
+    print("all 50 reads answered by the backup:", reads_ok)
+    print("backup store size:", len(backup_kv.store))
+    assert reads_ok and client.reset_count == 0
+    print("\nEvery key written to the dead primary was served by the "
+          "backup,\non the same TCP connection — replicated state for free,"
+          "\ncourtesy of the determinism assumption (paper Sec. 2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Demo 3 as a script: what does ST-TCP cost when nothing fails?
+
+Transfers a 100 MB file with ST-TCP enabled and disabled and compares
+transfer times, plus a per-RTT view using the echo workload.
+
+Run:  python examples/overhead_comparison.py
+"""
+
+from repro.apps import EchoClient, EchoServer, FileClient, FileServer
+from repro.scenarios import build_testbed
+from repro.sim import millis
+
+FILE_SIZE = 100_000_000
+
+
+def file_transfer(enable_sttcp: bool) -> FileClient:
+    tb = build_testbed(seed=5, enable_sttcp=enable_sttcp)
+    FileServer(tb.primary, "fs-p", port=80).start()
+    if enable_sttcp:
+        FileServer(tb.backup, "fs-b", port=80).start()
+        tb.pair.start()
+    target = tb.service_ip if enable_sttcp else tb.addresses.primary_ip
+    client = FileClient(tb.client, "client", target, port=80,
+                        file_size=FILE_SIZE)
+    client.start()
+    tb.run_until(60)
+    return client
+
+
+def echo_rtt(enable_sttcp: bool) -> float:
+    tb = build_testbed(seed=5, enable_sttcp=enable_sttcp)
+    EchoServer(tb.primary, "echo-p", port=80).start()
+    if enable_sttcp:
+        EchoServer(tb.backup, "echo-b", port=80).start()
+        tb.pair.start()
+    target = tb.service_ip if enable_sttcp else tb.addresses.primary_ip
+    client = EchoClient(tb.client, "client", target, port=80,
+                        message_size=64, interval_ns=millis(10), count=200)
+    client.start()
+    tb.run_until(30)
+    return client.mean_rtt_ns
+
+
+def main() -> None:
+    print(f"Transferring {FILE_SIZE // 1_000_000} MB over the 100 Mbps "
+          "testbed, failure-free...")
+    with_st = file_transfer(True)
+    without = file_transfer(False)
+    t_on, t_off = with_st.transfer_time_ns, without.transfer_time_ns
+    print(f"  ST-TCP enabled : {t_on / 1e9:8.4f} s "
+          f"({with_st.throughput_mbps:5.1f} Mbps)")
+    print(f"  ST-TCP disabled: {t_off / 1e9:8.4f} s "
+          f"({without.throughput_mbps:5.1f} Mbps)")
+    print(f"  bulk overhead  : {(t_on - t_off) / t_off * 100:+.2f}%")
+
+    print("\nPer-request view (64-byte echo round trips):")
+    rtt_on = echo_rtt(True)
+    rtt_off = echo_rtt(False)
+    print(f"  ST-TCP enabled : mean RTT {rtt_on / 1e6:.3f} ms")
+    print(f"  ST-TCP disabled: mean RTT {rtt_off / 1e6:.3f} ms")
+    print(f"  RTT overhead   : {(rtt_on - rtt_off) / rtt_off * 100:+.2f}%")
+
+    print("\nDuring failure-free operation the client talks standard TCP to"
+          "\nthe primary only; replication costs are off the critical path"
+          "\n(heartbeats, suppressed backup traffic) — hence 'insignificant"
+          "\noverhead' (paper Demo 3).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Deterministic applications used by the paper's five demonstrations."""
+
+from repro.apps.base import pattern_bytes, verify_pattern
+from repro.apps.echo import EchoClient, EchoServer
+from repro.apps.filetransfer import FileClient, FileServer
+from repro.apps.kvstore import KvClient, KvServer
+from repro.apps.streaming import StreamClient, StreamServer
+from repro.apps.watchdog import ApplicationWatchdog
+
+__all__ = [
+    "ApplicationWatchdog",
+    "EchoClient",
+    "EchoServer",
+    "FileClient",
+    "FileServer",
+    "KvClient",
+    "KvServer",
+    "StreamClient",
+    "StreamServer",
+    "pattern_bytes",
+    "verify_pattern",
+]

@@ -1,0 +1,32 @@
+"""Shared application helpers: the deterministic payload pattern.
+
+Both replicas must emit byte-identical responses, and tests must be able
+to verify end-to-end integrity across a failover.  The payload for stream
+offset ``i`` is therefore a pure function of ``i``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["pattern_bytes", "verify_pattern"]
+
+_PATTERN_PERIOD = 251  # prime, so chunk boundaries never align with it
+
+
+def pattern_bytes(offset: int, length: int) -> bytes:
+    """Deterministic payload bytes for stream positions
+    ``[offset, offset + length)``."""
+    if length <= 0:
+        return b""
+    return bytes((i * 7 + 13) % _PATTERN_PERIOD
+                 for i in range(offset, offset + length))
+
+
+def verify_pattern(offset: int, data: bytes) -> int:
+    """Index of the first corrupt byte relative to ``data`` (or -1)."""
+    expected = pattern_bytes(offset, len(data))
+    if data == expected:
+        return -1
+    for i, (got, want) in enumerate(zip(data, expected)):
+        if got != want:
+            return i
+    return min(len(data), len(expected))

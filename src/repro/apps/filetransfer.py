@@ -1,0 +1,55 @@
+"""Bulk file transfer (paper Demo 3: "a large file (about 100 MB)").
+
+Thin specializations of the streaming pair: the server closes after
+serving one file; the client records wall-clock (virtual) transfer time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.host.host import Host
+from repro.apps.streaming import StreamClient, StreamServer
+
+__all__ = ["FileServer", "FileClient"]
+
+
+class FileServer(StreamServer):
+    """Serves one file per connection, then closes it."""
+
+    def __init__(self, host: Host, name: str, port: int = 80,
+                 chunk_size: int = 16384):
+        super().__init__(host, name, port=port, chunk_size=chunk_size,
+                         close_when_done=True)
+
+
+class FileClient(StreamClient):
+    """Downloads one file and reports the transfer duration."""
+
+    def __init__(self, host: Host, name: str, server_ip, port: int = 80,
+                 file_size: int = 100_000_000, monitor=None,
+                 on_complete=None):
+        super().__init__(host, name, server_ip, port=port,
+                         total_bytes=file_size, monitor=monitor,
+                         on_complete=on_complete, close_when_complete=True)
+        self.started_at: Optional[int] = None
+
+    def on_start(self) -> None:
+        """Record the start time and begin the download."""
+        self.started_at = self.world.sim.now
+        super().on_start()
+
+    @property
+    def transfer_time_ns(self) -> Optional[int]:
+        """Virtual nanoseconds from start to last byte (None if unfinished)."""
+        if self.completed_at is None or self.started_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+    @property
+    def throughput_mbps(self) -> Optional[float]:
+        """Goodput of the completed transfer in Mbps (None if unfinished)."""
+        t = self.transfer_time_ns
+        if not t:
+            return None
+        return self.total_bytes * 8 * 1e9 / t / 1e6

@@ -1,0 +1,92 @@
+"""Application watchdog — the paper's Sec. 4.2.2 extension.
+
+"an application can support a watchdog mechanism where the application
+continually sends a heartbeat to a watchdog. The watchdog monitors the
+application health and informs ST-TCP in case of any failure suspicion."
+
+This closes the one detection gap ST-TCP admits: an application failure
+with a FIN on an otherwise idle connection cannot be distinguished from a
+normal close using TCP-layer information alone.  With a watchdog, the
+local engine learns of the failure directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.timers import PeriodicTimer
+from repro.sim.world import World
+from repro.host.app import Application
+
+__all__ = ["ApplicationWatchdog"]
+
+
+class ApplicationWatchdog:
+    """Monitors one application's liveness pulses.
+
+    The application (or the harness on its behalf) calls :meth:`pet`
+    periodically; if ``miss_threshold`` periods elapse without a pulse,
+    ``on_failure_suspicion`` fires exactly once.  ``auto_pet=True`` wires a
+    pulse generator that follows ``app.is_alive`` — convenient for the
+    simulated apps, whose "health" is exactly their liveness flag.
+    """
+
+    def __init__(self, world: World, app: Application,
+                 on_failure_suspicion: Callable[[Application], None],
+                 period_ns: int = 100_000_000, miss_threshold: int = 3,
+                 auto_pet: bool = True):
+        if miss_threshold < 1:
+            raise ValueError("miss_threshold must be >= 1")
+        self._world = world
+        self.app = app
+        self.on_failure_suspicion = on_failure_suspicion
+        self.period_ns = period_ns
+        self.miss_threshold = miss_threshold
+        self._last_pet: Optional[int] = None
+        self._started_at: Optional[int] = None
+        self._fired = False
+        self._check_timer = PeriodicTimer(world.sim, self._check, period_ns,
+                                          label=f"wd.{app.name}.check")
+        self._pet_timer: Optional[PeriodicTimer] = None
+        if auto_pet:
+            self._pet_timer = PeriodicTimer(world.sim, self._auto_pet,
+                                            period_ns,
+                                            label=f"wd.{app.name}.pet")
+
+    def start(self) -> None:
+        """Begin monitoring (and auto-petting, if enabled)."""
+        self._started_at = self._world.sim.now
+        self._check_timer.start()
+        if self._pet_timer is not None:
+            self._pet_timer.start(fire_immediately=True)
+
+    def stop(self) -> None:
+        """Stop all watchdog timers."""
+        self._check_timer.stop()
+        if self._pet_timer is not None:
+            self._pet_timer.stop()
+
+    def pet(self) -> None:
+        """The application's liveness pulse."""
+        self._last_pet = self._world.sim.now
+
+    def _auto_pet(self) -> None:
+        if self.app.is_alive:
+            self.pet()
+
+    @property
+    def suspicious(self) -> bool:
+        """True once a failure suspicion has fired."""
+        return self._fired
+
+    def _check(self) -> None:
+        if self._fired or self._started_at is None:
+            return
+        baseline = self._last_pet if self._last_pet is not None \
+            else self._started_at
+        if (self._world.sim.now - baseline
+                > self.miss_threshold * self.period_ns):
+            self._fired = True
+            self._world.trace.record("detect", f"wd.{self.app.name}",
+                                     "application failure suspicion")
+            self.on_failure_suspicion(self.app)

@@ -1,0 +1,224 @@
+"""Command-line interface: run the paper's demonstrations from a shell.
+
+::
+
+    python -m repro list                 # what can I run?
+    python -m repro demo1                # seamless failover vs baseline
+    python -m repro demo2 --hb 200 500 1000
+    python -m repro demo3 --size 100000000
+    python -m repro demo4
+    python -m repro demo5
+    python -m repro table1
+    python -m repro demo1 --seed 7       # every command takes --seed
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.metrics.report import banner, format_duration, format_table
+
+
+def _demo1(args) -> int:
+    from repro.faults.faults import HwCrash
+    from repro.scenarios.runner import (run_baseline_failover,
+                                        run_failover_experiment)
+
+    print("Demo 1: 30 MB stream, primary HW crash at t=1s")
+    sttcp = run_failover_experiment(
+        lambda tb, sp, sb: HwCrash(tb.primary),
+        total_bytes=30_000_000, fault_at_s=1.0, run_until_s=60,
+        seed=args.seed)
+    baseline = run_baseline_failover(
+        total_bytes=30_000_000, fault_at_s=1.0, run_until_s=60,
+        liveness_timeout_s=2.0, seed=args.seed)
+    rows = [
+        ["ST-TCP", sttcp.client.reset_count, 0,
+         format_duration(sttcp.glitch_ns),
+         "yes" if sttcp.stream_intact else "NO"],
+        ["hot standby (no ST-TCP)", baseline.client.reset_count,
+         baseline.client.reconnect_count,
+         format_duration(baseline.disruption_ns), "n/a"],
+    ]
+    print(format_table(["system", "resets", "reconnects", "outage",
+                        "stream intact"], rows))
+    print("\nST-TCP timeline:", sttcp.timeline.describe())
+    return 0 if sttcp.stream_intact else 1
+
+
+def _demo2(args) -> int:
+    from repro.faults.faults import HwCrash
+    from repro.scenarios.runner import run_failover_experiment
+    from repro.sim.core import millis
+    from repro.sttcp.config import SttcpConfig
+
+    print(f"Demo 2: failover time vs HB period {args.hb} ms")
+    rows = []
+    for period_ms in args.hb:
+        result = run_failover_experiment(
+            lambda tb, sp, sb: HwCrash(tb.primary),
+            total_bytes=30_000_000, fault_at_s=2.0, run_until_s=60,
+            seed=args.seed,
+            config=SttcpConfig(hb_period_ns=millis(period_ms)))
+        timeline = result.timeline
+        rows.append([f"{period_ms} ms",
+                     format_duration(timeline.detection_latency_ns),
+                     format_duration(timeline.backoff_residue_ns),
+                     format_duration(timeline.failover_time_ns)])
+    print(format_table(["HB period", "detection", "residue",
+                        "failover time"], rows))
+    return 0
+
+
+def _demo3(args) -> int:
+    from repro.apps.filetransfer import FileClient, FileServer
+    from repro.scenarios.builder import build_testbed
+
+    print(f"Demo 3: {args.size / 1e6:.0f} MB transfer, ST-TCP on vs off")
+    times = {}
+    for enabled in (True, False):
+        tb = build_testbed(seed=args.seed, enable_sttcp=enabled)
+        FileServer(tb.primary, "fs-p", port=80).start()
+        if enabled:
+            FileServer(tb.backup, "fs-b", port=80).start()
+            tb.pair.start()
+        target = tb.service_ip if enabled else tb.addresses.primary_ip
+        client = FileClient(tb.client, "c", target, port=80,
+                            file_size=args.size)
+        client.start()
+        tb.run_until(120)
+        times[enabled] = client.transfer_time_ns
+    overhead = (times[True] - times[False]) / times[False] * 100
+    print(format_table(
+        ["configuration", "transfer time"],
+        [["ST-TCP enabled", f"{times[True] / 1e9:.4f} s"],
+         ["ST-TCP disabled", f"{times[False] / 1e9:.4f} s"]]))
+    print(f"\noverhead: {overhead:+.2f}%")
+    return 0
+
+
+def _demo4(args) -> int:
+    from repro.faults.faults import AppCrashWithCleanup, AppHang
+    from repro.scenarios.runner import run_failover_experiment
+    from repro.sim.core import seconds
+    from repro.sttcp.config import SttcpConfig
+
+    config = SttcpConfig(max_delay_fin_ns=seconds(5))
+    print("Demo 4: application crash failures (primary app, t=1s)")
+    rows = []
+    for label, fault in (("hang (no FIN)",
+                          lambda tb, sp, sb: AppHang(sp)),
+                         ("OS cleanup (FIN)",
+                          lambda tb, sp, sb: AppCrashWithCleanup(sp))):
+        result = run_failover_experiment(
+            fault, total_bytes=30_000_000, fault_at_s=1.0, run_until_s=60,
+            seed=args.seed, config=config)
+        rows.append([label,
+                     format_duration(result.timeline.detection_latency_ns),
+                     format_duration(result.timeline.failover_time_ns),
+                     "yes" if result.stream_intact else "NO"])
+    print(format_table(["scenario", "detection", "failover",
+                        "stream intact"], rows))
+    return 0
+
+
+def _demo5(args) -> int:
+    from repro.faults.faults import NicFailure
+    from repro.scenarios.runner import run_failover_experiment
+
+    print("Demo 5: NIC failures (t=1s)")
+    rows = []
+    for label, fault, side in (
+            ("primary NIC", lambda tb, sp, sb: NicFailure(tb.primary.nics[0]),
+             "backup"),
+            ("backup NIC", lambda tb, sp, sb: NicFailure(tb.backup.nics[0]),
+             "primary")):
+        result = run_failover_experiment(
+            fault, total_bytes=30_000_000, fault_at_s=1.0, run_until_s=60,
+            seed=args.seed)
+        pair = result.testbed.pair
+        action = ("backup took over" if pair.backup.takeover_at is not None
+                  else "primary went non-FT")
+        rows.append([label, action,
+                     "yes" if result.stream_intact else "NO"])
+    print(format_table(["failed NIC", "recovery", "stream intact"], rows))
+    return 0
+
+
+def _table1(args) -> int:
+    from repro.faults.faults import (AppCrashWithCleanup, AppHang, HwCrash,
+                                     NicFailure)
+    from repro.scenarios.runner import run_failover_experiment
+    from repro.sim.core import seconds
+    from repro.sttcp.config import SttcpConfig
+
+    config = SttcpConfig(max_delay_fin_ns=seconds(5))
+    scenarios = [
+        ("1 HW/OS crash", "primary", lambda tb, sp, sb: HwCrash(tb.primary)),
+        ("1 HW/OS crash", "backup", lambda tb, sp, sb: HwCrash(tb.backup)),
+        ("2 app hang", "primary", lambda tb, sp, sb: AppHang(sp)),
+        ("2 app hang", "backup", lambda tb, sp, sb: AppHang(sb)),
+        ("3 app crash+FIN", "primary",
+         lambda tb, sp, sb: AppCrashWithCleanup(sp)),
+        ("3 app crash+FIN", "backup",
+         lambda tb, sp, sb: AppCrashWithCleanup(sb)),
+        ("4 NIC failure", "primary",
+         lambda tb, sp, sb: NicFailure(tb.primary.nics[0])),
+        ("4 NIC failure", "backup",
+         lambda tb, sp, sb: NicFailure(tb.backup.nics[0])),
+    ]
+    print("Table 1: all single-failure scenarios")
+    rows = []
+    for failure, location, fault in scenarios:
+        result = run_failover_experiment(
+            fault, total_bytes=30_000_000, fault_at_s=1.0, run_until_s=60,
+            seed=args.seed, config=config)
+        pair = result.testbed.pair
+        action = ("backup takes over" if pair.backup.takeover_at is not None
+                  else "primary non-FT")
+        rows.append([failure, location, action,
+                     "yes" if result.stream_intact else "NO"])
+    print(format_table(["failure", "location", "recovery",
+                        "client unaffected"], rows))
+    return 0
+
+
+_COMMANDS = {
+    "demo1": (_demo1, "client-transparent seamless failover vs baseline"),
+    "demo2": (_demo2, "failover time vs heartbeat frequency"),
+    "demo3": (_demo3, "failure-free overhead (bulk transfer)"),
+    "demo4": (_demo4, "application crash failures"),
+    "demo5": (_demo5, "NIC failures"),
+    "table1": (_table1, "the full single-failure matrix"),
+}
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run the ST-TCP paper's demonstrations.")
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list available demonstrations")
+    for name, (_fn, help_text) in _COMMANDS.items():
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--seed", type=int, default=3)
+        if name == "demo2":
+            p.add_argument("--hb", type=int, nargs="+",
+                           default=[200, 500, 1000],
+                           help="heartbeat periods in ms")
+        if name == "demo3":
+            p.add_argument("--size", type=int, default=100_000_000)
+    args = parser.parse_args(argv)
+    if args.command in (None, "list"):
+        print(banner("ST-TCP demonstrations"))
+        for name, (_fn, help_text) in _COMMANDS.items():
+            print(f"  {name:8s} {help_text}")
+        return 0
+    handler, _help = _COMMANDS[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

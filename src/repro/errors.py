@@ -1,0 +1,70 @@
+"""Exception hierarchy for the ST-TCP reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing programming errors (plain ``ValueError`` /
+``TypeError``) from simulated-world conditions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel was used incorrectly (e.g. scheduling in the past)."""
+
+
+class NetworkError(ReproError):
+    """A network-substrate invariant was violated (bad frame, unknown port...)."""
+
+
+class AddressError(NetworkError):
+    """An Ethernet/IP address string could not be parsed or is out of range."""
+
+
+class TcpError(ReproError):
+    """Base class for TCP-level errors."""
+
+
+class ConnectionResetError_(TcpError):
+    """The peer reset the connection (RST received).
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    ``ConnectionResetError``; exported as ``TcpConnectionReset``.
+    """
+
+
+class ConnectionClosedError(TcpError):
+    """An operation was attempted on a closed or closing socket."""
+
+
+class PortInUseError(TcpError):
+    """A listener tried to bind a port that is already bound on the host."""
+
+
+class HostDownError(ReproError):
+    """An operation was attempted on a powered-off or crashed host."""
+
+
+class SttcpError(ReproError):
+    """Base class for ST-TCP protocol errors."""
+
+
+class UnrecoverableFailureError(SttcpError):
+    """A failure ST-TCP explicitly documents as unrecoverable.
+
+    Example (Sec. 4.3 of the paper): the primary crashes while the backup is
+    still fetching missed bytes that the primary has already acknowledged to
+    the client.
+    """
+
+
+class ConfigurationError(ReproError):
+    """An ST-TCP or scenario configuration value is invalid or inconsistent."""
+
+
+# Public alias with a cleaner name.
+TcpConnectionReset = ConnectionResetError_

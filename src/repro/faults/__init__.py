@@ -1,0 +1,26 @@
+"""Fault injection: every single-failure scenario of the paper's Table 1."""
+
+from repro.faults.faults import (
+    AppCrashWithCleanup,
+    AppHang,
+    CableCut,
+    Fault,
+    HwCrash,
+    NicFailure,
+    OsCrash,
+    TransientLoss,
+)
+from repro.faults.injector import FaultInjector, InjectionRecord
+
+__all__ = [
+    "AppCrashWithCleanup",
+    "AppHang",
+    "CableCut",
+    "Fault",
+    "FaultInjector",
+    "HwCrash",
+    "InjectionRecord",
+    "NicFailure",
+    "OsCrash",
+    "TransientLoss",
+]

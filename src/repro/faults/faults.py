@@ -1,0 +1,161 @@
+"""Fault types — one per row of the paper's Table 1 (plus transient loss).
+
+Each fault is a small object with an ``inject(testbed_like)`` method taking
+the target component directly; the :class:`~repro.faults.injector.FaultInjector`
+schedules them at virtual times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.net.cable import Cable
+from repro.net.nic import Nic
+from repro.host.app import Application
+from repro.host.host import Host
+
+__all__ = [
+    "Fault",
+    "HwCrash",
+    "OsCrash",
+    "AppHang",
+    "AppCrashWithCleanup",
+    "NicFailure",
+    "CableCut",
+    "TransientLoss",
+]
+
+
+class Fault:
+    """Base class: a single injectable failure."""
+
+    description = "fault"
+
+    def inject(self) -> None:
+        """Apply this failure to its target."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.description
+
+
+@dataclass
+class HwCrash(Fault):
+    """Table 1 row 1: hardware crash — instant total silence."""
+
+    host: Host
+
+    def inject(self) -> None:
+        """Apply this failure to its target."""
+        self.host.crash_hw()
+
+    @property
+    def description(self) -> str:
+        """Human-readable description used in traces and reports."""
+        return f"HW crash of {self.host.name}"
+
+
+@dataclass
+class OsCrash(Fault):
+    """Table 1 row 1 variant: OS crash — same externally visible symptom."""
+
+    host: Host
+
+    def inject(self) -> None:
+        """Apply this failure to its target."""
+        self.host.crash_os()
+
+    @property
+    def description(self) -> str:
+        """Human-readable description used in traces and reports."""
+        return f"OS crash of {self.host.name}"
+
+
+@dataclass
+class AppHang(Fault):
+    """Table 1 row 2 / Sec. 4.2.1: application failure *without* cleanup —
+    the process wedges; no FIN is generated."""
+
+    app: Application
+
+    def inject(self) -> None:
+        """Apply this failure to its target."""
+        self.app.crash(cleanup=False)
+
+    @property
+    def description(self) -> str:
+        """Human-readable description used in traces and reports."""
+        return f"application hang (no FIN) of {self.app.name}"
+
+
+@dataclass
+class AppCrashWithCleanup(Fault):
+    """Table 1 row 3 / Sec. 4.2.2: application crash *with* OS cleanup —
+    the OS closes the socket, generating a FIN."""
+
+    app: Application
+
+    def inject(self) -> None:
+        """Apply this failure to its target."""
+        self.app.crash(cleanup=True)
+
+    @property
+    def description(self) -> str:
+        """Human-readable description used in traces and reports."""
+        return f"application crash with cleanup (FIN) of {self.app.name}"
+
+
+@dataclass
+class NicFailure(Fault):
+    """Table 1 row 4: NIC failure — the card goes deaf and mute while the
+    host (and its serial port) stay alive."""
+
+    nic: Nic
+
+    def inject(self) -> None:
+        """Apply this failure to its target."""
+        self.nic.fail()
+
+    @property
+    def description(self) -> str:
+        """Human-readable description used in traces and reports."""
+        return f"NIC failure of {self.nic.name}"
+
+
+@dataclass
+class CableCut(Fault):
+    """Table 1 row 4 variant: cable failure — same symptom as a dead NIC."""
+
+    cable: Cable
+
+    def inject(self) -> None:
+        """Apply this failure to its target."""
+        self.cable.cut()
+
+    @property
+    def description(self) -> str:
+        """Human-readable description used in traces and reports."""
+        return f"cable cut: {self.cable.name}"
+
+
+@dataclass
+class TransientLoss(Fault):
+    """Table 1 row 5: temporary network failure — a burst of packet loss on
+    one cable (buffer overflow, flaky transceiver...)."""
+
+    cable: Cable
+    loss_rate: float = 1.0
+
+    def inject(self) -> None:
+        """Apply this failure to its target."""
+        self._previous = self.cable.loss_rate
+        self.cable.loss_rate = self.loss_rate
+
+    def clear(self) -> None:
+        """End the burst (restore the previous loss rate)."""
+        self.cable.loss_rate = getattr(self, "_previous", 0.0)
+
+    @property
+    def description(self) -> str:
+        """Human-readable description used in traces and reports."""
+        return (f"transient loss burst ({self.loss_rate:.0%}) on "
+                f"{self.cable.name}")

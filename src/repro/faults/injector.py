@@ -1,0 +1,68 @@
+"""Schedules faults at virtual times and records what was injected when."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.world import World
+from repro.faults.faults import Fault, TransientLoss
+
+__all__ = ["FaultInjector", "InjectionRecord"]
+
+
+class InjectionRecord:
+    """Bookkeeping for one scheduled fault."""
+
+    def __init__(self, fault: Fault, at_ns: int):
+        self.fault = fault
+        self.at_ns = at_ns
+        self.injected = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "injected" if self.injected else "pending"
+        return f"<Injection {self.fault} @{self.at_ns / 1e9:.3f}s {state}>"
+
+
+class FaultInjector:
+    """Deterministic fault scheduler for experiments."""
+
+    def __init__(self, world: World):
+        self._world = world
+        self.records: list[InjectionRecord] = []
+
+    def at(self, time_ns: int, fault: Fault) -> InjectionRecord:
+        """Inject ``fault`` at absolute virtual time ``time_ns``."""
+        record = InjectionRecord(fault, time_ns)
+        self.records.append(record)
+        self._world.sim.schedule_at(time_ns, self._fire, record,
+                                    label="fault-inject")
+        return record
+
+    def after(self, delay_ns: int, fault: Fault) -> InjectionRecord:
+        """Inject ``fault`` ``delay_ns`` from now."""
+        return self.at(self._world.sim.now + delay_ns, fault)
+
+    def loss_burst(self, start_ns: int, duration_ns: int,
+                   fault: TransientLoss) -> InjectionRecord:
+        """A transient loss episode: injected at ``start_ns``, cleared at
+        ``start_ns + duration_ns`` (Table 1 row 5)."""
+        record = self.at(start_ns, fault)
+        self._world.sim.schedule_at(start_ns + duration_ns, fault.clear,
+                                    label="fault-clear")
+        return record
+
+    def _fire(self, record: InjectionRecord) -> None:
+        self._world.trace.record("fault", "injector",
+                                 record.fault.description)
+        record.fault.inject()
+        record.injected = True
+
+    @property
+    def injected_count(self) -> int:
+        """How many scheduled faults have fired so far."""
+        return sum(1 for r in self.records if r.injected)
+
+    def first_injection_time(self) -> Optional[int]:
+        """Virtual time of the earliest fired fault (None if none)."""
+        injected = [r.at_ns for r in self.records if r.injected]
+        return min(injected) if injected else None

@@ -1,0 +1,9 @@
+"""Machine model: hosts, OS, applications, CPU, power control."""
+
+from repro.host.app import Application
+from repro.host.cpu import CpuModel
+from repro.host.host import Host
+from repro.host.osmodel import OperatingSystem
+from repro.host.power import PowerStrip
+
+__all__ = ["Application", "CpuModel", "Host", "OperatingSystem", "PowerStrip"]

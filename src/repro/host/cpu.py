@@ -1,0 +1,56 @@
+"""A simple FIFO CPU model.
+
+Used for the old-vs-new-architecture ablation (paper Sec. 3): in the
+original ST-TCP prototype the backup also processed all primary→client
+traffic, which "leads to an overloaded NIC or/and CPU on the backup" and
+makes the backup lag.  Modelling per-frame processing cost reproduces that
+overload and the resulting false failure suspicion.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.world import World
+
+__all__ = ["CpuModel"]
+
+
+class CpuModel:
+    """Single-core FIFO work queue with a fixed cost per submitted job.
+
+    ``submit(cost_ns, fn)`` runs ``fn`` once the CPU has worked through
+    everything queued before it plus ``cost_ns`` of service time.  The
+    growing backlog under overload is what delays the backup's packet
+    processing and application progress.
+    """
+
+    def __init__(self, world: World, name: str = "cpu"):
+        self._world = world
+        self.name = name
+        self._free_at = 0
+        self.jobs_run = 0
+        self.busy_ns = 0
+
+    @property
+    def backlog_ns(self) -> int:
+        """How far the CPU is currently behind (0 when idle)."""
+        return max(0, self._free_at - self._world.sim.now)
+
+    def submit(self, cost_ns: int, fn: Callable[[], None]) -> None:
+        """Queue a job costing ``cost_ns`` of CPU time."""
+        if cost_ns < 0:
+            raise ValueError(f"cost must be non-negative, got {cost_ns}")
+        now = self._world.sim.now
+        start = max(now, self._free_at)
+        self._free_at = start + cost_ns
+        self.busy_ns += cost_ns
+        self.jobs_run += 1
+        self._world.sim.schedule(self._free_at - now, fn,
+                                 label=f"{self.name}.job")
+
+    def utilization(self, elapsed_ns: int) -> float:
+        """Fraction of ``elapsed_ns`` spent busy (for reports)."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return min(1.0, self.busy_ns / elapsed_ns)

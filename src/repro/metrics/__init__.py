@@ -1,0 +1,18 @@
+"""Measurement: stream monitors, failover timelines, report formatting."""
+
+from repro.metrics.figures import bar_chart, sparkline, step_series
+from repro.metrics.monitor import ClientStreamMonitor
+from repro.metrics.report import banner, format_duration, format_table
+from repro.metrics.timeline import FailoverTimeline, build_timeline
+
+__all__ = [
+    "ClientStreamMonitor",
+    "bar_chart",
+    "FailoverTimeline",
+    "banner",
+    "build_timeline",
+    "format_duration",
+    "format_table",
+    "sparkline",
+    "step_series",
+]

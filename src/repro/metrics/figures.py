@@ -1,0 +1,71 @@
+"""ASCII figures for benchmark output.
+
+The paper's Demo 2 is naturally a figure (failover time vs HB period);
+these helpers render such series as terminal bar/line charts so the
+benchmark output shows the *shape*, not just numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+__all__ = ["bar_chart", "sparkline", "step_series"]
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float],
+              width: int = 40, unit: str = "") -> str:
+    """Horizontal bar chart, one row per (label, value)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not values:
+        return "(empty chart)"
+    peak = max(values) or 1.0
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        filled = value / peak * width
+        whole = int(filled)
+        frac = int((filled - whole) * (len(_BLOCKS) - 1))
+        bar = "█" * whole + (_BLOCKS[frac] if frac else "")
+        lines.append(f"{str(label):>{label_width}} |{bar:<{width}} "
+                     f"{value:g}{unit}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """One-line sparkline (resampled to ``width`` if given)."""
+    if not values:
+        return ""
+    if width is not None and len(values) > width:
+        step = len(values) / width
+        values = [values[int(i * step)] for i in range(width)]
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    ramp = "▁▂▃▄▅▆▇█"
+    return "".join(ramp[int((v - low) / span * (len(ramp) - 1))]
+                   for v in values)
+
+
+def step_series(points: Sequence[tuple[float, float]], width: int = 60,
+                height: int = 10) -> str:
+    """A small scatter/step plot of (x, y) points — used for the client
+    progress curve around a failover (the 'pie chart over time')."""
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        col = int((x - x_low) / x_span * (width - 1))
+        row = int((y - y_low) / y_span * (height - 1))
+        grid[height - 1 - row][col] = "*"
+    lines = ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    lines.append(f" x: [{x_low:g}, {x_high:g}]   y: [{y_low:g}, {y_high:g}]")
+    return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""Client-side stream observation — the headless pie chart.
+
+:class:`ClientStreamMonitor` records every arrival instant, so experiments
+can quantify exactly what the paper's demo audience *sees*: smooth
+progress, a glitch at failover, and resumption — or, for the baseline, a
+connection reset.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.world import World
+
+__all__ = ["ClientStreamMonitor"]
+
+
+class ClientStreamMonitor:
+    """Timestamped byte-arrival log with gap (glitch) analysis."""
+
+    def __init__(self, world: World, name: str = "client-monitor"):
+        self._world = world
+        self.name = name
+        self.samples: list[tuple[int, int]] = []   # (time_ns, total_bytes)
+        self.events: list[tuple[int, str]] = []    # (time_ns, kind)
+        self.total_bytes = 0
+
+    # ------------------------------------------------------------ recording
+
+    def on_bytes(self, n: int) -> None:
+        """Record an arrival of ``n`` bytes at the current instant."""
+        self.total_bytes += n
+        self.samples.append((self._world.sim.now, self.total_bytes))
+
+    def note_event(self, kind: str) -> None:
+        """Record a lifecycle event (connect, reset, complete...)."""
+        self.events.append((self._world.sim.now, kind))
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def first_byte_at(self) -> Optional[int]:
+        """Instant of the first arrival (None if none)."""
+        return self.samples[0][0] if self.samples else None
+
+    @property
+    def last_byte_at(self) -> Optional[int]:
+        """Instant of the latest arrival (None if none)."""
+        return self.samples[-1][0] if self.samples else None
+
+    def events_of(self, kind: str) -> list[int]:
+        """Times of all recorded events of the given kind."""
+        return [t for t, k in self.events if k == kind]
+
+    def max_gap_ns(self, after_ns: int = 0,
+                   before_ns: Optional[int] = None) -> int:
+        """Largest inter-arrival gap within the window — the glitch size."""
+        window = [t for t, _total in self.samples
+                  if t >= after_ns and (before_ns is None or t <= before_ns)]
+        if len(window) < 2:
+            return 0
+        return max(b - a for a, b in zip(window, window[1:]))
+
+    def gap_at(self, instant_ns: int) -> Optional[tuple[int, int, int]]:
+        """The stall straddling ``instant_ns``.
+
+        Returns ``(last_before, first_after, gap)`` or None if the stream
+        never resumed after ``instant_ns``."""
+        before = [t for t, _ in self.samples if t <= instant_ns]
+        after = [t for t, _ in self.samples if t > instant_ns]
+        if not after:
+            return None
+        last_before = before[-1] if before else instant_ns
+        return (last_before, after[0], after[0] - last_before)
+
+    def largest_gap_after(self, instant_ns: int
+                          ) -> Optional[tuple[int, int, int]]:
+        """The biggest inter-arrival stall starting at or after
+        ``instant_ns``: returns ``(stall_start, stall_end, gap)``.
+
+        For failover experiments this is the client-visible service
+        interruption — the data in flight at the instant of the fault
+        still drains, so the stall begins slightly *after* the fault."""
+        window = [t for t, _total in self.samples if t >= instant_ns]
+        before = [t for t, _total in self.samples if t < instant_ns]
+        if before:
+            window.insert(0, before[-1])
+        if len(window) < 2:
+            return None
+        best = None
+        for a, b in zip(window, window[1:]):
+            if best is None or b - a > best[2]:
+                best = (a, b, b - a)
+        return best
+
+    def resume_time_after(self, instant_ns: int) -> Optional[int]:
+        """First arrival after ``instant_ns`` (stream resumption)."""
+        for t, _total in self.samples:
+            if t > instant_ns:
+                return t
+        return None
+
+    def bytes_before(self, instant_ns: int) -> int:
+        """Cumulative bytes received at or before ``instant_ns``."""
+        total = 0
+        for t, cumulative in self.samples:
+            if t > instant_ns:
+                break
+            total = cumulative
+        return total
+
+    def throughput_mbps(self) -> Optional[float]:
+        """Mean goodput over the active interval."""
+        if len(self.samples) < 2:
+            return None
+        duration = self.samples[-1][0] - self.samples[0][0]
+        if duration <= 0:
+            return None
+        return self.total_bytes * 8 * 1e9 / duration / 1e6
+
+    def progress_series(self, resolution_ns: int
+                        ) -> list[tuple[float, int]]:
+        """Downsampled (time_s, bytes) curve for plotting/reporting."""
+        if not self.samples:
+            return []
+        series = []
+        next_t = self.samples[0][0]
+        for t, total in self.samples:
+            if t >= next_t:
+                series.append((t / 1e9, total))
+                next_t = t + resolution_ns
+        if series[-1] != (self.samples[-1][0] / 1e9, self.total_bytes):
+            series.append((self.samples[-1][0] / 1e9, self.total_bytes))
+        return series

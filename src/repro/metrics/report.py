@@ -1,0 +1,45 @@
+"""Plain-text table rendering for the benchmark harness output."""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+__all__ = ["format_table", "format_duration", "banner"]
+
+
+def format_duration(ns: Optional[int]) -> str:
+    """Human-friendly duration: picks ms or s."""
+    if ns is None:
+        return "-"
+    if ns < 1_000_000:
+        return f"{ns / 1_000:.0f}us"
+    if ns < 1_000_000_000:
+        return f"{ns / 1_000_000:.1f}ms"
+    return f"{ns / 1_000_000_000:.3f}s"
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[Any]]) -> str:
+    """Render an aligned ASCII table (the benches print these)."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row]
+                                           for row in rows]
+    widths = [max(len(row[i]) for row in cells)
+              for i in range(len(headers))]
+
+    def render(row: Sequence[str]) -> str:
+        """Render one row with column padding."""
+        return " | ".join(cell.ljust(width)
+                          for cell, width in zip(row, widths))
+
+    separator = "-+-".join("-" * width for width in widths)
+    lines = [render(cells[0]), separator]
+    lines.extend(render(row) for row in cells[1:])
+    return "\n".join(lines)
+
+
+def banner(title: str, width: int = 72) -> str:
+    """Section banner for benchmark output."""
+    pad = max(0, width - len(title) - 2)
+    left = pad // 2
+    right = pad - left
+    return f"{'=' * left} {title} {'=' * right}"

@@ -1,0 +1,47 @@
+"""Simulated network substrate: Ethernet, ARP, IP, ICMP, UDP, serial.
+
+This package is the laptop-scale stand-in for the paper's physical testbed
+(switch, NICs, IP aliasing, static ARP to a multicast Ethernet address,
+null-modem serial cable) — see DESIGN.md for the substitution table.
+"""
+
+from repro.net.addresses import BROADCAST_MAC, IPAddress, MacAddress
+from repro.net.arp import ARP_REPLY, ARP_REQUEST, ArpMessage, ArpTable
+from repro.net.cable import Cable, CableEndpoint
+from repro.net.frame import EtherType, EthernetFrame
+from repro.net.icmp import IcmpLayer, IcmpMessage, Pinger
+from repro.net.ip import Interface, IpStack
+from repro.net.nic import Nic
+from repro.net.packet import IPPacket, IPProtocol
+from repro.net.serial_link import SERIAL_DEFAULT_BAUD, SerialLink, SerialPort
+from repro.net.switch import Switch, SwitchPort
+from repro.net.udp import UdpDatagram, UdpLayer
+
+__all__ = [
+    "ARP_REPLY",
+    "ARP_REQUEST",
+    "BROADCAST_MAC",
+    "ArpMessage",
+    "ArpTable",
+    "Cable",
+    "CableEndpoint",
+    "EtherType",
+    "EthernetFrame",
+    "IcmpLayer",
+    "IcmpMessage",
+    "IPAddress",
+    "IPPacket",
+    "IPProtocol",
+    "Interface",
+    "IpStack",
+    "MacAddress",
+    "Nic",
+    "Pinger",
+    "SERIAL_DEFAULT_BAUD",
+    "SerialLink",
+    "SerialPort",
+    "Switch",
+    "SwitchPort",
+    "UdpDatagram",
+    "UdpLayer",
+]

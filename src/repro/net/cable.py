@@ -1,0 +1,132 @@
+"""Point-to-point Ethernet cables.
+
+A :class:`Cable` joins two :class:`CableEndpoint` implementations (a NIC
+and a switch port, or two NICs back-to-back for a crossover link).  It
+models, per direction:
+
+* serialization delay (frame bits / bandwidth) with FIFO queueing — a
+  second frame offered while the first is still on the wire waits;
+* propagation delay;
+* independent random loss (for the transient-network-failure scenarios of
+  Table 1, row 5);
+* a *cut* state (cable failure, Table 1 row 4).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.net.frame import EthernetFrame
+from repro.sim.world import World
+
+__all__ = ["Cable", "CableEndpoint"]
+
+
+@runtime_checkable
+class CableEndpoint(Protocol):
+    """Anything a cable can plug into."""
+
+    name: str
+
+    def receive_frame(self, frame: EthernetFrame) -> None:
+        """Deliver a frame arriving from the cable."""
+
+
+class Cable:
+    """A full-duplex link with bandwidth, latency, loss and cut semantics."""
+
+    def __init__(self, world: World, a: CableEndpoint, b: CableEndpoint,
+                 bandwidth_bps: int = 100_000_000,
+                 propagation_delay_ns: int = 1_000,
+                 loss_rate: float = 0.0,
+                 name: str = ""):
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self._world = world
+        self._ends = (a, b)
+        self.bandwidth_bps = bandwidth_bps
+        self.propagation_delay_ns = propagation_delay_ns
+        self.loss_rate = loss_rate
+        self.name = name or f"cable:{a.name}<->{b.name}"
+        self._rng = world.rng.stream(f"cable.{self.name}")
+        self._cut = False
+        # Per-direction time at which the transmitter becomes free again.
+        self._tx_free_at = {0: 0, 1: 0}
+        self.frames_delivered = 0
+        self.frames_lost = 0
+        self.bytes_delivered = 0
+
+    # ------------------------------------------------------------- topology
+
+    def other_end(self, endpoint: CableEndpoint) -> CableEndpoint:
+        """The endpoint opposite ``endpoint`` on this cable."""
+        a, b = self._ends
+        if endpoint is a:
+            return b
+        if endpoint is b:
+            return a
+        raise ValueError(f"{endpoint!r} is not attached to {self.name}")
+
+    def _direction(self, sender: CableEndpoint) -> int:
+        if sender is self._ends[0]:
+            return 0
+        if sender is self._ends[1]:
+            return 1
+        raise ValueError(f"{sender!r} is not attached to {self.name}")
+
+    # -------------------------------------------------------------- failure
+
+    @property
+    def is_cut(self) -> bool:
+        """True while the cable is severed."""
+        return self._cut
+
+    def cut(self) -> None:
+        """Sever the cable; all in-flight and future frames are lost."""
+        self._cut = True
+        self._world.trace.record("fault", self.name, "cable cut")
+
+    def repair(self) -> None:
+        """Restore a cut cable."""
+        self._cut = False
+        self._world.trace.record("fault", self.name, "cable repaired")
+
+    # ------------------------------------------------------------- transmit
+
+    def transmit(self, sender: CableEndpoint, frame: EthernetFrame) -> None:
+        """Offer a frame for transmission from ``sender`` toward the far end.
+
+        Never blocks: queueing is expressed as added delay.  Loss and cuts
+        silently drop — exactly what real Ethernet does.
+        """
+        if self._cut:
+            self.frames_lost += 1
+            return
+        direction = self._direction(sender)
+        now = self._world.sim.now
+        start = max(now, self._tx_free_at[direction])
+        tx_time = (frame.size_bytes * 8 * 1_000_000_000) // self.bandwidth_bps
+        self._tx_free_at[direction] = start + tx_time
+        arrival_delay = (start - now) + tx_time + self.propagation_delay_ns
+        if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
+            self.frames_lost += 1
+            self._world.trace.record("eth", self.name, "frame lost",
+                                     size=frame.size_bytes)
+            return
+        receiver = self.other_end(sender)
+        self._world.sim.schedule(arrival_delay, self._deliver, receiver, frame,
+                                 label=f"{self.name}.deliver")
+
+    def _deliver(self, receiver: CableEndpoint, frame: EthernetFrame) -> None:
+        if self._cut:  # cut while the frame was in flight
+            self.frames_lost += 1
+            return
+        self.frames_delivered += 1
+        self.bytes_delivered += frame.size_bytes
+        receiver.receive_frame(frame)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "CUT" if self._cut else "up"
+        return f"<Cable {self.name} {self.bandwidth_bps / 1e6:.0f}Mbps {state}>"

@@ -1,0 +1,60 @@
+"""Ethernet frames.
+
+A frame's payload is a structured Python object (an
+:class:`~repro.net.packet.IPPacket`, an ARP message, ...) rather than
+bytes: the simulator models sizes and timing, not bit layouts.  Every
+payload type therefore exposes ``size_bytes`` so link serialization delays
+are faithful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Protocol, runtime_checkable
+
+from repro.net.addresses import MacAddress
+
+__all__ = ["EtherType", "EthernetFrame", "SizedPayload",
+           "ETHERNET_HEADER_BYTES", "ETHERNET_MIN_FRAME_BYTES"]
+
+# 14-byte header + 4-byte FCS; preamble/IFG are ignored (constant offsets).
+ETHERNET_HEADER_BYTES = 18
+ETHERNET_MIN_FRAME_BYTES = 64
+
+
+@runtime_checkable
+class SizedPayload(Protocol):
+    """Anything that can ride inside a frame or packet."""
+
+    @property
+    def size_bytes(self) -> int:
+        """On-wire size in bytes."""
+
+
+class EtherType:
+    """The two ethertypes the testbed uses."""
+
+    IPV4 = "ipv4"
+    ARP = "arp"
+
+
+@dataclass(frozen=True)
+class EthernetFrame:
+    """An L2 frame: dst/src MAC, ethertype tag, structured payload."""
+
+    dst: MacAddress
+    src: MacAddress
+    ethertype: str
+    payload: Any = field(repr=False)
+
+    @property
+    def size_bytes(self) -> int:
+        """On-wire size, honouring the Ethernet minimum frame size."""
+        payload_size = getattr(self.payload, "size_bytes", None)
+        if payload_size is None:
+            payload_size = len(self.payload)
+        return max(ETHERNET_MIN_FRAME_BYTES, ETHERNET_HEADER_BYTES + payload_size)
+
+    def __str__(self) -> str:
+        return (f"Frame[{self.src} -> {self.dst} {self.ethertype} "
+                f"{self.size_bytes}B]")

@@ -1,0 +1,195 @@
+"""Per-host IPv4 stack: interfaces, aliasing (VNICs), routing, demux.
+
+IP aliasing is how the testbed gives both the primary and the backup the
+shared ``serviceIP`` (paper Figure 2): the address is added as an alias on
+each server's interface, so client packets flooded by the switch are
+accepted and delivered up both servers' stacks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import NetworkError
+from repro.net.addresses import IPAddress
+from repro.net.arp import ArpTable
+from repro.net.frame import EtherType, EthernetFrame
+from repro.net.nic import Nic
+from repro.net.packet import IPPacket
+from repro.sim.world import World
+
+__all__ = ["Interface", "IpStack"]
+
+
+class Interface:
+    """A NIC plus its IP configuration (primary address + aliases)."""
+
+    def __init__(self, world: World, nic: Nic, network: IPAddress,
+                 prefix_len: int):
+        self.nic = nic
+        self.network = network
+        self.prefix_len = prefix_len
+        self.addresses: list[IPAddress] = []
+        self.arp = ArpTable(world, nic, lambda: self.addresses,
+                            name=f"{nic.name}.arp")
+
+    @property
+    def primary_address(self) -> IPAddress:
+        """The interface's machine address (first configured)."""
+        if not self.addresses:
+            raise NetworkError(f"{self.nic.name} has no IP address")
+        return self.addresses[0]
+
+    def add_address(self, ip: IPAddress) -> None:
+        """Add an address; the first one added is the machine address, the
+        rest are aliases (the paper's VNICs created via IP aliasing)."""
+        if ip not in self.addresses:
+            self.addresses.append(ip)
+
+    def remove_address(self, ip: IPAddress) -> None:
+        """Drop an address/alias from the interface."""
+        if ip in self.addresses:
+            self.addresses.remove(ip)
+
+    def on_link(self, ip: IPAddress) -> bool:
+        """True if ``ip`` falls inside this interface's subnet."""
+        return ip.in_subnet(self.network, self.prefix_len)
+
+
+class IpStack:
+    """Routing and protocol demultiplexing for one host.
+
+    Hosts are end systems, not routers: packets addressed to someone else
+    are dropped (counted in :attr:`packets_not_for_us`).
+    """
+
+    def __init__(self, world: World, name: str):
+        self._world = world
+        self.name = name
+        self.interfaces: list[Interface] = []
+        self.default_gateway: Optional[IPAddress] = None
+        self._protocols: dict[str, Callable[[IPPacket], None]] = {}
+        # Optional observer of every accepted inbound packet (metrics hooks).
+        self._packet_taps: list[Callable[[IPPacket], None]] = []
+        # Promiscuous observers: see every IPv4 packet the NIC accepted,
+        # including packets addressed to IPs we do not own (e.g. multicast
+        # -tapped service traffic recorded by the Sec. 4.3 stream logger).
+        self._promiscuous_taps: list[Callable[[IPPacket], None]] = []
+        self.packets_sent = 0
+        self.packets_received = 0
+        self.packets_not_for_us = 0
+        self.packets_unroutable = 0
+
+    # ------------------------------------------------------------- plumbing
+
+    def add_interface(self, nic: Nic, addresses: list[IPAddress],
+                      network: IPAddress, prefix_len: int = 24) -> Interface:
+        """Register a NIC with its address list (first = machine address)."""
+        iface = Interface(self._world, nic, network, prefix_len)
+        for ip in addresses:
+            iface.add_address(ip)
+        self.interfaces.append(iface)
+        return iface
+
+    def register_protocol(self, protocol: str,
+                          handler: Callable[[IPPacket], None]) -> None:
+        """Install the handler for a transport protocol."""
+        self._protocols[protocol] = handler
+
+    def add_packet_tap(self, tap: Callable[[IPPacket], None]) -> None:
+        """Observe every packet accepted by this stack (read-only)."""
+        self._packet_taps.append(tap)
+
+    def add_promiscuous_tap(self, tap: Callable[[IPPacket], None]) -> None:
+        """Observe every IPv4 packet the NIC delivered, owned or not."""
+        self._promiscuous_taps.append(tap)
+
+    def local_addresses(self) -> set[IPAddress]:
+        """Every address owned by any interface."""
+        return {ip for iface in self.interfaces for ip in iface.addresses}
+
+    def owns(self, ip: IPAddress) -> bool:
+        """True if any interface carries ``ip`` (including aliases)."""
+        return any(ip in iface.addresses for iface in self.interfaces)
+
+    # ---------------------------------------------------------------- send
+
+    def send(self, dst: IPAddress, protocol: str, payload: Any,
+             src: Optional[IPAddress] = None) -> None:
+        """Route and transmit one packet.
+
+        Local-delivery shortcut: a packet to one of our own addresses never
+        touches the wire.  Otherwise pick the interface whose subnet covers
+        ``dst`` (or the default-gateway interface), ARP-resolve the next
+        hop, and hand the frame to the NIC.
+        """
+        if self.owns(dst):
+            packet = IPPacket(src or dst, dst, protocol, payload)
+            self._world.sim.call_soon(self._deliver_up, packet,
+                                      label=f"{self.name}.loopback")
+            return
+        iface, next_hop = self._route(dst, src)
+        if iface is None or next_hop is None:
+            self.packets_unroutable += 1
+            self._world.trace.record("ip", self.name, "unroutable",
+                                     dst=str(dst))
+            return
+        src_ip = src if src is not None else iface.primary_address
+        packet = IPPacket(src_ip, dst, protocol, payload)
+        self.packets_sent += 1
+        nic = iface.nic
+        iface.arp.resolve(
+            next_hop,
+            lambda mac: nic.send(
+                EthernetFrame(mac, nic.mac, EtherType.IPV4, packet)))
+
+    def _route(self, dst: IPAddress, src: Optional[IPAddress]
+               ) -> tuple[Optional[Interface], Optional[IPAddress]]:
+        candidates = self.interfaces
+        if src is not None:
+            owning = [i for i in candidates if src in i.addresses]
+            if owning:
+                candidates = owning
+        for iface in candidates:
+            if iface.on_link(dst) and iface.nic.is_up:
+                return iface, dst
+        if self.default_gateway is not None:
+            for iface in candidates:
+                if iface.on_link(self.default_gateway) and iface.nic.is_up:
+                    return iface, self.default_gateway
+        return None, None
+
+    # ------------------------------------------------------------- receive
+
+    def receive_frame(self, frame: EthernetFrame, iface: Interface) -> None:
+        """Entry point wired to the NIC (possibly via the host CPU model)."""
+        if frame.ethertype == EtherType.ARP:
+            iface.arp.handle_frame(frame)
+            return
+        if frame.ethertype != EtherType.IPV4:
+            return
+        packet = frame.payload
+        if not isinstance(packet, IPPacket):
+            return
+        for tap in self._promiscuous_taps:
+            tap(packet)
+        if not self.owns(packet.dst):
+            # Not ours (unicast to someone else, or multicast-tapped
+            # traffic for an IP we merely observe): count and drop.
+            self.packets_not_for_us += 1
+            return
+        self._deliver_up(packet)
+
+    def _deliver_up(self, packet: IPPacket) -> None:
+        self.packets_received += 1
+        for tap in self._packet_taps:
+            tap(packet)
+        handler = self._protocols.get(packet.protocol)
+        if handler is None:
+            self._world.trace.record("ip", self.name, "no protocol handler",
+                                     protocol=packet.protocol)
+            return
+        handler(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<IpStack {self.name} ifaces={len(self.interfaces)}>"

@@ -1,0 +1,120 @@
+"""Network interface cards.
+
+A NIC filters inbound frames (own MAC, broadcast, subscribed multicast
+groups, or promiscuous), counts traffic, and supports the failure mode of
+Table 1 row 4: a failed NIC neither sends nor receives, while the host and
+its serial port stay alive.
+
+The multicast subscription is the heart of the ST-TCP testbed: both the
+primary and the backup subscribe their NIC to ``multiEA`` so the switch's
+flood of client→serviceIP frames reaches both servers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.addresses import MacAddress
+from repro.net.cable import Cable
+from repro.net.frame import EthernetFrame
+from repro.sim.world import World
+
+__all__ = ["Nic"]
+
+
+class Nic:
+    """A single Ethernet interface attached to a host."""
+
+    def __init__(self, world: World, name: str, mac: MacAddress):
+        self._world = world
+        self.name = name
+        self.mac = mac
+        self.multicast_groups: set[MacAddress] = set()
+        self.promiscuous = False
+        self._cable: Optional[Cable] = None
+        self._failed = False
+        # Host power gate: a powered-off machine neither sends nor
+        # receives, regardless of NIC health.  Installed by the host.
+        self.power_gate: Callable[[], bool] = lambda: True
+        # Installed by the host's IP layer.
+        self._upper: Optional[Callable[[EthernetFrame], None]] = None
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.frames_filtered = 0
+
+    # -------------------------------------------------------------- wiring
+
+    def attach_cable(self, cable: Cable) -> None:
+        """Plug the NIC into a cable (once)."""
+        if self._cable is not None:
+            raise ValueError(f"{self.name} already has a cable attached")
+        self._cable = cable
+
+    def set_upper(self, handler: Callable[[EthernetFrame], None]) -> None:
+        """Install the L3 handler that receives accepted frames."""
+        self._upper = handler
+
+    def join_multicast(self, group: MacAddress) -> None:
+        """Subscribe to a multicast Ethernet address (e.g. multiEA)."""
+        if not group.is_multicast:
+            raise ValueError(f"{group} is not a multicast MAC address")
+        self.multicast_groups.add(group)
+
+    def leave_multicast(self, group: MacAddress) -> None:
+        """Unsubscribe from a multicast group."""
+        self.multicast_groups.discard(group)
+
+    # ------------------------------------------------------------- failure
+
+    @property
+    def is_up(self) -> bool:
+        """True unless a NIC failure was injected."""
+        return not self._failed
+
+    def fail(self) -> None:
+        """Inject a NIC failure: the card goes deaf and mute."""
+        if not self._failed:
+            self._failed = True
+            self._world.trace.record("fault", self.name, "NIC failed")
+
+    def repair(self) -> None:
+        """Clear an injected NIC failure."""
+        if self._failed:
+            self._failed = False
+            self._world.trace.record("fault", self.name, "NIC repaired")
+
+    # ---------------------------------------------------------------- data
+
+    def send(self, frame: EthernetFrame) -> None:
+        """Transmit a frame; silently dropped if the NIC is failed/unplugged
+        or the host is powered off."""
+        if self._failed or self._cable is None or not self.power_gate():
+            return
+        self.frames_sent += 1
+        self.bytes_sent += frame.size_bytes
+        self._cable.transmit(self, frame)
+
+    def receive_frame(self, frame: EthernetFrame) -> None:
+        """Cable-side entry point (CableEndpoint protocol)."""
+        if self._failed or not self.power_gate():
+            return
+        if not self._accepts(frame.dst):
+            self.frames_filtered += 1
+            return
+        self.frames_received += 1
+        self.bytes_received += frame.size_bytes
+        if self._upper is not None:
+            self._upper(frame)
+
+    def _accepts(self, dst: MacAddress) -> bool:
+        if self.promiscuous:
+            return True
+        if dst == self.mac or dst.is_broadcast:
+            return True
+        return dst in self.multicast_groups
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "FAILED" if self._failed else "up"
+        return f"<Nic {self.name} {self.mac} {state}>"

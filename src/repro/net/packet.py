@@ -1,0 +1,52 @@
+"""IPv4 packets and the transport-protocol tags they carry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.net.addresses import IPAddress
+
+__all__ = ["IPProtocol", "IPPacket", "IP_HEADER_BYTES"]
+
+IP_HEADER_BYTES = 20
+
+
+class IPProtocol:
+    """Transport protocols the simulated stack demultiplexes."""
+
+    TCP = "tcp"
+    UDP = "udp"
+    ICMP = "icmp"
+
+
+@dataclass(frozen=True)
+class IPPacket:
+    """An IPv4 packet with a structured transport payload.
+
+    ``ttl`` exists so a routing loop in a buggy scenario terminates instead
+    of looping forever; the flat Figure-2 LAN never decrements it below 63.
+    """
+
+    src: IPAddress
+    dst: IPAddress
+    protocol: str
+    payload: Any = field(repr=False)
+    ttl: int = 64
+
+    @property
+    def size_bytes(self) -> int:
+        """On-wire packet size (IP header + payload)."""
+        payload_size = getattr(self.payload, "size_bytes", None)
+        if payload_size is None:
+            payload_size = len(self.payload)
+        return IP_HEADER_BYTES + payload_size
+
+    def decremented(self) -> "IPPacket":
+        """Copy with TTL reduced by one (used when forwarding)."""
+        return IPPacket(self.src, self.dst, self.protocol, self.payload,
+                        self.ttl - 1)
+
+    def __str__(self) -> str:
+        return (f"IP[{self.src} -> {self.dst} {self.protocol} "
+                f"{self.size_bytes}B ttl={self.ttl}]")

@@ -1,0 +1,110 @@
+"""A learning Ethernet switch.
+
+Forwarding rules (exactly what the ST-TCP testbed relies on):
+
+* unicast to a learned MAC → forward out that port only;
+* unicast to an unknown MAC → flood;
+* multicast / broadcast destination → flood to every port except ingress.
+
+Because the client's static ARP entry maps ``serviceIP`` to a *multicast*
+Ethernet address, every client→server frame is flooded and thus received
+by both the primary's and the backup's NIC (Figure 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.addresses import MacAddress
+from repro.net.cable import Cable
+from repro.net.frame import EthernetFrame
+from repro.sim.world import World
+
+__all__ = ["Switch", "SwitchPort"]
+
+
+class SwitchPort:
+    """One port of a switch — a cable endpoint that hands frames inward."""
+
+    def __init__(self, switch: "Switch", index: int):
+        self.switch = switch
+        self.index = index
+        self.name = f"{switch.name}.p{index}"
+        self.cable: Optional[Cable] = None
+
+    def receive_frame(self, frame: EthernetFrame) -> None:
+        """Cable-side entry: hand the frame to the switch fabric."""
+        self.switch._ingress(self, frame)
+
+    def transmit(self, frame: EthernetFrame) -> None:
+        """Send a frame out of this port's cable."""
+        if self.cable is not None:
+            self.cable.transmit(self, frame)
+
+
+class Switch:
+    """A store-and-forward learning switch with a fixed forwarding latency."""
+
+    def __init__(self, world: World, name: str = "switch",
+                 forwarding_delay_ns: int = 2_000):
+        self._world = world
+        self.name = name
+        self.forwarding_delay_ns = forwarding_delay_ns
+        self.ports: list[SwitchPort] = []
+        self._mac_table: dict[MacAddress, SwitchPort] = {}
+        # SPAN/mirror port: receives a copy of every forwarded unicast
+        # frame.  Used by the old-architecture ablation, where the backup
+        # also taps the primary->client traffic (paper Sec. 3).
+        self._mirror_port: Optional[SwitchPort] = None
+        self.frames_forwarded = 0
+        self.frames_flooded = 0
+        self.frames_mirrored = 0
+
+    def new_port(self) -> SwitchPort:
+        """Allocate a fresh port (call before cabling a device to it)."""
+        port = SwitchPort(self, len(self.ports))
+        self.ports.append(port)
+        return port
+
+    @property
+    def mac_table(self) -> dict[MacAddress, SwitchPort]:
+        """Read-only view of what the switch has learned (for tests)."""
+        return dict(self._mac_table)
+
+    def set_mirror_port(self, port: Optional[SwitchPort]) -> None:
+        """Mirror all forwarded unicast traffic to ``port`` (SPAN)."""
+        self._mirror_port = port
+
+    def _ingress(self, port: SwitchPort, frame: EthernetFrame) -> None:
+        # Learn the source unless it is (bogusly) multicast.
+        if not frame.src.is_multicast:
+            self._mac_table[frame.src] = port
+        self._world.sim.schedule(self.forwarding_delay_ns, self._forward,
+                                 port, frame, label=f"{self.name}.fwd")
+
+    def _forward(self, ingress: SwitchPort, frame: EthernetFrame) -> None:
+        dst = frame.dst
+        if not dst.is_multicast:
+            learned = self._mac_table.get(dst)
+            if learned is not None and learned is not ingress:
+                self.frames_forwarded += 1
+                self._world.trace.record("eth", self.name, "forward",
+                                         dst=str(dst), port=learned.index)
+                learned.transmit(frame)
+                if (self._mirror_port is not None
+                        and self._mirror_port is not learned
+                        and self._mirror_port is not ingress):
+                    self.frames_mirrored += 1
+                    self._mirror_port.transmit(frame)
+                return
+            if learned is ingress:
+                return  # destination is on the ingress segment; drop
+        # Multicast, broadcast, or unknown unicast: flood.
+        self.frames_flooded += 1
+        self._world.trace.record("eth", self.name, "flood", dst=str(dst))
+        for port in self.ports:
+            if port is not ingress:
+                port.transmit(frame)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Switch {self.name} ports={len(self.ports)}>"

@@ -1,0 +1,79 @@
+"""Minimal UDP: just enough to carry the ST-TCP heartbeat over the IP link."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.errors import PortInUseError
+from repro.net.addresses import IPAddress
+from repro.net.packet import IPPacket, IPProtocol
+from repro.sim.world import World
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.ip import IpStack
+
+__all__ = ["UdpDatagram", "UdpLayer"]
+
+_UDP_HEADER_BYTES = 8
+
+
+@dataclass(frozen=True)
+class UdpDatagram:
+    """A UDP datagram carrying a structured payload."""
+
+    src_port: int
+    dst_port: int
+    payload: Any = field(repr=False)
+
+    @property
+    def size_bytes(self) -> int:
+        """On-wire datagram size (UDP header + payload)."""
+        payload_size = getattr(self.payload, "size_bytes", None)
+        if payload_size is None:
+            payload_size = len(self.payload)
+        return _UDP_HEADER_BYTES + payload_size
+
+
+class UdpLayer:
+    """Per-host UDP demultiplexer."""
+
+    def __init__(self, world: World, ip_stack: "IpStack", name: str = "udp"):
+        self._world = world
+        self._ip = ip_stack
+        self.name = name
+        # handler(payload, src_ip, src_port)
+        self._bindings: dict[int, Callable[[Any, IPAddress, int], None]] = {}
+        self.datagrams_sent = 0
+        self.datagrams_received = 0
+        self.datagrams_dropped = 0
+
+    def bind(self, port: int,
+             handler: Callable[[Any, IPAddress, int], None]) -> None:
+        """Attach ``handler`` to a local UDP port."""
+        if port in self._bindings:
+            raise PortInUseError(f"UDP port {port} already bound on {self.name}")
+        self._bindings[port] = handler
+
+    def unbind(self, port: int) -> None:
+        """Release a bound port."""
+        self._bindings.pop(port, None)
+
+    def send(self, dst_ip: IPAddress, dst_port: int, src_port: int,
+             payload: Any, src_ip: Optional[IPAddress] = None) -> None:
+        """Fire-and-forget datagram."""
+        datagram = UdpDatagram(src_port, dst_port, payload)
+        self.datagrams_sent += 1
+        self._ip.send(dst_ip, IPProtocol.UDP, datagram, src=src_ip)
+
+    def handle_packet(self, packet: IPPacket) -> None:
+        """Demultiplex an inbound UDP packet to its binding."""
+        datagram = packet.payload
+        if not isinstance(datagram, UdpDatagram):
+            return
+        handler = self._bindings.get(datagram.dst_port)
+        if handler is None:
+            self.datagrams_dropped += 1
+            return
+        self.datagrams_received += 1
+        handler(datagram.payload, packet.src, datagram.src_port)

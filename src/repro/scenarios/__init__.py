@@ -1,0 +1,28 @@
+"""Scenario construction: the Figure-2 testbed, canned experiment runners,
+and the non-ST-TCP baselines."""
+
+from repro.scenarios.baselines import ReconnectingStreamClient
+from repro.scenarios.builder import (
+    DEFAULT_TRACE_CATEGORIES,
+    Addresses,
+    Testbed,
+    build_testbed,
+)
+from repro.scenarios.runner import (
+    BaselineResult,
+    FailoverResult,
+    run_baseline_failover,
+    run_failover_experiment,
+)
+
+__all__ = [
+    "Addresses",
+    "BaselineResult",
+    "DEFAULT_TRACE_CATEGORIES",
+    "FailoverResult",
+    "ReconnectingStreamClient",
+    "Testbed",
+    "build_testbed",
+    "run_baseline_failover",
+    "run_failover_experiment",
+]

@@ -1,0 +1,152 @@
+"""Baselines for Demo 1 and Demo 3.
+
+The paper's Demo 1 explicitly contrasts ST-TCP with the state of the art:
+"in the absence of ST-TCP, even if a hot backup is available, the failure
+of the server would lead to a disruption in the service and the client
+would have to re-connect".  :class:`ReconnectingStreamClient` implements
+that client: an application-level liveness timeout, a reconnect to the
+standby's address, and an application-level resume (re-requesting the
+remainder) — everything ST-TCP makes unnecessary.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.addresses import IPAddress
+from repro.sim.timers import PeriodicTimer
+from repro.tcp.sockets import Socket
+from repro.host.app import Application
+from repro.host.host import Host
+from repro.apps.base import verify_pattern
+
+__all__ = ["ReconnectingStreamClient"]
+
+
+class ReconnectingStreamClient(Application):
+    """A client for a *non*-fault-tolerant hot-standby deployment.
+
+    Talks the same ``GET <n>\\n`` protocol as
+    :class:`~repro.apps.streaming.StreamClient`, but watches for service
+    silence itself: after ``liveness_timeout_ns`` without data it aborts
+    the connection and reconnects to the next address in ``addresses``,
+    re-requesting the remaining bytes (the application-level resume a
+    pre-ST-TCP deployment needs).
+
+    Note the inherent costs ST-TCP removes, all measurable here:
+
+    * the client must *implement* failover (extra application logic);
+    * detection costs a full application timeout (seconds, conservative);
+    * the response stream restarts at a connection boundary — payload
+      verification must be offset-aware across connections.
+    """
+
+    def __init__(self, host: Host, name: str,
+                 addresses: list["IPAddress | str"], port: int = 80,
+                 total_bytes: int = 1_000_000,
+                 liveness_timeout_ns: int = 2_000_000_000,
+                 monitor=None,
+                 on_complete: Optional[Callable[[], None]] = None):
+        super().__init__(host, name)
+        self.addresses = [IPAddress(a) for a in addresses]
+        self.port = port
+        self.total_bytes = total_bytes
+        self.liveness_timeout_ns = liveness_timeout_ns
+        self.monitor = monitor
+        self.on_complete = on_complete
+        self.sock: Optional[Socket] = None
+        self.received = 0            # verified bytes across all connections
+        self.corrupt_at: Optional[int] = None
+        self.completed_at: Optional[int] = None
+        self.reconnect_count = 0
+        self.reset_count = 0
+        self._address_index = 0
+        self._conn_received = 0      # bytes on the current connection
+        self._last_data_at = 0
+        self._watchdog: Optional[PeriodicTimer] = None
+        self._connecting = False
+
+    # ------------------------------------------------------------ lifecycle
+
+    def on_start(self) -> None:
+        """Arm the liveness watchdog and open the first connection."""
+        self._last_data_at = self.world.sim.now
+        self._watchdog = self.every(self.liveness_timeout_ns // 4,
+                                    self._check_liveness)
+        self._connect()
+
+    def _connect(self) -> None:
+        address = self.addresses[self._address_index % len(self.addresses)]
+        self._connecting = True
+        self._conn_received = 0
+        self.sock = self.track_socket(
+            self.host.tcp.connect(address, self.port))
+        self.sock.on_connected = self.guard_callback(self._on_connected)
+        self.sock.on_data = self.guard_callback(self._on_data)
+        self.sock.on_reset = self.guard_callback(self._on_reset)
+        if self.monitor is not None:
+            self.monitor.note_event("connect-attempt")
+
+    def _on_connected(self, sock: Socket) -> None:
+        self._connecting = False
+        self._last_data_at = self.world.sim.now
+        if self.monitor is not None:
+            self.monitor.note_event("connected")
+        remaining = self.total_bytes - self.received
+        if remaining > 0:
+            sock.send(b"GET %d\n" % remaining)
+
+    # ------------------------------------------------------------- data path
+
+    def _on_data(self, sock: Socket) -> None:
+        data = sock.read()
+        if not data:
+            return
+        self._last_data_at = self.world.sim.now
+        # The standby's response stream restarts at offset 0 of *its*
+        # connection; globally we verify against the resumed position.
+        bad = verify_pattern(self._conn_received, data)
+        if bad >= 0 and self.corrupt_at is None:
+            self.corrupt_at = self.received + bad
+        self._conn_received += len(data)
+        self.received += len(data)
+        if self.monitor is not None:
+            self.monitor.on_bytes(len(data))
+        if self.received >= self.total_bytes and self.completed_at is None:
+            self.completed_at = self.world.sim.now
+            if self._watchdog is not None:
+                self._watchdog.stop()
+            if self.monitor is not None:
+                self.monitor.note_event("complete")
+            if sock.is_open:
+                sock.close()
+            if self.on_complete is not None:
+                self.on_complete()
+
+    def _on_reset(self, sock: Socket, reason: str) -> None:
+        self.reset_count += 1
+        if self.monitor is not None:
+            self.monitor.note_event("reset")
+        self._failover()
+
+    def _check_liveness(self) -> None:
+        if self.completed_at is not None:
+            return
+        if (self.world.sim.now - self._last_data_at
+                >= self.liveness_timeout_ns):
+            if self.monitor is not None:
+                self.monitor.note_event("liveness-timeout")
+            self._failover()
+
+    def _failover(self) -> None:
+        """Application-level failover: abort, move to the standby, resume."""
+        if self.completed_at is not None:
+            return
+        if self.sock is not None and self.sock.is_open:
+            self.sock.abort()
+        self.reconnect_count += 1
+        self._address_index += 1
+        self._last_data_at = self.world.sim.now
+        if self.monitor is not None:
+            self.monitor.note_event("reconnect")
+        self._connect()

@@ -1,0 +1,230 @@
+"""Constructs the paper's experimental setup (Figure 2), exactly:
+
+* an Ethernet switch connecting client, primary and backup;
+* the client doubling as the gateway (paper: "the client in this case");
+* virtual NICs via IP aliasing carrying the shared ``serviceIP``;
+* a static ARP entry on the client mapping ``serviceIP`` to the multicast
+  Ethernet address ``multiEA``, so the switch floods every client→server
+  frame to both servers;
+* a null-modem serial cable between the servers for the secondary HB link;
+* a shared power strip (STONITH) reaching both servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.addresses import IPAddress, MacAddress
+from repro.net.cable import Cable
+from repro.net.nic import Nic
+from repro.net.serial_link import SerialLink
+from repro.net.switch import Switch, SwitchPort
+from repro.sim.core import NS_PER_S
+from repro.sim.world import World
+from repro.tcp.connection import TcpConfig
+from repro.host.host import Host
+from repro.host.power import PowerStrip
+from repro.faults.injector import FaultInjector
+from repro.sttcp.config import SttcpConfig
+from repro.sttcp.manager import SttcpPair
+
+__all__ = ["Testbed", "Addresses", "build_testbed", "DEFAULT_TRACE_CATEGORIES"]
+
+# Tight enough for long benchmarks, rich enough to debug failures.
+DEFAULT_TRACE_CATEGORIES = {"fault", "power", "detect", "sttcp", "app"}
+
+
+@dataclass(frozen=True)
+class Addresses:
+    """The Figure-2 address plan."""
+
+    client_ip: IPAddress = field(default_factory=lambda: IPAddress("10.0.0.1"))
+    primary_ip: IPAddress = field(default_factory=lambda: IPAddress("10.0.0.2"))
+    backup_ip: IPAddress = field(default_factory=lambda: IPAddress("10.0.0.3"))
+    service_ip: IPAddress = field(
+        default_factory=lambda: IPAddress("10.0.0.100"))
+    network: IPAddress = field(default_factory=lambda: IPAddress("10.0.0.0"))
+    client_mac: MacAddress = field(
+        default_factory=lambda: MacAddress("02:00:00:00:00:01"))
+    primary_mac: MacAddress = field(
+        default_factory=lambda: MacAddress("02:00:00:00:00:02"))
+    backup_mac: MacAddress = field(
+        default_factory=lambda: MacAddress("02:00:00:00:00:03"))
+    # Group bit set in the first octet: a true multicast Ethernet address.
+    multi_ea: MacAddress = field(
+        default_factory=lambda: MacAddress("03:00:5e:00:00:64"))
+
+
+class Testbed:
+    """Everything the experiments touch, by name."""
+
+    def __init__(self, world: World, addresses: Addresses, switch: Switch,
+                 client: Host, primary: Host, backup: Host,
+                 cables: dict[str, Cable],
+                 serial_link: Optional[SerialLink],
+                 power_strip: PowerStrip,
+                 pair: Optional[SttcpPair],
+                 injector: FaultInjector):
+        self.world = world
+        self.addresses = addresses
+        self.switch = switch
+        self.client = client
+        self.primary = primary
+        self.backup = backup
+        self.cables = cables
+        self.serial_link = serial_link
+        self.power_strip = power_strip
+        self.pair = pair
+        self.inject = injector
+
+    # Convenience aliases used throughout tests and benches.
+    @property
+    def service_ip(self) -> IPAddress:
+        """The shared serviceIP clients connect to."""
+        return self.addresses.service_ip
+
+    @property
+    def client_cable(self) -> Cable:
+        """The client's cable to the switch."""
+        return self.cables["client"]
+
+    @property
+    def primary_cable(self) -> Cable:
+        """The primary's cable to the switch."""
+        return self.cables["primary"]
+
+    @property
+    def backup_cable(self) -> Cable:
+        """The backup's cable to the switch."""
+        return self.cables["backup"]
+
+    def add_logger(self, ip: str = "10.0.0.4",
+                   mac: str = "02:00:00:00:00:04"):
+        """Attach the Sec. 4.3 stream logger: a fourth machine on the
+        switch, subscribed to multiEA, passively recording the client
+        byte stream and serving fetch fallbacks.  Also points the backup
+        engine at it.  Returns ``(host, StreamLogger)``."""
+        from repro.sttcp.logger import LOGGER_UDP_PORT, StreamLogger
+
+        host = Host(self.world, "logger")
+        nic = host.add_nic(mac, [ip], self.addresses.network)
+        nic.join_multicast(self.addresses.multi_ea)
+        port = self.switch.new_port()
+        cable = Cable(self.world, nic, port)
+        nic.attach_cable(cable)
+        port.cable = cable
+        self.cables["logger"] = cable
+        self.power_strip.register(host)
+        service_port = (self.pair.config.service_port
+                        if self.pair is not None else 80)
+        logger = StreamLogger(host, self.addresses.service_ip, service_port)
+        if self.pair is not None:
+            self.pair.backup.use_logger(ip, LOGGER_UDP_PORT)
+        return host, logger
+
+    def run_for(self, seconds: float) -> int:
+        """Advance virtual time by ``seconds``."""
+        return self.world.run_for(round(seconds * NS_PER_S))
+
+    def run_until(self, seconds: float) -> int:
+        """Run the world to absolute virtual time ``seconds``."""
+        return self.world.run(until=round(seconds * NS_PER_S))
+
+
+def _cable_to_switch(world: World, nic: Nic, switch: Switch,
+                     bandwidth_bps: int, delay_ns: int) -> tuple[Cable, SwitchPort]:
+    port = switch.new_port()
+    cable = Cable(world, nic, port, bandwidth_bps=bandwidth_bps,
+                  propagation_delay_ns=delay_ns)
+    nic.attach_cable(cable)
+    port.cable = cable
+    return cable, port
+
+
+def build_testbed(seed: int = 0,
+                  config: Optional[SttcpConfig] = None,
+                  tcp_config: Optional[TcpConfig] = None,
+                  enable_sttcp: bool = True,
+                  bandwidth_bps: int = 100_000_000,
+                  propagation_delay_ns: int = 1_000,
+                  backup_frame_cost_ns: int = 0,
+                  primary_frame_cost_ns: int = 0,
+                  mirror_to_backup: bool = False,
+                  trace_categories: Optional[set[str]] = DEFAULT_TRACE_CATEGORIES,
+                  addresses: Optional[Addresses] = None) -> Testbed:
+    """Build Figure 2.  Apps and faults are added by the caller.
+
+    ``enable_sttcp=False`` produces the same physical topology without the
+    ST-TCP pair — the non-fault-tolerant baseline of Demo 1/3.
+    ``mirror_to_backup=True`` (old architecture, ablation A1) mirrors all
+    forwarded unicast traffic to the backup's switch port and puts its NIC
+    in promiscuous mode, so the backup also processes the primary→client
+    stream; combine with ``backup_frame_cost_ns`` to reproduce the
+    overload the paper describes in Sec. 3.
+    """
+    addrs = addresses or Addresses()
+    world = World(seed=seed, trace_categories=trace_categories)
+    switch = Switch(world)
+    config = config or SttcpConfig()
+
+    client = Host(world, "client", tcp_config=tcp_config)
+    primary = Host(world, "primary", tcp_config=tcp_config,
+                   frame_processing_cost_ns=primary_frame_cost_ns)
+    backup = Host(world, "backup", tcp_config=tcp_config,
+                  frame_processing_cost_ns=backup_frame_cost_ns)
+
+    client_nic = client.add_nic(addrs.client_mac, [addrs.client_ip],
+                                addrs.network)
+    primary_nic = primary.add_nic(addrs.primary_mac,
+                                  [addrs.primary_ip, addrs.service_ip],
+                                  addrs.network)
+    backup_nic = backup.add_nic(addrs.backup_mac,
+                                [addrs.backup_ip, addrs.service_ip],
+                                addrs.network)
+    # Both servers subscribe to the multicast Ethernet address so the
+    # flooded client traffic reaches them both.
+    primary_nic.join_multicast(addrs.multi_ea)
+    backup_nic.join_multicast(addrs.multi_ea)
+
+    cables: dict[str, Cable] = {}
+    ports: dict[str, SwitchPort] = {}
+    for name, nic in (("client", client_nic), ("primary", primary_nic),
+                      ("backup", backup_nic)):
+        cables[name], ports[name] = _cable_to_switch(
+            world, nic, switch, bandwidth_bps, propagation_delay_ns)
+
+    # The client is the gateway; its static ARP entry aims serviceIP at the
+    # multicast address (the heart of the Figure-2 trick).
+    client.interfaces[0].arp.add_static(addrs.service_ip, addrs.multi_ea)
+    for host in (primary, backup):
+        host.set_default_gateway(addrs.client_ip)
+
+    if mirror_to_backup:
+        switch.set_mirror_port(ports["backup"])
+        backup_nic.promiscuous = True
+
+    power_strip = PowerStrip(world)
+    for host in (client, primary, backup):
+        power_strip.register(host)
+
+    serial_link: Optional[SerialLink] = None
+    pair: Optional[SttcpPair] = None
+    if enable_sttcp:
+        primary_serial = primary.add_serial_port()
+        backup_serial = backup.add_serial_port()
+        if config.use_serial_hb:
+            serial_link = SerialLink(world, primary_serial, backup_serial)
+        pair = SttcpPair(world, primary, backup,
+                         primary_ip=addrs.primary_ip,
+                         backup_ip=addrs.backup_ip,
+                         service_ip=addrs.service_ip,
+                         gateway_ip=addrs.client_ip,
+                         power_strip=power_strip, config=config,
+                         serial_link=serial_link,
+                         primary_serial=primary_serial,
+                         backup_serial=backup_serial)
+
+    injector = FaultInjector(world)
+    return Testbed(world, addrs, switch, client, primary, backup, cables,
+                   serial_link, power_strip, pair, injector)

@@ -1,0 +1,128 @@
+"""Canned experiment runners — one call per paper demo.
+
+Each runner builds the Figure-2 testbed, wires the workload, injects the
+scenario's fault, runs to quiescence, and returns a structured result the
+tests and benchmarks share.  Keeping these here means a benchmark, a test
+and an example all measure *the same* experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.sim.core import NS_PER_S, seconds
+from repro.apps.streaming import StreamClient, StreamServer
+from repro.faults.faults import Fault
+from repro.metrics.monitor import ClientStreamMonitor
+from repro.metrics.timeline import FailoverTimeline, build_timeline
+from repro.scenarios.baselines import ReconnectingStreamClient
+from repro.scenarios.builder import Testbed, build_testbed
+from repro.sttcp.config import SttcpConfig
+
+__all__ = ["FailoverResult", "run_failover_experiment",
+           "run_baseline_failover", "BaselineResult"]
+
+
+@dataclass
+class FailoverResult:
+    """Everything a failover experiment produces."""
+
+    testbed: Testbed
+    client: StreamClient
+    monitor: ClientStreamMonitor
+    timeline: FailoverTimeline
+    fault_description: str
+
+    @property
+    def stream_intact(self) -> bool:
+        """The headline ST-TCP property: every byte arrived exactly once,
+        in order, uncorrupted, with no connection reset."""
+        return (self.client.received == self.client.total_bytes
+                and self.client.corrupt_at is None
+                and self.client.reset_count == 0)
+
+    @property
+    def glitch_ns(self) -> Optional[int]:
+        """Client-visible service interruption around the fault."""
+        if self.timeline.fault_at is None:
+            return None
+        stall = self.monitor.largest_gap_after(self.timeline.fault_at)
+        return stall[2] if stall else None
+
+
+def run_failover_experiment(
+        make_fault: Callable[[Testbed, StreamServer, StreamServer], Fault],
+        total_bytes: int = 50_000_000,
+        fault_at_s: float = 2.0,
+        run_until_s: float = 60.0,
+        seed: int = 3,
+        config: Optional[SttcpConfig] = None,
+        request_chunk: int = 0,
+        **build_kwargs) -> FailoverResult:
+    """The canonical Demo 1/2/4/5 shape: stream data, break something,
+    verify the client never notices more than a glitch."""
+    tb = build_testbed(seed=seed, config=config, **build_kwargs)
+    server_primary = StreamServer(tb.primary, "server-primary", port=80)
+    server_backup = StreamServer(tb.backup, "server-backup", port=80)
+    server_primary.start()
+    server_backup.start()
+    tb.pair.start()
+    monitor = ClientStreamMonitor(tb.world)
+    client = StreamClient(tb.client, "client", tb.service_ip, port=80,
+                          total_bytes=total_bytes, monitor=monitor,
+                          request_chunk=request_chunk)
+    client.start()
+    fault = make_fault(tb, server_primary, server_backup)
+    fault_at = seconds(fault_at_s)
+    tb.inject.at(fault_at, fault)
+    tb.run_until(run_until_s)
+    timeline = build_timeline(fault_at, tb.pair.backup.events,
+                              tb.pair.primary.events, monitor)
+    return FailoverResult(tb, client, monitor, timeline, fault.description)
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of the no-ST-TCP hot-standby baseline."""
+
+    testbed: Testbed
+    client: ReconnectingStreamClient
+    monitor: ClientStreamMonitor
+    fault_at: int
+
+    @property
+    def disruption_ns(self) -> Optional[int]:
+        """Client-visible outage around the fault (largest stall)."""
+        stall = self.monitor.largest_gap_after(self.fault_at)
+        return stall[2] if stall else None
+
+
+def run_baseline_failover(total_bytes: int = 50_000_000,
+                          fault_at_s: float = 2.0,
+                          run_until_s: float = 60.0,
+                          seed: int = 3,
+                          liveness_timeout_s: float = 2.0,
+                          **build_kwargs) -> BaselineResult:
+    """Demo 1's counterfactual: hot standby, no ST-TCP.
+
+    The standby runs the same server app on its own address; the client
+    must detect the outage itself (application timeout), reconnect, and
+    re-request.  The fault is a HW crash of the primary."""
+    from repro.faults.faults import HwCrash
+
+    tb = build_testbed(seed=seed, enable_sttcp=False, **build_kwargs)
+    StreamServer(tb.primary, "server-primary", port=80).start()
+    StreamServer(tb.backup, "server-backup", port=80).start()
+    monitor = ClientStreamMonitor(tb.world)
+    client = ReconnectingStreamClient(
+        tb.client, "client",
+        addresses=[tb.addresses.primary_ip, tb.addresses.backup_ip],
+        port=80, total_bytes=total_bytes,
+        liveness_timeout_ns=round(liveness_timeout_s * NS_PER_S),
+        monitor=monitor)
+    client.start()
+    fault_at = seconds(fault_at_s)
+    tb.inject.at(fault_at, HwCrash(tb.primary))
+    tb.run_until(run_until_s)
+    return BaselineResult(tb, client, monitor, fault_at)

@@ -1,0 +1,231 @@
+"""Discrete-event simulation kernel.
+
+The whole reproduction runs on a single-threaded, deterministic event loop
+with an integer-nanosecond virtual clock.  Components schedule callbacks;
+the kernel executes them in (time, insertion-order) order, so two runs with
+the same seed produce byte-identical traces.
+
+Design notes
+------------
+* Time is ``int`` nanoseconds.  Helpers :data:`NS_PER_US`, :data:`NS_PER_MS`
+  and :data:`NS_PER_S` (plus :func:`seconds`, :func:`millis`, :func:`micros`)
+  convert human units without floating-point drift.
+* :meth:`Simulator.schedule` returns an :class:`EventHandle` that can be
+  cancelled; cancellation is O(1) (lazy deletion from the heap).
+* The kernel never catches exceptions raised by callbacks: a bug in a
+  protocol implementation should fail the test loudly, not be swallowed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "NS_PER_US",
+    "NS_PER_MS",
+    "NS_PER_S",
+    "seconds",
+    "millis",
+    "micros",
+    "EventHandle",
+    "Simulator",
+]
+
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+NS_PER_S = 1_000_000_000
+
+
+def seconds(value: float) -> int:
+    """Convert seconds to integer nanoseconds (rounded to nearest ns)."""
+    return round(value * NS_PER_S)
+
+
+def millis(value: float) -> int:
+    """Convert milliseconds to integer nanoseconds (rounded to nearest ns)."""
+    return round(value * NS_PER_MS)
+
+
+def micros(value: float) -> int:
+    """Convert microseconds to integer nanoseconds (rounded to nearest ns)."""
+    return round(value * NS_PER_US)
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled callback.
+
+    Handles are returned by :meth:`Simulator.schedule` /
+    :meth:`Simulator.schedule_at`.  Calling :meth:`cancel` guarantees the
+    callback will not run; cancelling an already-fired or already-cancelled
+    handle is a harmless no-op.
+    """
+
+    __slots__ = ("time", "callback", "args", "_cancelled", "_fired", "label")
+
+    def __init__(self, time: int, callback: Callable[..., Any],
+                 args: tuple, label: str = ""):
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.label = label
+        self._cancelled = False
+        self._fired = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """True once cancel() was called."""
+        return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        """True once the callback has executed."""
+        return self._fired
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is still queued and will eventually fire."""
+        return not (self._cancelled or self._fired)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = ("cancelled" if self._cancelled
+                 else "fired" if self._fired else "pending")
+        name = self.label or getattr(self.callback, "__qualname__", "?")
+        return f"<EventHandle {name} @{self.time}ns {state}>"
+
+
+class Simulator:
+    """Deterministic discrete-event scheduler with an int-nanosecond clock.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(millis(10), my_callback, arg1, arg2)
+        sim.run(until=seconds(5))
+
+    The simulator is also the root object from which scenario builders hang
+    shared services (trace log, RNG registry); see :mod:`repro.sim.trace`
+    and :mod:`repro.sim.rng`.
+    """
+
+    def __init__(self) -> None:
+        self._now: int = 0
+        self._queue: list[tuple[int, int, EventHandle]] = []
+        self._sequence = itertools.count()
+        self._running = False
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------ time
+
+    @property
+    def now(self) -> int:
+        """Current virtual time in nanoseconds."""
+        return self._now
+
+    @property
+    def now_s(self) -> float:
+        """Current virtual time in (float) seconds, for reporting only."""
+        return self._now / NS_PER_S
+
+    @property
+    def events_processed(self) -> int:
+        """Total callbacks executed so far (useful for perf reporting)."""
+        return self._events_processed
+
+    # ------------------------------------------------------------ scheduling
+
+    def schedule(self, delay: int, callback: Callable[..., Any],
+                 *args: Any, label: str = "") -> EventHandle:
+        """Run ``callback(*args)`` after ``delay`` nanoseconds.
+
+        ``delay`` must be a non-negative integer; a zero delay runs the
+        callback after all events already scheduled for the current instant
+        (FIFO within a timestamp).
+        """
+        if not isinstance(delay, int):
+            raise SimulationError(
+                f"delay must be an int (nanoseconds), got {type(delay).__name__}; "
+                f"use seconds()/millis()/micros() helpers")
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args, label=label)
+
+    def schedule_at(self, time: int, callback: Callable[..., Any],
+                    *args: Any, label: str = "") -> EventHandle:
+        """Run ``callback(*args)`` at absolute virtual time ``time``."""
+        if not isinstance(time, int):
+            raise SimulationError(
+                f"time must be an int (nanoseconds), got {type(time).__name__}")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past (time={time} < now={self._now})")
+        handle = EventHandle(time, callback, args, label=label)
+        heapq.heappush(self._queue, (time, next(self._sequence), handle))
+        return handle
+
+    def call_soon(self, callback: Callable[..., Any], *args: Any,
+                  label: str = "") -> EventHandle:
+        """Schedule ``callback`` at the current instant (after pending events)."""
+        return self.schedule(0, callback, *args, label=label)
+
+    # --------------------------------------------------------------- running
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Process events until the queue drains, ``until`` is reached, or
+        ``max_events`` callbacks have run.
+
+        Returns the number of callbacks executed by this call.  When
+        ``until`` is given the clock is advanced to exactly ``until`` even if
+        the queue drained earlier, so back-to-back ``run(until=...)`` calls
+        behave like wall-clock segments.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                time, _seq, handle = self._queue[0]
+                if until is not None and time > until:
+                    break
+                heapq.heappop(self._queue)
+                if handle._cancelled:
+                    continue
+                self._now = time
+                handle._fired = True
+                handle.callback(*handle.args)
+                executed += 1
+                self._events_processed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return executed
+
+    def run_for(self, duration: int, max_events: Optional[int] = None) -> int:
+        """Process events for ``duration`` nanoseconds of virtual time."""
+        return self.run(until=self._now + duration, max_events=max_events)
+
+    def peek_next_time(self) -> Optional[int]:
+        """Virtual time of the next pending event, or None if queue is empty."""
+        while self._queue and self._queue[0][2]._cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0][0] if self._queue else None
+
+    @property
+    def pending_events(self) -> int:
+        """Number of queued, not-yet-cancelled events."""
+        return sum(1 for _, _, h in self._queue if not h._cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Simulator t={self.now_s:.6f}s pending={self.pending_events} "
+                f"processed={self._events_processed}>")

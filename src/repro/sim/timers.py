@@ -1,0 +1,110 @@
+"""Restartable timers on top of the event kernel.
+
+TCP and the ST-TCP heartbeat machinery are full of "arm / re-arm / cancel"
+timer patterns; :class:`Timer` and :class:`PeriodicTimer` capture them once
+so protocol code stays readable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.core import EventHandle, Simulator
+
+__all__ = ["Timer", "PeriodicTimer"]
+
+
+class Timer:
+    """A one-shot timer that can be (re)started and stopped.
+
+    ``callback`` fires once, ``interval`` nanoseconds after the most recent
+    :meth:`start` / :meth:`restart`.  Restarting an armed timer cancels the
+    previous deadline — exactly the semantics of a TCP retransmission timer.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], Any],
+                 label: str = "timer"):
+        self._sim = sim
+        self._callback = callback
+        self._label = label
+        self._handle: Optional[EventHandle] = None
+
+    @property
+    def armed(self) -> bool:
+        """True while a deadline is pending."""
+        return self._handle is not None and self._handle.pending
+
+    @property
+    def deadline(self) -> Optional[int]:
+        """Absolute firing time in ns, or None when not armed."""
+        return self._handle.time if self.armed else None
+
+    def start(self, interval: int) -> None:
+        """Arm the timer ``interval`` ns from now, replacing any deadline."""
+        self.stop()
+        self._handle = self._sim.schedule(interval, self._fire, label=self._label)
+
+    # restart is an alias that reads better at call sites that always re-arm.
+    restart = start
+
+    def stop(self) -> None:
+        """Disarm the timer.  Idempotent."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        self._handle = None
+        self._callback()
+
+
+class PeriodicTimer:
+    """A timer that fires every ``period`` ns until stopped.
+
+    Used for heartbeat transmission and application pacing.  The period can
+    be changed on the fly with :meth:`reschedule`; the new period takes
+    effect from the next tick.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], Any],
+                 period: int, label: str = "periodic"):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self._sim = sim
+        self._callback = callback
+        self._period = period
+        self._label = label
+        self._handle: Optional[EventHandle] = None
+
+    @property
+    def period(self) -> int:
+        """Current tick period in nanoseconds."""
+        return self._period
+
+    @property
+    def running(self) -> bool:
+        """True while the timer is ticking."""
+        return self._handle is not None and self._handle.pending
+
+    def start(self, fire_immediately: bool = False) -> None:
+        """Begin ticking.  With ``fire_immediately`` the first tick is now."""
+        self.stop()
+        delay = 0 if fire_immediately else self._period
+        self._handle = self._sim.schedule(delay, self._tick, label=self._label)
+
+    def stop(self) -> None:
+        """Stop ticking.  Idempotent."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def reschedule(self, period: int) -> None:
+        """Change the period; applies from the next tick onward."""
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self._period = period
+
+    def _tick(self) -> None:
+        self._handle = self._sim.schedule(self._period, self._tick,
+                                          label=self._label)
+        self._callback()

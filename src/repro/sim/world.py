@@ -1,0 +1,54 @@
+"""The :class:`World` — shared root object for a simulated scenario.
+
+A ``World`` bundles the three kernel services every component needs:
+
+* the :class:`~repro.sim.core.Simulator` event loop,
+* the :class:`~repro.sim.trace.TraceLog`,
+* the :class:`~repro.sim.rng.RngRegistry`.
+
+Passing a single ``world`` around keeps constructor signatures short and
+guarantees all components share one clock and one seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.core import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceLog
+
+__all__ = ["World"]
+
+
+class World:
+    """Root container for one simulation run."""
+
+    def __init__(self, seed: int = 0,
+                 trace_categories: Optional[set[str]] = None):
+        self.sim = Simulator()
+        self.trace = TraceLog(lambda: self.sim.now,
+                              enabled_categories=trace_categories)
+        self.rng = RngRegistry(seed)
+
+    @property
+    def now(self) -> int:
+        """Current virtual time in nanoseconds."""
+        return self.sim.now
+
+    @property
+    def now_s(self) -> float:
+        """Current virtual time in seconds."""
+        return self.sim.now_s
+
+    def run(self, until: Optional[int] = None,
+            max_events: Optional[int] = None) -> int:
+        """Delegate to :meth:`Simulator.run`."""
+        return self.sim.run(until=until, max_events=max_events)
+
+    def run_for(self, duration: int) -> int:
+        """Delegate to :meth:`Simulator.run_for`."""
+        return self.sim.run_for(duration)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<World t={self.now_s:.6f}s seed={self.rng.seed}>"

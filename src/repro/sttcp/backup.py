@@ -1,0 +1,575 @@
+"""The backup-side ST-TCP engine.
+
+The backup *taps* the client→server traffic (the switch floods it, because
+the client's static ARP maps serviceIP to a multicast Ethernet address) and
+runs a full replica of each service connection:
+
+* client segments destined to a not-yet-replicated flow are buffered until
+  the primary's ConnInit names the ISN; the replica connection is then
+  created with that ISN and the buffered segments are replayed;
+* every segment the replica's TCP generates is *suppressed* — generated,
+  counted, dropped — so congestion/retransmission state stays warm while
+  nothing reaches the wire (paper Sec. 2);
+* client ACKs genuinely arrive (multicast) and drive the replica's send
+  side; acks for bytes the slightly-lagging replica application has not
+  produced yet are tolerated and applied on write;
+* missed client bytes are fetched from the primary's extra receive buffer
+  (Table 1 row 5);
+* failures of the primary — machine crash, application lag, NIC failure —
+  trigger takeover: power the primary down, stop suppressing, and let the
+  already-running TCP machinery resume the stream with the same IP, port
+  and sequence numbers (paper Secs. 2, 4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.net.addresses import IPAddress
+from repro.sim.timers import Timer
+from repro.tcp.connection import TcpConnection
+from repro.tcp.segment import TcpSegment
+from repro.tcp.sockets import Socket
+from repro.sttcp.control import (AppFailureNotice, ConnClosed, ConnInit,
+                                 FetchReply, FetchRequest)
+from repro.sttcp.detector import LagTracker
+from repro.sttcp.engine import MODE_ACTIVE, MODE_FT, SttcpEngine
+from repro.sttcp.events import EventKind
+from repro.sttcp.state import ConnKey, ConnProgress, Heartbeat, ROLE_BACKUP
+
+__all__ = ["BackupEngine", "ManagedBackupConn"]
+
+# Bound on buffered pre-ConnInit segments per flow (SYN + early data).
+_MAX_BUFFERED_SEGMENTS = 256
+
+
+class ManagedBackupConn:
+    """Backup-side per-connection replica state."""
+
+    def __init__(self, engine: "BackupEngine", conn: TcpConnection,
+                 socket: Socket, key: ConnKey):
+        self.engine = engine
+        self.conn = conn
+        self.socket = socket
+        self.key = key
+        config = engine.config
+        world = engine.world
+        self.primary_progress: Optional[ConnProgress] = None
+        self.suppressed_segments = 0
+        self.suppressed_fin = False
+        self.original_transmit = conn.transmit
+        # Primary application-failure trackers (Sec. 4.2.1, backup side).
+        self.read_tracker = LagTracker(world, config.app_max_lag_bytes,
+                                       config.app_max_lag_time_ns,
+                                       config.app_lag_confirm_ns,
+                                       name=f"{key}:app-read")
+        self.write_tracker = LagTracker(world, config.app_max_lag_bytes,
+                                        config.app_max_lag_time_ns,
+                                        config.app_lag_confirm_ns,
+                                        name=f"{key}:app-write")
+        # Primary NIC-failure tracker (Sec. 4.3): client bytes the primary
+        # reports receiving vs what we receive directly off the wire.
+        self.nic_rx_tracker = LagTracker(world, config.nic_max_lag_bytes,
+                                         config.nic_max_lag_time_ns,
+                                         config.nic_lag_confirm_ns,
+                                         name=f"{key}:nic-rx")
+        self.primary_fin_seen = False
+        # Missed-byte fetch state.
+        self.fetch_outstanding = False
+        self.fetch_expected_end = 0
+        self.fetch_lag_since: Optional[int] = None
+        self.fetch_retry_timer = Timer(world.sim, self._fetch_retry,
+                                       label="fetch-retry")
+        self.recovering_via_logger = False
+        self.last_round_at: Optional[int] = None
+        # Post-takeover gap bookkeeping (output-commit handling).
+        self.gap_since: Optional[int] = None
+        self.last_logger_fetch = 0
+
+    def progress(self) -> ConnProgress:
+        """Snapshot of this replica's HB progress counters."""
+        conn = self.conn
+        return ConnProgress(
+            key=self.key,
+            last_byte_received=conn.last_byte_received,
+            last_ack_received=conn.last_ack_received,
+            last_app_byte_written=conn.last_app_byte_written,
+            last_app_byte_read=conn.last_app_byte_read,
+            fin_generated=conn.fin_queued,
+            rst_generated=conn.rst_sent)
+
+    def update_trackers_from_primary(self, progress: ConnProgress) -> None:
+        """Fold the primary's latest HB entry into the lag trackers."""
+        self.primary_progress = progress
+        conn = self.conn
+        self.read_tracker.update(conn.last_app_byte_read,
+                                 progress.last_app_byte_read)
+        self.write_tracker.update(conn.last_app_byte_written,
+                                  progress.last_app_byte_written)
+        self.nic_rx_tracker.update(conn.last_byte_received,
+                                   progress.last_byte_received)
+        if progress.fin_generated and not self.primary_fin_seen:
+            self.primary_fin_seen = True
+
+    def app_failure_verdict(self, evidence_time) -> Optional[str]:
+        """Combined read/write lag verdict (None if healthy)."""
+        return (self.read_tracker.verdict(evidence_time)
+                or self.write_tracker.verdict(evidence_time))
+
+    def _fetch_retry(self) -> None:
+        self.fetch_outstanding = False
+        self.engine.check_fetch(self)
+
+
+class BackupEngine(SttcpEngine):
+    """ST-TCP on the backup server."""
+
+    LOGGER_REPLY_PORT = 7080
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, role=ROLE_BACKUP, **kwargs)
+        self.conns: dict[ConnKey, ManagedBackupConn] = {}
+        self._pending_segments: dict[ConnKey, list[TcpSegment]] = {}
+        self.host.tcp.segment_filter = self._segment_filter
+        self.takeover_at: Optional[int] = None
+        self.takeover_reason: Optional[str] = None
+        # Optional logger fallback (paper Sec. 4.3: the output-commit
+        # problem).  When set, bytes the primary can no longer re-supply
+        # are fetched from the stream logger instead.
+        self.logger_ip: Optional[IPAddress] = None
+        self._logger_port: Optional[int] = None
+
+    def use_logger(self, logger_ip, logger_port: int = 7079) -> None:
+        """Enable the Sec. 4.3 logger fallback for missed-byte recovery."""
+        self.logger_ip = IPAddress(logger_ip)
+        self._logger_port = logger_port
+        self.host.udp.bind(self.LOGGER_REPLY_PORT, self._on_logger_reply)
+
+    def _on_host_down(self) -> None:
+        super()._on_host_down()
+        for mc in self.conns.values():
+            mc.fetch_retry_timer.stop()
+
+    # ---------------------------------------------------------- tap filter
+
+    def _segment_filter(self, segment: TcpSegment, src_ip: IPAddress,
+                        dst_ip: IPAddress) -> bool:
+        """Swallow service-port segments that have no replica yet.
+
+        Once the replica exists, normal stack demux delivers segments to
+        it; after takeover the filter disengages entirely so new clients
+        are accepted by the (now live) listener."""
+        if self.mode != MODE_FT:
+            return False
+        if segment.dst_port != self.config.service_port:
+            return False
+        if dst_ip != self.service_ip:
+            return False
+        key: ConnKey = (src_ip.value, segment.src_port)
+        if self.host.tcp.has_connection(dst_ip, segment.dst_port,
+                                        src_ip, segment.src_port):
+            return False
+        queue = self._pending_segments.setdefault(key, [])
+        if len(queue) < _MAX_BUFFERED_SEGMENTS:
+            queue.append(segment)
+        return True
+
+    # -------------------------------------------------------------- control
+
+    def _on_control(self, message: Any) -> None:
+        if isinstance(message, ConnInit):
+            self._on_conn_init(message)
+        elif isinstance(message, FetchReply):
+            self._on_fetch_reply(message)
+        elif isinstance(message, ConnClosed):
+            self._dispose(message.key)
+        elif isinstance(message, AppFailureNotice):
+            if message.location == "primary" and self.mode == MODE_FT:
+                self.emit(EventKind.APP_FAILURE_DETECTED, location="primary",
+                          symptom="application watchdog report from primary")
+                self.take_over("primary application failure "
+                               "(watchdog report)")
+
+    def attach_watchdog(self, app, period_ns: int = 100_000_000,
+                        miss_threshold: int = 3):
+        """Sec. 4.2.2 extension: a watchdog on the backup's replica
+        application; on suspicion the primary is told to run non-FT."""
+        from repro.apps.watchdog import ApplicationWatchdog
+
+        def on_suspicion(_app):
+            """Relay the watchdog's suspicion to the primary."""
+            if self.mode != MODE_FT:
+                return
+            self.control.send(AppFailureNotice("backup"), also_serial=True)
+
+        watchdog = ApplicationWatchdog(self.world, app, on_suspicion,
+                                       period_ns=period_ns,
+                                       miss_threshold=miss_threshold)
+        watchdog.start()
+        return watchdog
+
+    def _on_conn_init(self, init: ConnInit) -> None:
+        if self.mode != MODE_FT or init.key in self.conns:
+            return  # duplicate (IP + serial copies) or engine not tapping
+        client_ip = IPAddress(init.key[0])
+        client_port = init.key[1]
+        listener = self.host.tcp.find_listener(self.service_ip,
+                                               init.service_port)
+        if listener is None:
+            # Replica application is not listening: nothing to attach the
+            # connection to.  The primary will keep re-announcing; the app
+            # may simply not have started yet.
+            return
+        # The replica must never trim client data the primary accepted:
+        # the client obeys the *primary's* advertised window, and during
+        # missed-byte recovery the backup's rcv_next can lag by up to the
+        # retain allowance.  Size the tap connection's receive buffer to
+        # cover both.
+        import copy as _copy
+        tap_config = _copy.deepcopy(listener.config
+                                    or self.host.tcp.config)
+        tap_config.recv_buffer_bytes += self.config.retain_buffer_bytes
+        conn, socket = self.host.tcp.create_tap_connection(
+            self.service_ip, init.service_port, client_ip, client_port,
+            isn=init.isn, config=tap_config)
+        mc = ManagedBackupConn(self, conn, socket, init.key)
+        self.conns[init.key] = mc
+        conn.transmit = self._suppressor(mc)
+        conn.stt_tolerate_future_acks = True
+        self.emit(EventKind.CONN_REPLICATED, key=init.key, isn=init.isn)
+        # Hand the socket to the replica application, then replay whatever
+        # the tap buffered (starting with the client's SYN).
+        listener.accepted_count += 1
+        listener.on_accept(socket)
+        for segment in self._pending_segments.pop(init.key, []):
+            conn.segment_arrived(segment)
+
+    def _suppressor(self, mc: ManagedBackupConn):
+        def suppress(segment: TcpSegment) -> None:
+            """Count and drop one replica-generated segment."""
+            mc.suppressed_segments += 1
+            if segment.fin and not mc.suppressed_fin:
+                mc.suppressed_fin = True
+                self.emit(EventKind.FIN_SUPPRESSED, key=mc.key)
+        return suppress
+
+    # ----------------------------------------------------------- heartbeat
+
+    def connection_progress(self) -> list[ConnProgress]:
+        """HB payload: one entry per managed replica."""
+        return [mc.progress() for mc in self.conns.values()]
+
+    def handle_peer_heartbeat(self, hb: Heartbeat, link: str) -> None:
+        """Process a heartbeat from the primary."""
+        if hb.sender_role == ROLE_BACKUP:
+            return
+        for progress in hb.connections:
+            mc = self.conns.get(progress.key)
+            if mc is not None:
+                mc.update_trackers_from_primary(progress)
+                self.check_fetch(mc)
+
+    # --------------------------------------------------- missed-byte fetch
+
+    def check_fetch(self, mc: ManagedBackupConn) -> None:
+        """Request client bytes the primary has but we are missing
+        (Table 1 row 5: temporary local network failure at the backup)."""
+        if self.mode != MODE_FT or mc.fetch_outstanding:
+            return
+        progress = mc.primary_progress
+        if progress is None:
+            return
+        rcv = mc.conn.recv_buffer
+        lagging = (progress.last_byte_received > rcv.rcv_next
+                   or rcv.has_gap)
+        if not lagging:
+            mc.fetch_lag_since = None
+            return
+        now = self.world.sim.now
+        if not rcv.has_gap:
+            # Pure tail lag may just be data in flight: debounce one HB
+            # period before asking.  A *hole* below buffered OOO data is
+            # never in flight (the client has moved past it) — fetch it
+            # immediately.
+            if mc.fetch_lag_since is None:
+                mc.fetch_lag_since = now
+                return
+            if now - mc.fetch_lag_since < self.config.hb_period_ns:
+                return
+        # Gaps below buffered out-of-order data, then the tail between our
+        # highest buffered byte and the primary's high-water mark, up to
+        # the per-round budget (catch-up bandwidth).
+        budget = self.config.fetch_max_bytes_per_round
+        ranges = []
+        for start, end in rcv.missing_ranges():
+            if budget <= 0:
+                break
+            take = min(end - start, budget)
+            ranges.append((start, start + take))
+            budget -= take
+        tail_start = rcv.highest_received
+        if progress.last_byte_received > tail_start and budget > 0:
+            tail_end = min(progress.last_byte_received, tail_start + budget)
+            ranges.append((tail_start, tail_end))
+        if not ranges:
+            return
+        interval = self.config.fetch_round_interval_ns
+        if interval and mc.last_round_at is not None:
+            elapsed = now - mc.last_round_at
+            if elapsed < interval:
+                # Throttled: let the retry timer re-trigger this check.
+                if not mc.fetch_retry_timer.armed:
+                    mc.fetch_retry_timer.start(interval - elapsed)
+                return
+        mc.last_round_at = now
+        mc.fetch_outstanding = True
+        mc.fetch_expected_end = max(end for _start, end in ranges)
+        mc.fetch_retry_timer.start(self.config.fetch_retry_ns)
+        self.emit(EventKind.FETCH_REQUESTED, key=mc.key,
+                  ranges=tuple(ranges))
+        self.control.send(FetchRequest(mc.key, tuple(ranges)))
+
+    def _on_fetch_reply(self, reply: FetchReply) -> None:
+        mc = self.conns.get(reply.key)
+        if mc is None:
+            return
+        if reply.unavailable:
+            # Paper Sec. 4.3: bytes already acked to the client and gone
+            # from the primary — unrecoverable for this connection.
+            mc.fetch_retry_timer.stop()
+            mc.fetch_outstanding = False
+            self.emit(EventKind.UNRECOVERABLE, key=reply.key,
+                      reason="primary cannot re-supply missed bytes")
+            return
+        before = mc.conn.recv_buffer.rcv_next
+        mc.conn.inject_stream_bytes(reply.offset, reply.data)
+        after = mc.conn.recv_buffer.rcv_next
+        if after > before:
+            self.emit(EventKind.FETCH_RECOVERED, key=reply.key,
+                      offset=reply.offset, bytes=len(reply.data),
+                      advanced=after - before)
+        mc.fetch_lag_since = None
+        # The round completes when the last requested byte is on board;
+        # the retry timer backstops lost replies.
+        if mc.conn.recv_buffer.highest_received >= mc.fetch_expected_end:
+            mc.fetch_retry_timer.stop()
+            mc.fetch_outstanding = False
+            self.check_fetch(mc)
+
+    # ----------------------------------------------------------- detection
+
+    def _tick(self) -> None:
+        if self.mode == MODE_ACTIVE:
+            self._manage_post_takeover_gaps()
+            return
+        if self.mode != MODE_FT:
+            return
+        ip_up, serial_up = self.check_links()
+        if not ip_up and not serial_up:
+            # Table 1 row 1: the primary machine crashed.
+            self.emit(EventKind.PEER_CRASH_DETECTED,
+                      symptom="HB failure on both links")
+            self.take_over("primary HB failure on both links")
+            return
+        if not ip_up and serial_up:
+            # Sec. 4.3 mode: app-lag detection suspended (divergence is the
+            # expected symptom of a NIC failure; pings and client-byte lag
+            # decide whose NIC it is).
+            self._ensure_probing()
+            if self._diagnose_primary_nic():
+                return
+        else:
+            self._stop_probing()
+            self._check_primary_app_failure()
+        self._collect_closed()
+
+    def _diagnose_primary_nic(self) -> bool:
+        evidence = self.peer_evidence_time()
+        for mc in self.conns.values():
+            if mc.primary_progress is not None:
+                mc.nic_rx_tracker.update(
+                    mc.conn.last_byte_received,
+                    mc.primary_progress.last_byte_received)
+            verdict = mc.nic_rx_tracker.verdict(evidence)
+            if verdict is not None:
+                self.emit(EventKind.NIC_FAILURE_DETECTED, key=mc.key,
+                          symptom=verdict)
+                self.take_over(f"primary NIC failure: {verdict}")
+                return True
+        if self.ping_board.peer_nic_failed():
+            self.emit(EventKind.NIC_FAILURE_DETECTED,
+                      symptom="primary gateway pings failing, ours succeed")
+            self.take_over("primary NIC failure: gateway ping asymmetry")
+            return True
+        return False
+
+    def _check_primary_app_failure(self) -> None:
+        if not self.peer_hb_fresh():
+            return  # silence is the crash detector's evidence, not ours
+        evidence = self.peer_evidence_time()
+        for mc in self.conns.values():
+            if mc.primary_progress is not None:
+                mc.update_trackers_from_primary(mc.primary_progress)
+            verdict = mc.app_failure_verdict(evidence)
+            if verdict is not None:
+                self.emit(EventKind.APP_FAILURE_DETECTED, key=mc.key,
+                          symptom=verdict, location="primary")
+                self.take_over(f"primary application failure: {verdict}")
+                return
+
+    def _collect_closed(self) -> None:
+        for key in [k for k, mc in self.conns.items()
+                    if mc.conn.state.value == "CLOSED"]:
+            self._dispose(key)
+
+    def _dispose(self, key: ConnKey) -> None:
+        mc = self.conns.pop(key, None)
+        if mc is not None:
+            mc.fetch_retry_timer.stop()
+            if mc.conn.state.value != "CLOSED":
+                # Drop the replica quietly: suppressed, so nothing reaches
+                # the client.
+                mc.conn.transmit = lambda seg: None
+                mc.conn.abort()
+        self._pending_segments.pop(key, None)
+
+    # ------------------------------------------------------------ takeover
+
+    def take_over(self, reason: str) -> None:
+        """Become the live server (Table 1 recovery action).
+
+        Order per paper Sec. 2: power the primary down *first* (no dual
+        active servers), then stop suppressing output.  By default the TCP
+        stream restarts at the next (backed-off) retransmission — exactly
+        the behaviour Demo 2 measures; ``kick_on_takeover`` forces an
+        immediate retransmit instead.
+        """
+        if self.mode != MODE_FT:
+            return
+        self.mode = MODE_ACTIVE
+        self.takeover_at = self.world.sim.now
+        self.takeover_reason = reason
+        self.stonith_peer(reason)
+        unrecoverable = []
+        for mc in self.conns.values():
+            gap = (mc.primary_progress is not None
+                   and mc.primary_progress.last_byte_received
+                   > mc.conn.recv_buffer.rcv_next)
+            if gap or mc.conn.recv_buffer.has_gap:
+                if self.logger_ip is not None:
+                    # Sec. 4.3 extension: recover the acked-but-missed
+                    # bytes from the stream logger, then go live.
+                    mc.recovering_via_logger = True
+                    self._fetch_from_logger(mc)
+                    continue
+                # Paper Sec. 4.3: primary died while we were still missing
+                # bytes it had acked — unrecoverable for this connection.
+                unrecoverable.append(mc)
+                continue
+            mc.conn.transmit = mc.original_transmit
+            if self.config.kick_on_takeover:
+                mc.conn.kick_output()
+        self.emit(EventKind.TAKEOVER, reason=reason,
+                  connections=len(self.conns),
+                  unrecoverable=len(unrecoverable))
+        for mc in unrecoverable:
+            self.emit(EventKind.UNRECOVERABLE, key=mc.key,
+                      reason="missed bytes unavailable after primary crash")
+            mc.conn.transmit = mc.original_transmit
+            mc.conn.abort()
+        self.hb.stop()
+        self._stop_probing()
+        self.host.tcp.segment_filter = None
+
+    def _manage_post_takeover_gaps(self) -> None:
+        """After takeover, a hole below the dead primary's ack point can
+        never be filled by client retransmission (the client's snd_una is
+        past it).  With a logger we re-supply it; without one, the paper
+        classes the connection as unrecoverable once the hole persists."""
+        now = self.world.sim.now
+        for mc in list(self.conns.values()):
+            if mc.conn.state.value == "CLOSED":
+                continue
+            rcv = mc.conn.recv_buffer
+            hole = (rcv.has_gap
+                    or mc.conn.peer_data_high > rcv.highest_received
+                    or mc.recovering_via_logger)
+            if not hole:
+                mc.gap_since = None
+                continue
+            if mc.gap_since is None:
+                mc.gap_since = now
+            if self.logger_ip is not None:
+                if now - mc.last_logger_fetch >= self.config.fetch_retry_ns:
+                    mc.last_logger_fetch = now
+                    self._fetch_from_logger(mc)
+            elif now - mc.gap_since >= self.config.unrecoverable_gap_ns:
+                self.emit(EventKind.UNRECOVERABLE, key=mc.key,
+                          reason="receive gap below the dead primary's ack "
+                                 "point (output-commit problem)")
+                mc.conn.abort()
+
+    # ------------------------------------------------- logger fallback
+
+    def _fetch_from_logger(self, mc: ManagedBackupConn) -> None:
+        """Ask the stream logger for everything we are missing."""
+        rcv = mc.conn.recv_buffer
+        ranges = list(rcv.missing_ranges())
+        target = max(
+            mc.primary_progress.last_byte_received
+            if mc.primary_progress is not None else rcv.rcv_next,
+            mc.conn.peer_data_high)
+        if target > rcv.highest_received:
+            ranges.append((rcv.highest_received, target))
+        if not ranges:
+            self._finish_logger_recovery(mc)
+            return
+        self.emit(EventKind.FETCH_REQUESTED, key=mc.key,
+                  ranges=tuple(ranges), via="logger")
+        self.host.udp.send(self.logger_ip, self._logger_port,
+                           self.LOGGER_REPLY_PORT,
+                           FetchRequest(mc.key, tuple(ranges)),
+                           src_ip=self.local_ip)
+
+    def _on_logger_reply(self, payload, _src_ip, _src_port) -> None:
+        if not isinstance(payload, FetchReply):
+            return
+        mc = self.conns.get(payload.key)
+        if mc is None:
+            return
+        if payload.unavailable:
+            self.emit(EventKind.UNRECOVERABLE, key=payload.key,
+                      reason="logger cannot re-supply missed bytes")
+            if getattr(mc, "recovering_via_logger", False):
+                mc.recovering_via_logger = False
+                mc.conn.transmit = mc.original_transmit
+                mc.conn.abort()
+            return
+        before = mc.conn.recv_buffer.rcv_next
+        mc.conn.inject_stream_bytes(payload.offset, payload.data)
+        after = mc.conn.recv_buffer.rcv_next
+        if after > before:
+            self.emit(EventKind.FETCH_RECOVERED, key=payload.key,
+                      offset=payload.offset, bytes=len(payload.data),
+                      advanced=after - before, via="logger")
+            if not mc.recovering_via_logger:
+                # Connection already live: tell the client where we are.
+                mc.conn.kick_output()
+        self._finish_logger_recovery(mc)
+
+    def _finish_logger_recovery(self, mc: ManagedBackupConn) -> None:
+        """Once the stream is whole again, let the replica go live (if a
+        takeover was waiting on this recovery)."""
+        if not getattr(mc, "recovering_via_logger", False):
+            return
+        rcv = mc.conn.recv_buffer
+        target = (mc.primary_progress.last_byte_received
+                  if mc.primary_progress is not None else rcv.rcv_next)
+        if rcv.has_gap or rcv.rcv_next < target:
+            return  # more replies still in flight
+        mc.recovering_via_logger = False
+        mc.conn.transmit = mc.original_transmit
+        mc.conn.kick_output()
+        self.emit(EventKind.TAKEOVER, key=mc.key,
+                  reason="logger recovery complete", connections=1,
+                  unrecoverable=0)

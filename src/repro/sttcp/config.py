@@ -1,0 +1,105 @@
+"""ST-TCP configuration.
+
+Every tunable named in the paper appears here under the paper's name:
+
+* heartbeat period (Demo 2 sweeps 200 ms / 500 ms / 1 s);
+* ``AppMaxLagBytes`` and ``AppMaxLagTime`` (Sec. 4.2.1);
+* ``MaxDelayFIN`` (Sec. 4.2.2, "e.g., 1 minute");
+* NIC-failure thresholds and gateway-ping parameters (Sec. 4.3);
+* the primary's extra receive-buffer size (Sec. 2 / 4.3);
+* ablation switches for the old architecture and single-link heartbeat
+  (Sec. 3 discusses why both were abandoned).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.sim.core import millis, seconds
+
+__all__ = ["SttcpConfig"]
+
+
+@dataclass
+class SttcpConfig:
+    """Tunables for one primary/backup ST-TCP pair."""
+
+    # The TCP port whose connections are replicated.
+    service_port: int = 80
+
+    # --- heartbeat (paper Sec. 3) ---
+    hb_period_ns: int = millis(200)
+    hb_miss_threshold: int = 3          # missed periods before a link is down
+    use_serial_hb: bool = True          # ablation A2: False = UDP-only HB
+
+    # --- application-failure detection (paper Sec. 4.2.1) ---
+    app_max_lag_bytes: int = 16384      # AppMaxLagBytes
+    app_max_lag_time_ns: int = seconds(2)   # AppMaxLagTime
+    app_lag_confirm_ns: int = millis(500)   # byte-lag must persist this long
+
+    # --- FIN disagreement handling (paper Sec. 4.2.2) ---
+    max_delay_fin_ns: int = seconds(60)     # MaxDelayFIN
+
+    # --- missed-byte recovery (paper Sec. 2 / 4.3) ---
+    # The primary's extra receive buffer must absorb one heartbeat period
+    # of client traffic at line rate (the backup's confirmations are one
+    # period stale): 100 Mbps x 200 ms = 2.5 MB, with headroom.
+    retain_buffer_bytes: int = 8 * 1024 * 1024
+    fetch_retry_ns: int = millis(100)
+    fetch_chunk_bytes: int = 4096       # per FetchReply message
+    fetch_max_bytes_per_round: int = 262144   # per FetchRequest
+    # Minimum spacing between fetch rounds (0 = pipeline immediately).
+    # Raising it models a recovery path slower than the client's upload —
+    # the regime where the primary's extra buffer fills and the backup is
+    # declared failed (paper Sec. 4.3).
+    fetch_round_interval_ns: int = 0
+    # Post-takeover: a receive gap that the (dead) primary can no longer
+    # fill and no logger can supply is the paper's unrecoverable case;
+    # declare it after this long.
+    unrecoverable_gap_ns: int = seconds(5)
+
+    # --- local network (NIC) failure detection (paper Sec. 4.3) ---
+    nic_max_lag_bytes: int = 8192
+    nic_max_lag_time_ns: int = seconds(2)
+    nic_lag_confirm_ns: int = millis(500)
+    ping_interval_ns: int = millis(200)
+    ping_fail_threshold: int = 3        # consecutive failures
+
+    # --- transport endpoints for server-to-server messages ---
+    hb_udp_port: int = 7078
+    control_udp_port: int = 7077
+
+    # --- ablations ---
+    # Old architecture (paper Sec. 3): the backup also receives and
+    # processes all primary->client traffic (switch port mirroring).
+    tap_primary_client_traffic: bool = False
+    # Accelerated takeover: retransmit immediately instead of waiting for
+    # the next backed-off retransmission (the paper's system waits).
+    kick_on_takeover: bool = False
+
+    def validate(self) -> None:
+        """Raise ConfigurationError on inconsistent settings."""
+        if not 0 < self.service_port < 65536:
+            raise ConfigurationError(f"bad service port {self.service_port}")
+        if self.hb_period_ns <= 0:
+            raise ConfigurationError("hb_period_ns must be positive")
+        if self.hb_miss_threshold < 1:
+            raise ConfigurationError("hb_miss_threshold must be >= 1")
+        if self.app_max_lag_bytes <= 0 or self.app_max_lag_time_ns <= 0:
+            raise ConfigurationError("app lag thresholds must be positive")
+        if self.max_delay_fin_ns <= 0:
+            raise ConfigurationError("max_delay_fin_ns must be positive")
+        if self.retain_buffer_bytes <= 0:
+            raise ConfigurationError("retain_buffer_bytes must be positive")
+        if self.hb_udp_port == self.control_udp_port:
+            raise ConfigurationError("HB and control ports must differ")
+
+    def with_hb_period(self, period_ns: int) -> "SttcpConfig":
+        """Copy with a different heartbeat period (Demo 2 sweeps this)."""
+        return replace(self, hb_period_ns=period_ns)
+
+    @property
+    def detection_time_ns(self) -> int:
+        """Nominal crash-detection latency: miss threshold x HB period."""
+        return self.hb_miss_threshold * self.hb_period_ns

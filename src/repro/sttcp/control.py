@@ -1,0 +1,152 @@
+"""Server-to-server control protocol.
+
+Three message types ride between the ST-TCP engines, separate from the
+heartbeat:
+
+* :class:`ConnInit` — primary → backup at accept time: "a connection was
+  established with this client; use this ISN".  This is the simulated
+  analogue of the kernel mechanism by which "the backup changes its
+  initial sequence number to match that of the primary" (paper Sec. 2).
+  Sent over both the IP link and the serial link for robustness.
+* :class:`FetchRequest` / :class:`FetchReply` — the backup retrieving
+  client bytes it missed from the primary's extra receive buffer
+  (paper Sec. 4.3, "temporary local network failures").
+* :class:`ConnClosed` — primary → backup: the live connection is fully
+  closed; dispose of the replica.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.net.addresses import IPAddress
+from repro.net.serial_link import SerialPort
+from repro.net.udp import UdpLayer
+from repro.sim.world import World
+from repro.sttcp.state import ConnKey
+
+__all__ = ["ConnInit", "FetchRequest", "FetchReply", "ConnClosed",
+           "AppFailureNotice", "ControlChannel"]
+
+
+@dataclass(frozen=True)
+class ConnInit:
+    """Replicate-this-connection order (primary → backup)."""
+
+    key: ConnKey            # (client_ip_value, client_port)
+    service_port: int
+    isn: int                # the primary's ISN — the backup must match it
+
+    @property
+    def size_bytes(self) -> int:
+        """Modelled on-wire size of the message."""
+        return 16
+
+
+@dataclass(frozen=True)
+class FetchRequest:
+    """Backup → primary: please re-supply these client-byte ranges."""
+
+    key: ConnKey
+    ranges: tuple[tuple[int, int], ...]   # [start, end) stream offsets
+
+    @property
+    def size_bytes(self) -> int:
+        """Modelled on-wire size of the message."""
+        return 8 + 8 * len(self.ranges)
+
+
+@dataclass(frozen=True)
+class FetchReply:
+    """Primary → backup: the requested bytes (or an unavailability notice,
+    which the paper classes as unrecoverable for non-logged applications)."""
+
+    key: ConnKey
+    offset: int
+    data: bytes = field(repr=False, default=b"")
+    unavailable: bool = False
+
+    @property
+    def size_bytes(self) -> int:
+        """Modelled on-wire size of the message."""
+        return 12 + len(self.data)
+
+
+@dataclass(frozen=True)
+class AppFailureNotice:
+    """Watchdog extension (paper Sec. 4.2.2): an application-layer
+    watchdog on one server suspects its local application has failed and
+    tells the peer's engine directly — closing the detection gap for idle
+    connections where TCP-layer counters carry no signal."""
+
+    location: str   # "primary" or "backup": where the failure is
+
+    @property
+    def size_bytes(self) -> int:
+        """Modelled on-wire size of the message."""
+        return 8
+
+
+@dataclass(frozen=True)
+class ConnClosed:
+    """Primary → backup: connection finished; drop the replica."""
+
+    key: ConnKey
+
+    @property
+    def size_bytes(self) -> int:
+        """Modelled on-wire size of the message."""
+        return 8
+
+
+class ControlChannel:
+    """UDP-based control endpoint with optional serial mirroring.
+
+    ``send(msg, also_serial=True)`` duplicates small critical messages
+    (ConnInit) over the serial link so a lossy IP path cannot leave the
+    backup without an ISN.  The receiving engine deduplicates naturally —
+    replicate orders are idempotent.
+    """
+
+    def __init__(self, world: World, udp: UdpLayer, local_ip: IPAddress,
+                 peer_ip: IPAddress, port: int,
+                 serial_port: Optional[SerialPort] = None,
+                 name: str = "control"):
+        self._world = world
+        self._udp = udp
+        self._local_ip = local_ip
+        self._peer_ip = peer_ip
+        self._port = port
+        self._serial = serial_port
+        self.name = name
+        self._handler: Optional[Callable[[Any], None]] = None
+        self.messages_sent = 0
+        self.messages_received = 0
+        udp.bind(port, self._on_udp)
+
+    def set_handler(self, handler: Callable[[Any], None]) -> None:
+        """Install the receive callback."""
+        self._handler = handler
+
+    def send(self, message: Any, also_serial: bool = False) -> None:
+        """Transmit to the peer over UDP (and optionally serial)."""
+        self.messages_sent += 1
+        self._udp.send(self._peer_ip, self._port, self._port, message,
+                       src_ip=self._local_ip)
+        if also_serial and self._serial is not None:
+            self._serial.send(message)
+
+    def deliver_from_serial(self, message: Any) -> None:
+        """Entry point for control messages that arrived on the serial mux."""
+        self._dispatch(message)
+
+    def _on_udp(self, payload: Any, src_ip: IPAddress, _src_port: int) -> None:
+        if src_ip != self._peer_ip:
+            return  # only the paired server may speak this protocol
+        self._dispatch(payload)
+
+    def _dispatch(self, message: Any) -> None:
+        self.messages_received += 1
+        if self._handler is not None:
+            self._handler(message)

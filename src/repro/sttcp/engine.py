@@ -1,0 +1,227 @@
+"""Shared machinery for the primary and backup ST-TCP engines.
+
+Each server runs one engine.  The base class owns the plumbing common to
+both roles: the dual-link heartbeat service, the control channel, the
+serial-line demultiplexer (HB and control messages share the null-modem
+cable), the gateway-ping scoreboard for NIC-failure disambiguation
+(Sec. 4.3), the periodic detector tick, and STONITH.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.net.addresses import IPAddress
+from repro.net.icmp import Pinger
+from repro.net.serial_link import SerialPort
+from repro.sim.core import millis
+from repro.sim.timers import PeriodicTimer
+from repro.sim.world import World
+from repro.host.host import Host
+from repro.host.power import PowerStrip
+from repro.sttcp.config import SttcpConfig
+from repro.sttcp.control import ControlChannel
+from repro.sttcp.detector import PingScoreboard
+from repro.sttcp.events import EngineEventLog, EventKind
+from repro.sttcp.heartbeat import HeartbeatService
+from repro.sttcp.state import ConnProgress, Heartbeat
+
+__all__ = ["SttcpEngine", "MODE_FT", "MODE_NON_FT", "MODE_ACTIVE",
+           "MODE_STOPPED"]
+
+MODE_FT = "fault-tolerant"      # normal replicated operation
+MODE_NON_FT = "non-fault-tolerant"  # primary alone (backup declared failed)
+MODE_ACTIVE = "active"          # backup after takeover
+MODE_STOPPED = "stopped"        # engine's own host is down
+
+
+class SttcpEngine:
+    """Base class: everything role-independent."""
+
+    def __init__(self, world: World, host: Host, config: SttcpConfig,
+                 role: str, local_ip: IPAddress, peer_ip: IPAddress,
+                 service_ip: IPAddress, gateway_ip: IPAddress,
+                 power_strip: PowerStrip, peer_host: Host,
+                 serial_port: Optional[SerialPort] = None):
+        config.validate()
+        self.world = world
+        self.host = host
+        self.config = config
+        self.role = role
+        self.local_ip = local_ip
+        self.peer_ip = peer_ip
+        self.service_ip = service_ip
+        self.gateway_ip = gateway_ip
+        self.power_strip = power_strip
+        self.peer_host = peer_host
+        self.name = f"{host.name}.sttcp"
+        self.mode = MODE_FT
+        self.events = EngineEventLog()
+
+        self.hb = HeartbeatService(world, config, role, host.udp, local_ip,
+                                   peer_ip, serial_port, name=f"{self.name}.hb")
+        self.hb.build_heartbeat = self._build_heartbeat
+        self.hb.on_heartbeat = self._on_heartbeat
+        self.control = ControlChannel(world, host.udp, local_ip, peer_ip,
+                                      config.control_udp_port, serial_port,
+                                      name=f"{self.name}.ctl")
+        self.control.set_handler(self._on_control)
+        self._serial = serial_port
+        if serial_port is not None:
+            serial_port.set_handler(self._on_serial_message)
+
+        tick = max(config.hb_period_ns // 4, millis(10))
+        self._tick_timer = PeriodicTimer(world.sim, self._tick, tick,
+                                         label=f"{self.name}.tick")
+        self.ping_board = PingScoreboard(config.ping_fail_threshold)
+        self._pinger: Optional[Pinger] = None
+        self._ping_timer: Optional[PeriodicTimer] = None
+        self._probing = False
+        self._last_ping_ok: Optional[bool] = None
+        self._ip_was_up = True
+        self._serial_was_up = True
+        host.on_power_off.append(self._on_host_down)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        """Begin heartbeating and failure detection."""
+        self.hb.start()
+        self._tick_timer.start()
+
+    def stop(self) -> None:
+        """Stop heartbeating, detection and probing."""
+        self.hb.stop()
+        self._tick_timer.stop()
+        self._stop_probing()
+
+    def _on_host_down(self) -> None:
+        self.mode = MODE_STOPPED
+        self.stop()
+
+    # ------------------------------------------------------- event plumbing
+
+    def emit(self, kind: str, **detail: Any):
+        """Record an engine event (and mirror it into the trace)."""
+        event = self.events.emit(self.world.sim.now, kind, **detail)
+        self.world.trace.record("sttcp", self.name, kind, **detail)
+        return event
+
+    def stonith_peer(self, reason: str) -> None:
+        """Power the peer down (out-of-band) before acting alone."""
+        self.emit(EventKind.STONITH, target=self.peer_host.name, reason=reason)
+        self.power_strip.power_down(self.peer_host, initiator=self.name)
+
+    # ----------------------------------------------------- serial demux
+
+    def _on_serial_message(self, message: Any) -> None:
+        if isinstance(message, Heartbeat):
+            self.hb.deliver_from_serial(message)
+        else:
+            self.control.deliver_from_serial(message)
+
+    # -------------------------------------------------------- HB assembly
+
+    def _build_heartbeat(self) -> Heartbeat:
+        return Heartbeat(self.role, 0, tuple(self.connection_progress()),
+                         ping_probing=self._probing,
+                         ping_ok=self._last_ping_ok)
+
+    def connection_progress(self) -> list[ConnProgress]:
+        """Role-specific: progress entries for every managed connection."""
+        raise NotImplementedError
+
+    def _on_heartbeat(self, hb: Heartbeat, link: str) -> None:
+        """Role-specific HB processing; base handles the ping scoreboard."""
+        if hb.ping_probing:
+            self.ping_board.record_peer(hb.ping_ok)
+        self.handle_peer_heartbeat(hb, link)
+
+    def handle_peer_heartbeat(self, hb: Heartbeat, link: str) -> None:
+        """Role-specific heartbeat processing."""
+        raise NotImplementedError
+
+    def _on_control(self, message: Any) -> None:
+        raise NotImplementedError
+
+    def _tick(self) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------- gateway-ping probing
+
+    def _ensure_probing(self) -> None:
+        """Start pinging the gateway (entered when the IP HB is down but the
+        serial HB survives — paper Sec. 4.3)."""
+        if self._probing:
+            return
+        self._probing = True
+        self.emit(EventKind.PING_PROBING, gateway=str(self.gateway_ip))
+        if self._pinger is None:
+            self._pinger = Pinger(self.world, self.host.icmp, self.gateway_ip,
+                                  timeout_ns=self.config.ping_interval_ns // 2,
+                                  name=f"{self.name}.ping")
+        self._ping_timer = PeriodicTimer(self.world.sim, self._do_ping,
+                                         self.config.ping_interval_ns,
+                                         label=f"{self.name}.ping")
+        self._ping_timer.start(fire_immediately=True)
+
+    def _stop_probing(self) -> None:
+        if not self._probing:
+            return
+        self._probing = False
+        self._last_ping_ok = None
+        if self._ping_timer is not None:
+            self._ping_timer.stop()
+            self._ping_timer = None
+        self.ping_board.reset()
+
+    def _do_ping(self) -> None:
+        if self._pinger is not None and self.host.is_up:
+            self._pinger.ping(self._on_ping_result)
+
+    def _on_ping_result(self, ok: bool) -> None:
+        self._last_ping_ok = ok
+        self.ping_board.record_local(ok)
+
+    # ------------------------------------------------------- link watching
+
+    def peer_evidence_time(self) -> Optional[int]:
+        """Instant of the latest heartbeat from the peer on any link —
+        the most recent proof the peer machine was alive."""
+        ages = [age for age in (self.hb.last_rx_age_ns("ip"),
+                                self.hb.last_rx_age_ns("serial"))
+                if age is not None]
+        if not ages:
+            return None
+        return self.world.sim.now - min(ages)
+
+    def peer_hb_fresh(self) -> bool:
+        """True when a heartbeat arrived recently enough (on either link)
+        for the peer's progress counters to be meaningful.  The Sec. 4.2
+        application-failure criteria only apply while "HB between the
+        servers also stays up" — when HBs stop entirely, stale counters
+        must not masquerade as application lag (that is a crash, row 1)."""
+        ages = [age for age in (self.hb.last_rx_age_ns("ip"),
+                                self.hb.last_rx_age_ns("serial"))
+                if age is not None]
+        if not ages:
+            # No HB yet: fresh during the startup grace period.
+            return True
+        return min(ages) <= 2 * self.config.hb_period_ns
+
+    def check_links(self) -> tuple[bool, bool]:
+        """(ip_up, serial_up), emitting events on state transitions."""
+        ip_up = self.hb.ip_link_up()
+        serial_up = self.hb.serial_link_up()
+        if ip_up != self._ip_was_up:
+            self.emit(EventKind.HB_IP_LINK_DOWN if not ip_up
+                      else EventKind.HB_LINK_RECOVERED, link="ip")
+            self._ip_was_up = ip_up
+        if serial_up != self._serial_was_up:
+            self.emit(EventKind.HB_SERIAL_LINK_DOWN if not serial_up
+                      else EventKind.HB_LINK_RECOVERED, link="serial")
+            self._serial_was_up = serial_up
+        return ip_up, serial_up
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name} mode={self.mode}>"

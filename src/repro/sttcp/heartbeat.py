@@ -1,0 +1,158 @@
+"""The dual-link heartbeat service (paper Sec. 3).
+
+Heartbeats flow between the servers over two *diverse* links — UDP on the
+Ethernet fabric and a direct null-modem serial cable — so that no single
+failure silences both.  The per-link freshness bookkeeping here is what the
+failure detector reads:
+
+* both links stale  → peer machine is dead (Table 1 row 1);
+* IP stale, serial fresh → a local network (NIC/cable) failure
+  (Table 1 row 4), triggering the gateway-ping disambiguation.
+
+The service also tracks its *own* send health only implicitly — exactly
+like the real system, a server cannot distinguish "my NIC dropped my
+outbound HBs" from "the peer's NIC is deaf"; that asymmetry is resolved by
+the Sec. 4.3 mechanisms, not here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.addresses import IPAddress
+from repro.net.serial_link import SerialPort
+from repro.net.udp import UdpLayer
+from repro.sim.timers import PeriodicTimer
+from repro.sim.world import World
+from repro.sttcp.config import SttcpConfig
+from repro.sttcp.state import Heartbeat
+
+__all__ = ["HeartbeatService", "LINK_IP", "LINK_SERIAL"]
+
+LINK_IP = "ip"
+LINK_SERIAL = "serial"
+
+
+class HeartbeatService:
+    """Periodic HB transmission + per-link reception freshness."""
+
+    def __init__(self, world: World, config: SttcpConfig, role: str,
+                 udp: UdpLayer, local_ip: IPAddress, peer_ip: IPAddress,
+                 serial_port: Optional[SerialPort] = None,
+                 name: str = "hb"):
+        self._world = world
+        self._config = config
+        self.role = role
+        self._udp = udp
+        self._local_ip = local_ip
+        self._peer_ip = peer_ip
+        self._serial = serial_port if config.use_serial_hb else None
+        self.name = name
+        # Callable returning the Heartbeat to send this tick (engine hook).
+        self.build_heartbeat: Callable[[], Heartbeat] = (
+            lambda: Heartbeat(role, 0))
+        # Called on every received HB: (heartbeat, link_name).
+        self.on_heartbeat: Callable[[Heartbeat, str], None] = (
+            lambda hb, link: None)
+        self._timer = PeriodicTimer(world.sim, self._tick,
+                                    config.hb_period_ns, label=f"{name}.tick")
+        self._seq = 0
+        self._started_at: Optional[int] = None
+        self._last_rx = {LINK_IP: None, LINK_SERIAL: None}
+        self.sent = 0
+        self.received = {LINK_IP: 0, LINK_SERIAL: 0}
+        self.bytes_sent_serial = 0
+        udp.bind(config.hb_udp_port, self._on_udp)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        """Begin periodic transmission and freshness tracking."""
+        self._started_at = self._world.sim.now
+        self._timer.start(fire_immediately=True)
+
+    def stop(self) -> None:
+        """Stop transmitting."""
+        self._timer.stop()
+
+    @property
+    def running(self) -> bool:
+        """True while the periodic sender is active."""
+        return self._timer.running
+
+    def send_now(self) -> None:
+        """Out-of-schedule HB — the paper requires a server generating a
+        FIN to "immediately communicate the FIN to the other server"."""
+        self._tick(extra=True)
+
+    # --------------------------------------------------------------- sending
+
+    def _tick(self, extra: bool = False) -> None:
+        self._seq += 1
+        hb = self.build_heartbeat()
+        hb = Heartbeat(self.role, self._seq, hb.connections,
+                       hb.ping_probing, hb.ping_ok)
+        self.sent += 1
+        self._udp.send(self._peer_ip, self._config.hb_udp_port,
+                       self._config.hb_udp_port, hb, src_ip=self._local_ip)
+        if self._serial is not None:
+            self._serial.send(hb)
+            self.bytes_sent_serial += hb.size_bytes
+        self._world.trace.record("hb", self.name, "sent", seq=self._seq,
+                                 extra=extra)
+
+    # -------------------------------------------------------------- receiving
+
+    def _on_udp(self, payload, src_ip: IPAddress, _src_port: int) -> None:
+        if not isinstance(payload, Heartbeat) or src_ip != self._peer_ip:
+            return
+        self._receive(payload, LINK_IP)
+
+    def deliver_from_serial(self, hb: Heartbeat) -> None:
+        """Entry point for HBs that arrived on the serial mux."""
+        self._receive(hb, LINK_SERIAL)
+
+    def _receive(self, hb: Heartbeat, link: str) -> None:
+        self._last_rx[link] = self._world.sim.now
+        self.received[link] += 1
+        self._world.trace.record("hb", self.name, "received", link=link,
+                                 seq=hb.seq)
+        self.on_heartbeat(hb, link)
+
+    # ------------------------------------------------------------- freshness
+
+    def _stale_deadline_ns(self) -> int:
+        return self._config.hb_miss_threshold * self._config.hb_period_ns
+
+    def _link_fresh(self, link: str) -> bool:
+        if self._started_at is None:
+            return True  # not started: nothing can be judged stale
+        last = self._last_rx[link]
+        baseline = last if last is not None else self._started_at
+        return (self._world.sim.now - baseline) <= self._stale_deadline_ns()
+
+    def ip_link_up(self) -> bool:
+        """IP-link HB freshness (paper: miss threshold x period)."""
+        return self._link_fresh(LINK_IP)
+
+    def serial_link_up(self) -> bool:
+        """Serial link freshness; when the serial HB is disabled (ablation
+        A2) this mirrors the IP link, reproducing the old single-channel
+        failure-detection behaviour."""
+        if self._serial is None:
+            return self._link_fresh(LINK_IP)
+        return self._link_fresh(LINK_SERIAL)
+
+    @property
+    def has_serial(self) -> bool:
+        """True when a serial channel is configured."""
+        return self._serial is not None
+
+    def both_links_down(self) -> bool:
+        """The Table-1 row-1 symptom: total HB silence."""
+        return not self.ip_link_up() and not self.serial_link_up()
+
+    def last_rx_age_ns(self, link: str) -> Optional[int]:
+        """Age of the last HB on ``link`` (None before any)."""
+        last = self._last_rx[link]
+        return None if last is None else self._world.sim.now - last

@@ -1,0 +1,412 @@
+"""The primary-side ST-TCP engine.
+
+Responsibilities (paper Secs. 2-4):
+
+* replicate every accepted service connection to the backup (ConnInit with
+  the chosen ISN, so the backup's replica is byte-aligned);
+* copy in-order client bytes into the *extra receive buffer* and release
+  them only once the backup's heartbeat confirms receipt; serve the
+  backup's missed-byte fetches from it (Sec. 2, Sec. 4.3);
+* intercept application/OS socket closes and delay the FIN per the
+  MaxDelayFIN disagreement rules (Sec. 4.2.2);
+* detect backup failures — machine crash (both HB links silent), backup
+  application lag (AppMaxLagBytes / AppMaxLagTime), backup NIC failure
+  (IP HB down + client-byte/ack lag or gateway-ping asymmetry), retain
+  buffer exhaustion — and respond by powering the backup down and running
+  in non-fault-tolerant mode (Table 1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.sim.timers import Timer
+from repro.tcp.buffers import RetainBuffer
+from repro.tcp.connection import TcpConnection
+from repro.tcp.sockets import Listener, Socket
+from repro.sttcp.control import (AppFailureNotice, ConnClosed, ConnInit,
+                                 FetchReply, FetchRequest)
+from repro.sttcp.detector import LagTracker
+from repro.sttcp.engine import MODE_FT, MODE_NON_FT, SttcpEngine
+from repro.sttcp.events import EventKind
+from repro.sttcp.state import ConnKey, ConnProgress, Heartbeat, ROLE_PRIMARY
+
+__all__ = ["PrimaryEngine", "ManagedPrimaryConn"]
+
+
+class ManagedPrimaryConn:
+    """Primary-side per-connection replication state."""
+
+    def __init__(self, engine: "PrimaryEngine", conn: TcpConnection,
+                 socket: Socket, key: ConnKey):
+        self.engine = engine
+        self.conn = conn
+        self.socket = socket
+        self.key = key
+        config = engine.config
+        world = engine.world
+        self.retain = RetainBuffer(config.retain_buffer_bytes)
+        self.backup_progress: Optional[ConnProgress] = None
+        self.created_at = world.sim.now
+        self.init_resent = 0
+        # Backup application-failure trackers (Sec. 4.2.1, primary side).
+        self.read_tracker = LagTracker(world, config.app_max_lag_bytes,
+                                       config.app_max_lag_time_ns,
+                                       config.app_lag_confirm_ns,
+                                       name=f"{key}:app-read")
+        self.write_tracker = LagTracker(world, config.app_max_lag_bytes,
+                                        config.app_max_lag_time_ns,
+                                        config.app_lag_confirm_ns,
+                                        name=f"{key}:app-write")
+        # Backup NIC-failure trackers (Sec. 4.3) — consulted only while the
+        # IP HB is down and the serial HB is alive.
+        self.nic_rx_tracker = LagTracker(world, config.nic_max_lag_bytes,
+                                         config.nic_max_lag_time_ns,
+                                         config.nic_lag_confirm_ns,
+                                         name=f"{key}:nic-rx")
+        self.nic_ack_tracker = LagTracker(world, config.nic_max_lag_bytes,
+                                          config.nic_max_lag_time_ns,
+                                          config.nic_lag_confirm_ns,
+                                          name=f"{key}:nic-ack")
+        # FIN/RST disagreement state (Sec. 4.2.2).
+        self.close_requested = False        # app or OS asked to close
+        self.abort_requested = False
+        self.fin_held = False
+        self.fin_release_timer = Timer(world.sim, self._fin_deadline,
+                                       label="max-delay-fin")
+        self.backup_fin_seen = False
+        self.backup_fin_seen_at: Optional[int] = None
+
+    # ------------------------------------------------------------- progress
+
+    def progress(self) -> ConnProgress:
+        """Snapshot of the live connection's HB progress counters."""
+        conn = self.conn
+        return ConnProgress(
+            key=self.key,
+            last_byte_received=conn.last_byte_received,
+            last_ack_received=conn.last_ack_received,
+            last_app_byte_written=conn.last_app_byte_written,
+            last_app_byte_read=conn.last_app_byte_read,
+            fin_generated=self.close_requested or conn.fin_queued,
+            rst_generated=self.abort_requested or conn.rst_sent)
+
+    def update_trackers_from_backup(self, progress: ConnProgress) -> None:
+        """Fold the backup's latest HB entry into trackers and release retained bytes."""
+        self.backup_progress = progress
+        conn = self.conn
+        self.read_tracker.update(conn.last_app_byte_read,
+                                 progress.last_app_byte_read)
+        self.write_tracker.update(conn.last_app_byte_written,
+                                  progress.last_app_byte_written)
+        self.nic_rx_tracker.update(conn.last_byte_received,
+                                   progress.last_byte_received)
+        self.nic_ack_tracker.update(conn.last_ack_received,
+                                    progress.last_ack_received)
+        # Release retained client bytes the backup has confirmed.
+        self.retain.release_to(progress.last_byte_received)
+        if progress.fin_generated and not self.backup_fin_seen:
+            self.backup_fin_seen = True
+            self.backup_fin_seen_at = self.engine.world.sim.now
+            if self.fin_held:
+                # Both sides generated a FIN: normal socket closure.
+                self.engine.release_fin(self, "backup also generated FIN")
+
+    # --------------------------------------------------- FIN gate internals
+
+    def _fin_deadline(self) -> None:
+        # MaxDelayFIN expired without a failure verdict: assume our own
+        # behaviour is correct and let the FIN out (Sec. 4.2.2).
+        self.engine.release_fin(self, "MaxDelayFIN expired")
+
+    def app_failure_verdict(self, evidence_time) -> Optional[str]:
+        """Combined read/write lag verdict (None if healthy)."""
+        return (self.read_tracker.verdict(evidence_time)
+                or self.write_tracker.verdict(evidence_time))
+
+    def nic_failure_verdict(self, evidence_time) -> Optional[str]:
+        """Combined client-byte/ack lag verdict (None if healthy)."""
+        return (self.nic_rx_tracker.verdict(evidence_time)
+                or self.nic_ack_tracker.verdict(evidence_time))
+
+
+class PrimaryEngine(SttcpEngine):
+    """ST-TCP on the primary server."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, role=ROLE_PRIMARY, **kwargs)
+        self.conns: dict[ConnKey, ManagedPrimaryConn] = {}
+        self.host.tcp.on_connection_accepted.append(self._on_accepted)
+
+    def _on_host_down(self) -> None:
+        super()._on_host_down()
+        for mc in self.conns.values():
+            mc.fin_release_timer.stop()
+
+    # -------------------------------------------------------------- accept
+
+    def _on_accepted(self, conn: TcpConnection, socket: Socket,
+                     listener: Listener) -> None:
+        if conn.local_port != self.config.service_port:
+            return
+        if self.mode != MODE_FT:
+            return
+        key: ConnKey = (conn.remote_ip.value, conn.remote_port)
+        mc = ManagedPrimaryConn(self, conn, socket, key)
+        self.conns[key] = mc
+        conn.inorder_tap = mc.retain.append
+        socket.close_interceptor = lambda sock, m=mc: self._intercept_close(m)
+        socket.abort_interceptor = lambda sock, m=mc: self._intercept_abort(m)
+        self.emit(EventKind.CONN_REPLICATED, key=key, isn=conn.iss)
+        self._send_conn_init(mc)
+
+    def _send_conn_init(self, mc: ManagedPrimaryConn) -> None:
+        self.control.send(ConnInit(mc.key, self.config.service_port,
+                                   mc.conn.iss), also_serial=True)
+
+    # ----------------------------------------------------------- heartbeat
+
+    def connection_progress(self) -> list[ConnProgress]:
+        """HB payload: one entry per managed connection."""
+        return [mc.progress() for mc in self.conns.values()]
+
+    def handle_peer_heartbeat(self, hb: Heartbeat, link: str) -> None:
+        """Process a heartbeat from the backup."""
+        if hb.sender_role == ROLE_PRIMARY:
+            return  # misconfiguration guard
+        for progress in hb.connections:
+            mc = self.conns.get(progress.key)
+            if mc is not None:
+                mc.update_trackers_from_backup(progress)
+
+    # -------------------------------------------------------------- control
+
+    def _on_control(self, message: Any) -> None:
+        if isinstance(message, FetchRequest):
+            self._serve_fetch(message)
+        elif isinstance(message, AppFailureNotice):
+            if message.location == "backup" and self.mode == MODE_FT:
+                self.emit(EventKind.APP_FAILURE_DETECTED, location="backup",
+                          symptom="application watchdog suspicion")
+                self.enter_non_ft("backup application failure "
+                                  "(watchdog report)")
+
+    def attach_watchdog(self, app, period_ns: int = 100_000_000,
+                        miss_threshold: int = 3):
+        """Sec. 4.2.2 extension: monitor the local service application
+        with a watchdog; on suspicion, notify the backup directly so it
+        can take over even when the connection is idle."""
+        from repro.apps.watchdog import ApplicationWatchdog
+
+        def on_suspicion(_app):
+            """Broadcast the watchdog's suspicion to the backup."""
+            if self.mode != MODE_FT:
+                return
+            self.emit(EventKind.APP_FAILURE_DETECTED, location="primary",
+                      symptom="application watchdog suspicion (local)")
+            self.control.send(AppFailureNotice("primary"), also_serial=True)
+
+        watchdog = ApplicationWatchdog(self.world, app, on_suspicion,
+                                       period_ns=period_ns,
+                                       miss_threshold=miss_threshold)
+        watchdog.start()
+        return watchdog
+
+    def _serve_fetch(self, request: FetchRequest) -> None:
+        """Re-supply client bytes from the extra receive buffer."""
+        mc = self.conns.get(request.key)
+        if mc is None:
+            self.control.send(FetchReply(request.key, 0, unavailable=True))
+            return
+        for start, end in request.ranges:
+            offset = start
+            while offset < end:
+                length = min(self.config.fetch_chunk_bytes, end - offset)
+                data = mc.retain.get_range(offset, length)
+                if data is None or data == b"":
+                    # Released or never received: cannot re-supply.
+                    self.control.send(FetchReply(request.key, offset,
+                                                 unavailable=True))
+                    break
+                self.control.send(FetchReply(request.key, offset, data))
+                offset += len(data)
+
+    # ------------------------------------------------------ FIN intercepts
+
+    def _intercept_close(self, mc: ManagedPrimaryConn) -> bool:
+        """Socket.close() gate: implement the Sec. 4.2.2 decision table.
+
+        Returns True when the close (FIN) is being *held*; False lets the
+        socket proceed to a normal TCP close immediately.
+        """
+        if self.mode != MODE_FT:
+            return False
+        if mc.close_requested:
+            return True  # already being handled
+        mc.close_requested = True
+        # "a server generating a FIN should immediately communicate the FIN
+        # to the other server through the HB"
+        self.hb.send_now()
+        if mc.conn.peer_fin_consumed:
+            # "the primary always immediately sends out a FIN if it has
+            # already received a FIN from the client"
+            return False
+        if mc.backup_fin_seen:
+            # Both sides agree: normal closure, no delay.
+            return False
+        mc.fin_held = True
+        mc.fin_release_timer.start(self.config.max_delay_fin_ns)
+        self.emit(EventKind.FIN_HELD, key=mc.key,
+                  max_delay_s=self.config.max_delay_fin_ns / 1e9)
+        return True
+
+    def _intercept_abort(self, mc: ManagedPrimaryConn) -> bool:
+        """Socket.abort() gate: RSTs get the same disagreement treatment."""
+        if self.mode != MODE_FT:
+            return False
+        if mc.abort_requested:
+            return True
+        mc.abort_requested = True
+        self.hb.send_now()
+        if mc.backup_progress is not None and mc.backup_progress.rst_generated:
+            return False
+        mc.fin_held = True  # reuse the same hold machinery
+        mc.fin_release_timer.start(self.config.max_delay_fin_ns)
+        self.emit(EventKind.FIN_HELD, key=mc.key, kind="rst")
+        return True
+
+    def release_fin(self, mc: ManagedPrimaryConn, reason: str) -> None:
+        """Let a held FIN/RST out to the client."""
+        if not mc.fin_held:
+            return
+        mc.fin_held = False
+        mc.fin_release_timer.stop()
+        self.emit(EventKind.FIN_RELEASED, key=mc.key, reason=reason)
+        if mc.abort_requested:
+            mc.conn.abort()
+        else:
+            mc.conn.close()
+
+    # ----------------------------------------------------------- detection
+
+    def _tick(self) -> None:
+        if self.mode != MODE_FT:
+            return
+        ip_up, serial_up = self.check_links()
+        if not ip_up and not serial_up:
+            # Table 1 row 1 (backup side): backup machine crashed.
+            self.emit(EventKind.PEER_CRASH_DETECTED,
+                      symptom="HB failure on both links")
+            self.enter_non_ft("backup HB failure on both links")
+            return
+        if not ip_up and serial_up:
+            # Table 1 row 4: a local network failure somewhere; find whose.
+            # Application-lag detection is suspended while the IP link is
+            # down — progress divergence is the *expected* symptom of a NIC
+            # failure, and Sec. 4.3's own criteria decide whose it is.
+            self._ensure_probing()
+            if self._diagnose_backup_nic():
+                return
+        else:
+            self._stop_probing()
+            self._check_backup_app_failure()
+        self._check_retain_overflow()
+        self._resend_missing_inits()
+        self._collect_closed()
+
+    def _diagnose_backup_nic(self) -> bool:
+        evidence = self.peer_evidence_time()
+        for mc in self.conns.values():
+            # Keep NIC trackers current even between backup HBs: our own
+            # counters advance as the client keeps sending.
+            if mc.backup_progress is not None:
+                mc.nic_rx_tracker.update(
+                    mc.conn.last_byte_received,
+                    mc.backup_progress.last_byte_received)
+                mc.nic_ack_tracker.update(
+                    mc.conn.last_ack_received,
+                    mc.backup_progress.last_ack_received)
+            verdict = mc.nic_failure_verdict(evidence)
+            if verdict is not None:
+                self.emit(EventKind.NIC_FAILURE_DETECTED, key=mc.key,
+                          symptom=verdict)
+                self.enter_non_ft(f"backup NIC failure: {verdict}")
+                return True
+        if self.ping_board.peer_nic_failed():
+            self.emit(EventKind.NIC_FAILURE_DETECTED,
+                      symptom="backup gateway pings failing, ours succeed")
+            self.enter_non_ft("backup NIC failure: gateway ping asymmetry")
+            return True
+        return False
+
+    def _check_backup_app_failure(self) -> None:
+        if not self.peer_hb_fresh():
+            return  # silence is the crash detector's evidence, not ours
+        evidence = self.peer_evidence_time()
+        for mc in self.conns.values():
+            if mc.backup_progress is not None:
+                mc.update_trackers_from_backup(mc.backup_progress)
+            verdict = mc.app_failure_verdict(evidence)
+            if verdict is not None:
+                self.emit(EventKind.APP_FAILURE_DETECTED, key=mc.key,
+                          symptom=verdict, location="backup")
+                self.enter_non_ft(f"backup application failure: {verdict}")
+                return
+            # Sec. 4.2.2 case "backup generates FIN, primary does not":
+            # resolve at MaxDelayFIN if no failure verdict arrived earlier.
+            if (mc.backup_fin_seen and not mc.close_requested
+                    and not mc.conn.fin_queued
+                    and mc.backup_fin_seen_at is not None
+                    and (self.world.sim.now - mc.backup_fin_seen_at
+                         >= self.config.max_delay_fin_ns)):
+                self.emit(EventKind.APP_FAILURE_DETECTED, key=mc.key,
+                          symptom="backup FIN without primary FIN, "
+                                  "unresolved at MaxDelayFIN",
+                          location="backup")
+                self.enter_non_ft("backup FIN disagreement at MaxDelayFIN")
+                return
+
+    def _check_retain_overflow(self) -> None:
+        for mc in self.conns.values():
+            if mc.retain.overflowed:
+                # Sec. 4.3: the backup cannot catch up and the extra buffer
+                # filled; the primary considers the backup failed.
+                self.emit(EventKind.RETAIN_OVERFLOW, key=mc.key)
+                self.enter_non_ft("retain buffer exhausted: backup "
+                                  "cannot catch up")
+                return
+
+    def _resend_missing_inits(self) -> None:
+        """Re-announce connections the backup's HBs never mention."""
+        now = self.world.sim.now
+        for mc in self.conns.values():
+            if (mc.backup_progress is None and mc.init_resent < 5
+                    and now - mc.created_at
+                    > (mc.init_resent + 2) * self.config.hb_period_ns):
+                mc.init_resent += 1
+                self._send_conn_init(mc)
+
+    def _collect_closed(self) -> None:
+        for key in [k for k, mc in self.conns.items()
+                    if mc.conn.state.value == "CLOSED"]:
+            self.control.send(ConnClosed(key))
+            mc = self.conns.pop(key)
+            mc.fin_release_timer.stop()
+
+    # ------------------------------------------------------------ non-FT
+
+    def enter_non_ft(self, reason: str) -> None:
+        """Backup declared failed: shut it down, carry on alone (Table 1)."""
+        if self.mode != MODE_FT:
+            return
+        self.mode = MODE_NON_FT
+        self.emit(EventKind.NON_FT_MODE, reason=reason)
+        self.stonith_peer(reason)
+        self.stop()
+        # Any held FINs are no longer waiting on backup agreement.
+        for mc in list(self.conns.values()):
+            if mc.fin_held:
+                self.release_fin(mc, f"non-FT mode: {reason}")
+            mc.conn.inorder_tap = None  # no more retained copies needed
+            mc.socket.close_interceptor = None
+            mc.socket.abort_interceptor = None

@@ -1,0 +1,75 @@
+"""Replicated per-connection state and the heartbeat message.
+
+The heartbeat carries, per connection, exactly the four counters the paper
+lists in Sec. 3 — ``LastByteReceived``, ``LastAckReceived``,
+``LastAppByteWritten``, ``LastAppByteRead`` — plus FIN/RST generation
+notices (Sec. 4.2.2) and, while a NIC failure is being disambiguated, the
+latest gateway-ping outcome (Sec. 4.3).
+
+All counters are *stream offsets* (0 = first data byte).  They compare
+directly between primary and backup because ST-TCP forces both replicas to
+use the same ISN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["ConnKey", "ConnProgress", "Heartbeat",
+           "ROLE_PRIMARY", "ROLE_BACKUP",
+           "HEARTBEAT_BASE_BYTES", "PER_CONNECTION_BYTES"]
+
+ROLE_PRIMARY = "primary"
+ROLE_BACKUP = "backup"
+
+# The paper: "The HB is less than 20 bytes per TCP connection".
+PER_CONNECTION_BYTES = 20
+HEARTBEAT_BASE_BYTES = 8
+
+# (client_ip_value, client_port) — the varying half of the 4-tuple; the
+# service IP and port are fixed per ST-TCP pair.
+ConnKey = tuple
+
+
+@dataclass(frozen=True)
+class ConnProgress:
+    """One connection's progress counters as carried in a heartbeat."""
+
+    key: ConnKey
+    last_byte_received: int       # in-order client bytes received by TCP
+    last_ack_received: int        # our bytes the client has acked
+    last_app_byte_written: int    # bytes the app wrote to the send buffer
+    last_app_byte_read: int       # bytes the app read from the recv buffer
+    fin_generated: bool = False   # app/OS closed the socket (FIN queued/held)
+    rst_generated: bool = False   # app aborted the socket (RST held)
+
+    @property
+    def size_bytes(self) -> int:
+        """Modelled on-wire size."""
+        return PER_CONNECTION_BYTES
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """One heartbeat message (sent over both the IP and serial links)."""
+
+    sender_role: str
+    seq: int
+    connections: tuple[ConnProgress, ...] = ()
+    # Gateway-ping exchange, active only while diagnosing a NIC failure.
+    ping_probing: bool = False
+    ping_ok: Optional[bool] = None
+
+    @property
+    def size_bytes(self) -> int:
+        """Modelled on-wire size."""
+        return (HEARTBEAT_BASE_BYTES
+                + PER_CONNECTION_BYTES * len(self.connections))
+
+    def progress_for(self, key: ConnKey) -> Optional[ConnProgress]:
+        """This heartbeat's entry for one connection key (or None)."""
+        for progress in self.connections:
+            if progress.key == key:
+                return progress
+        return None

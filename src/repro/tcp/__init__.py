@@ -1,0 +1,57 @@
+"""A complete user-space TCP implementation for the simulator.
+
+Implements handshake, sliding-window data transfer, flow control, Reno
+congestion control, RTO with exponential backoff, fast retransmit, persist
+probes, and FIN/RST teardown — the substrate every ST-TCP mechanism acts
+on (see DESIGN.md substitution table).
+"""
+
+from repro.tcp.buffers import ReceiveBuffer, RetainBuffer, SendBuffer
+from repro.tcp.congestion import RenoCongestionControl
+from repro.tcp.connection import TcpConfig, TcpConnection
+from repro.tcp.rtt import RttEstimator
+from repro.tcp.segment import TCP_HEADER_BYTES, TcpFlags, TcpSegment
+from repro.tcp.seq import (
+    SEQ_MASK,
+    SEQ_MOD,
+    seq_add,
+    seq_between,
+    seq_ge,
+    seq_gt,
+    seq_le,
+    seq_lt,
+    seq_max,
+    seq_min,
+    seq_sub,
+)
+from repro.tcp.sockets import Listener, Socket
+from repro.tcp.stack import TcpStack
+from repro.tcp.states import TcpState
+
+__all__ = [
+    "SEQ_MASK",
+    "SEQ_MOD",
+    "TCP_HEADER_BYTES",
+    "Listener",
+    "ReceiveBuffer",
+    "RenoCongestionControl",
+    "RetainBuffer",
+    "RttEstimator",
+    "SendBuffer",
+    "Socket",
+    "TcpConfig",
+    "TcpConnection",
+    "TcpFlags",
+    "TcpSegment",
+    "TcpStack",
+    "TcpState",
+    "seq_add",
+    "seq_between",
+    "seq_ge",
+    "seq_gt",
+    "seq_le",
+    "seq_lt",
+    "seq_max",
+    "seq_min",
+    "seq_sub",
+]

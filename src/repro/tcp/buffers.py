@@ -1,0 +1,335 @@
+"""Send, receive (reassembly) and retain buffers.
+
+All three buffers index data by *stream offset*: byte 0 is the first data
+byte of the connection (sequence number ISN+1).  Offsets are plain Python
+ints, so they never wrap; the connection layer translates to and from
+32-bit wire sequence numbers.  Primary and backup share identical offsets
+because ST-TCP forces identical ISNs — which is what makes the heartbeat's
+progress counters (`LastByteReceived` etc.) directly comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["SendBuffer", "ReceiveBuffer", "RetainBuffer"]
+
+
+class SendBuffer:
+    """Outgoing byte stream: unacknowledged + not-yet-sent data.
+
+    The application appends at the tail (bounded by ``capacity``); the
+    connection acknowledges prefixes away as the peer acks.
+    """
+
+    def __init__(self, capacity: int = 65536):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._data = bytearray()
+        self._base = 0          # stream offset of _data[0] (== acked prefix)
+        self._written = 0       # total bytes ever accepted (stream length)
+
+    @property
+    def base_offset(self) -> int:
+        """Offset of the first unacknowledged byte."""
+        return self._base
+
+    @property
+    def end_offset(self) -> int:
+        """Offset one past the last byte written."""
+        return self._written
+
+    @property
+    def buffered(self) -> int:
+        """Bytes currently held (unacked or unsent)."""
+        return len(self._data)
+
+    @property
+    def free_space(self) -> int:
+        """Remaining writable capacity."""
+        return self.capacity - len(self._data)
+
+    def write(self, data: bytes) -> int:
+        """Append up to ``free_space`` bytes; returns the count accepted."""
+        accepted = min(len(data), self.free_space)
+        if accepted > 0:
+            self._data.extend(data[:accepted])
+            self._written += accepted
+        return accepted
+
+    def ack_to(self, offset: int) -> int:
+        """Discard bytes below ``offset`` (cumulative ack); returns freed count."""
+        if offset <= self._base:
+            return 0
+        if offset > self._written:
+            raise ValueError(
+                f"ack beyond written data: {offset} > {self._written}")
+        freed = offset - self._base
+        del self._data[:freed]
+        self._base = offset
+        return freed
+
+    def get_range(self, offset: int, length: int) -> bytes:
+        """Copy ``length`` bytes starting at stream ``offset`` (clamped to
+        available data).  Used for both transmission and retransmission."""
+        if offset < self._base:
+            raise ValueError(
+                f"range below acked prefix: {offset} < {self._base}")
+        start = offset - self._base
+        return bytes(self._data[start:start + length])
+
+
+class ReceiveBuffer:
+    """Incoming reassembly buffer with out-of-order segment storage.
+
+    ``receive`` accepts data at any offset at or beyond ``rcv_next``;
+    contiguous data becomes readable by the application.  The advertised
+    window shrinks with everything buffered (read-queue + out-of-order),
+    exactly like a real receive window.
+    """
+
+    def __init__(self, capacity: int = 65536):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._readable = bytearray()
+        self._rcv_next = 0                       # next in-order offset
+        self._read = 0                           # total bytes app consumed
+        self._ooo: dict[int, bytes] = {}         # offset -> chunk (disjoint)
+
+    @property
+    def rcv_next(self) -> int:
+        """Offset of the next in-order byte expected (== LastByteReceived)."""
+        return self._rcv_next
+
+    @property
+    def bytes_read(self) -> int:
+        """Total bytes the application has consumed (== LastAppByteRead)."""
+        return self._read
+
+    @property
+    def readable(self) -> int:
+        """Bytes available for the application to read right now."""
+        return len(self._readable)
+
+    @property
+    def ooo_bytes(self) -> int:
+        """Bytes held out-of-order (above a gap)."""
+        return sum(len(c) for c in self._ooo.values())
+
+    @property
+    def window(self) -> int:
+        """Advertised receive window."""
+        return max(0, self.capacity - len(self._readable) - self.ooo_bytes)
+
+    @property
+    def has_gap(self) -> bool:
+        """True while out-of-order data awaits a hole fill."""
+        return bool(self._ooo)
+
+    @property
+    def highest_received(self) -> int:
+        """One past the highest byte buffered anywhere (in-order or OOO)."""
+        if not self._ooo:
+            return self._rcv_next
+        return max(self._rcv_next,
+                   max(off + len(chunk) for off, chunk in self._ooo.items()))
+
+    def missing_ranges(self) -> list[tuple[int, int]]:
+        """Gaps ``(start, end)`` between rcv_next and buffered OOO data —
+        what the ST-TCP backup asks the primary to re-supply."""
+        if not self._ooo:
+            return []
+        gaps = []
+        cursor = self._rcv_next
+        for off in sorted(self._ooo):
+            if off > cursor:
+                gaps.append((cursor, off))
+            cursor = max(cursor, off + len(self._ooo[off]))
+        return gaps
+
+    def receive(self, offset: int, data: bytes) -> int:
+        """Insert received data; returns how many *new in-order* bytes
+        became available (0 for pure out-of-order or duplicate data).
+
+        Data beyond the window is trimmed (a correct sender never sends it,
+        but a retransmission racing a window update can).
+        """
+        if not data:
+            return 0
+        # Trim the already-received prefix.
+        if offset < self._rcv_next:
+            skip = self._rcv_next - offset
+            if skip >= len(data):
+                return 0
+            data = data[skip:]
+            offset = self._rcv_next
+        # Trim anything beyond the buffer's acceptance edge.  Note this is
+        # NOT ``rcv_next + window``: the advertised window conservatively
+        # subtracts out-of-order bytes, but those bytes occupy positions
+        # *inside* the edge — shrinking the acceptance edge because of them
+        # would drop data we previously advertised room for (TCP forbids
+        # window shrinking).  Capacity minus the readable queue bounds what
+        # we can physically hold.
+        right_edge = self._rcv_next + (self.capacity - len(self._readable))
+        if offset >= right_edge:
+            return 0
+        if offset + len(data) > right_edge:
+            data = data[:right_edge - offset]
+        if not data:
+            return 0
+        if offset == self._rcv_next:
+            before = self._rcv_next
+            self._readable.extend(data)
+            self._rcv_next += len(data)
+            self._drain_ooo()
+            return self._rcv_next - before
+        self._store_ooo(offset, data)
+        return 0
+
+    def _store_ooo(self, offset: int, data: bytes) -> None:
+        """Insert an out-of-order chunk, merging overlaps conservatively."""
+        for exist_off in sorted(self._ooo):
+            chunk = self._ooo[exist_off]
+            exist_end = exist_off + len(chunk)
+            end = offset + len(data)
+            if offset >= exist_off and end <= exist_end:
+                return  # fully contained duplicate
+            if not (end <= exist_off or offset >= exist_end):
+                # Overlap: merge the two into one contiguous chunk.
+                new_off = min(offset, exist_off)
+                new_end = max(end, exist_end)
+                merged = bytearray(new_end - new_off)
+                merged[exist_off - new_off:exist_off - new_off + len(chunk)] = chunk
+                merged[offset - new_off:offset - new_off + len(data)] = data
+                del self._ooo[exist_off]
+                self._store_ooo(new_off, bytes(merged))
+                return
+        self._ooo[offset] = bytes(data)
+
+    def _drain_ooo(self) -> None:
+        # Purge chunks made obsolete by the in-order advance (duplicates
+        # of data we already consumed) so has_gap stays truthful.
+        stale = [off for off, chunk in self._ooo.items()
+                 if off + len(chunk) <= self._rcv_next]
+        for off in stale:
+            del self._ooo[off]
+        while True:
+            chunk = self._ooo.pop(self._rcv_next, None)
+            if chunk is None:
+                # A chunk may *overlap* rcv_next after in-order fill.
+                overlapping = None
+                for off in sorted(self._ooo):
+                    if off < self._rcv_next < off + len(self._ooo[off]):
+                        overlapping = off
+                        break
+                    if off >= self._rcv_next:
+                        break
+                if overlapping is None:
+                    return
+                chunk = self._ooo.pop(overlapping)[self._rcv_next - overlapping:]
+            self._readable.extend(chunk)
+            self._rcv_next += len(chunk)
+
+    def read(self, max_bytes: Optional[int] = None) -> bytes:
+        """Consume up to ``max_bytes`` in-order bytes (all, if None)."""
+        n = len(self._readable) if max_bytes is None else min(
+            max_bytes, len(self._readable))
+        if n <= 0:
+            return b""
+        out = bytes(self._readable[:n])
+        del self._readable[:n]
+        self._read += n
+        return out
+
+    def peek_tail(self, n: int) -> bytes:
+        """Copy the last ``n`` readable bytes without consuming them.
+
+        Used by the connection layer to hand freshly in-order bytes to the
+        ST-TCP retain-buffer tap immediately after a ``receive`` call."""
+        if n <= 0:
+            return b""
+        return bytes(self._readable[-n:])
+
+
+class RetainBuffer:
+    """The ST-TCP primary's *extra receive buffer* (paper Sec. 2).
+
+    The primary keeps a copy of every in-order client byte until the backup
+    confirms receipt through the heartbeat, so the backup can fetch bytes
+    it missed (Table 1 row 5).  If the buffer fills — the backup cannot
+    keep up — the primary declares the backup failed (paper Sec. 4.3).
+    """
+
+    def __init__(self, capacity: int = 262144):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._data = bytearray()
+        self._base = 0
+        self.overflowed = False
+
+    @property
+    def base_offset(self) -> int:
+        """Offset of the first retained byte."""
+        return self._base
+
+    @property
+    def end_offset(self) -> int:
+        """One past the last retained byte."""
+        return self._base + len(self._data)
+
+    @property
+    def buffered(self) -> int:
+        """Bytes currently held."""
+        return len(self._data)
+
+    def append(self, offset: int, data: bytes) -> None:
+        """Store in-order client bytes (``offset`` must extend the buffer).
+
+        Sets :attr:`overflowed` instead of raising when capacity would be
+        exceeded — the caller (the primary engine) converts that condition
+        into a "backup failed" verdict per the paper.
+        """
+        end = self.end_offset
+        if offset < end:
+            skip = end - offset
+            if skip >= len(data):
+                return
+            data = data[skip:]
+            offset = end
+        if offset != end:
+            if self.overflowed:
+                # Bytes were already dropped at the full mark; the buffer
+                # can no longer represent the stream contiguously.  The
+                # primary engine reads ``overflowed`` and declares the
+                # backup failed (paper Sec. 4.3).
+                return
+            raise ValueError(
+                f"retain buffer gap: expected offset {end}, got {offset}")
+        if len(self._data) + len(data) > self.capacity:
+            self.overflowed = True
+            room = self.capacity - len(self._data)
+            data = data[:room]
+        self._data.extend(data)
+
+    def release_to(self, offset: int) -> int:
+        """Drop bytes the backup has confirmed; returns freed count."""
+        if offset <= self._base:
+            return 0
+        offset = min(offset, self.end_offset)
+        freed = offset - self._base
+        del self._data[:freed]
+        self._base = offset
+        return freed
+
+    def get_range(self, offset: int, length: int) -> Optional[bytes]:
+        """Bytes at ``offset`` (None if already released — the
+        unrecoverable-output-commit case of paper Sec. 4.3)."""
+        if offset < self._base:
+            return None
+        start = offset - self._base
+        if start >= len(self._data):
+            return b""
+        return bytes(self._data[start:start + length])

@@ -1,0 +1,89 @@
+"""TCP Reno congestion control: slow start, congestion avoidance, fast
+retransmit / fast recovery (RFC 5681).
+
+The backup's suppressed connection runs the *same* congestion machinery as
+the primary — its cwnd evolves from the shared client acks — so at takeover
+the backup's send rate is already warmed up, one of the reasons ST-TCP
+failover looks like a glitch rather than a fresh slow-start.
+"""
+
+from __future__ import annotations
+
+__all__ = ["RenoCongestionControl"]
+
+
+class RenoCongestionControl:
+    """Per-connection Reno state machine."""
+
+    DUPACK_THRESHOLD = 3
+
+    def __init__(self, mss: int, initial_window_segments: int = 10):
+        if mss <= 0:
+            raise ValueError(f"mss must be positive, got {mss}")
+        self.mss = mss
+        self.cwnd = initial_window_segments * mss
+        self.ssthresh = 1 << 30  # "infinite" until the first loss event
+        self.dupacks = 0
+        self.in_fast_recovery = False
+        self._recovery_point = 0   # stream offset that ends fast recovery
+        self.fast_retransmits = 0
+        self.timeouts = 0
+        self._acked_accum = 0      # fractional cwnd growth in CA
+
+    # ------------------------------------------------------------------ acks
+
+    def on_new_ack(self, newly_acked: int, snd_una: int) -> None:
+        """A cumulative ack advanced ``snd_una`` by ``newly_acked`` bytes."""
+        self.dupacks = 0
+        if self.in_fast_recovery:
+            if snd_una >= self._recovery_point:
+                # Full recovery: deflate to ssthresh.
+                self.in_fast_recovery = False
+                self.cwnd = self.ssthresh
+            else:
+                # Partial ack: stay in recovery (NewReno-lite).
+                self.cwnd = max(self.ssthresh, self.cwnd - newly_acked + self.mss)
+            return
+        if self.cwnd < self.ssthresh:
+            # Slow start: one MSS per acked MSS (capped by bytes acked).
+            self.cwnd += min(newly_acked, self.mss)
+        else:
+            # Congestion avoidance: ~one MSS per RTT, byte-counted.
+            self._acked_accum += newly_acked
+            if self._acked_accum >= self.cwnd:
+                self._acked_accum -= self.cwnd
+                self.cwnd += self.mss
+
+    def on_dupack(self, flight_size: int, snd_nxt: int) -> bool:
+        """Register a duplicate ack; returns True when the caller should
+        fast-retransmit the segment at snd_una."""
+        if self.in_fast_recovery:
+            # Each further dupack inflates cwnd by one MSS.
+            self.cwnd += self.mss
+            return False
+        self.dupacks += 1
+        if self.dupacks == self.DUPACK_THRESHOLD:
+            self.ssthresh = max(flight_size // 2, 2 * self.mss)
+            self.cwnd = self.ssthresh + self.DUPACK_THRESHOLD * self.mss
+            self.in_fast_recovery = True
+            self._recovery_point = snd_nxt
+            self.fast_retransmits += 1
+            return True
+        return False
+
+    # --------------------------------------------------------------- timeout
+
+    def on_timeout(self, flight_size: int) -> None:
+        """RTO fired: collapse to one segment and restart slow start."""
+        self.timeouts += 1
+        self.ssthresh = max(flight_size // 2, 2 * self.mss)
+        self.cwnd = self.mss
+        self.dupacks = 0
+        self.in_fast_recovery = False
+        self._acked_accum = 0
+
+    # ----------------------------------------------------------------- query
+
+    def send_window(self, peer_window: int) -> int:
+        """Usable window = min(cwnd, receiver's advertised window)."""
+        return min(self.cwnd, peer_window)

@@ -1,0 +1,796 @@
+"""The TCP connection state machine.
+
+This is a faithful (though simplified) user-space TCP: 3-way handshake,
+cumulative acks, flow control, Reno congestion control, RTO with
+exponential backoff, fast retransmit, persist probes, FIN/RST teardown and
+TIME_WAIT.  It is the substrate every ST-TCP mechanism acts on.
+
+ST-TCP integration points (used by :mod:`repro.sttcp`):
+
+* :attr:`TcpConnection.transmit` is a replaceable output hook — the backup
+  engine swaps in a suppressor so the replica's segments are generated,
+  counted, and *dropped* (paper Sec. 2).
+* :meth:`open_passive` accepts an ISN override so the backup's replica
+  connection uses the primary's ISN (paper Sec. 2).
+* Progress counters :attr:`last_byte_received`, :attr:`last_ack_received`,
+  :attr:`last_app_byte_written`, :attr:`last_app_byte_read` are exactly
+  the four quantities the ST-TCP heartbeat carries (paper Sec. 3).
+* :attr:`inorder_tap` lets the primary copy in-order client bytes into its
+  retain buffer; :meth:`inject_stream_bytes` lets the backup insert bytes
+  fetched from the primary (Table 1 row 5).
+* ``stt_tolerate_future_acks`` lets the backup accept client acks for
+  bytes its (slightly lagging) replica application has not produced yet.
+
+Internally all data positions are *stream offsets* (plain ints, byte 0 =
+first data byte); translation to 32-bit wire sequence numbers happens only
+at segment build/parse time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import ConnectionClosedError
+from repro.sim.core import millis, seconds
+from repro.sim.timers import Timer
+from repro.sim.world import World
+from repro.tcp.buffers import ReceiveBuffer, SendBuffer
+from repro.tcp.congestion import RenoCongestionControl
+from repro.tcp.rtt import RttEstimator
+from repro.tcp.segment import TcpFlags, TcpSegment
+from repro.tcp.seq import seq_add, seq_sub
+from repro.tcp.states import TcpState
+
+__all__ = ["TcpConfig", "TcpConnection"]
+
+
+@dataclass
+class TcpConfig:
+    """Tunables for one TCP endpoint (Linux-flavoured defaults)."""
+
+    mss: int = 1460
+    send_buffer_bytes: int = 65536
+    recv_buffer_bytes: int = 65536
+    initial_rto_ns: int = seconds(1)
+    min_rto_ns: int = millis(200)
+    max_rto_ns: int = seconds(60)
+    max_retransmits: int = 15
+    max_syn_retransmits: int = 6
+    delayed_ack: bool = False
+    delayed_ack_timeout_ns: int = millis(40)
+    msl_ns: int = seconds(10)
+    initial_window_segments: int = 10
+    persist_min_ns: int = millis(500)
+    persist_max_ns: int = seconds(60)
+
+    def validate(self) -> None:
+        """Raise ValueError on inconsistent settings."""
+        if self.mss <= 0:
+            raise ValueError(f"mss must be positive: {self.mss}")
+        if self.send_buffer_bytes < self.mss or self.recv_buffer_bytes < self.mss:
+            raise ValueError("buffers must hold at least one MSS")
+
+
+class TcpConnection:
+    """One end of a TCP connection."""
+
+    def __init__(self, world: World, name: str,
+                 local_ip, local_port: int, remote_ip, remote_port: int,
+                 config: Optional[TcpConfig] = None,
+                 transmit: Optional[Callable[[TcpSegment], None]] = None):
+        self.world = world
+        self.name = name
+        self.local_ip = local_ip
+        self.local_port = local_port
+        self.remote_ip = remote_ip
+        self.remote_port = remote_port
+        self.config = config or TcpConfig()
+        self.config.validate()
+        # Output hook; the ST-TCP backup replaces this with a suppressor.
+        self.transmit: Callable[[TcpSegment], None] = transmit or (lambda seg: None)
+
+        self.state = TcpState.CLOSED
+        self.iss: Optional[int] = None
+        self.irs: Optional[int] = None
+
+        self.send_buffer = SendBuffer(self.config.send_buffer_bytes)
+        self.recv_buffer = ReceiveBuffer(self.config.recv_buffer_bytes)
+        self.snd_una_off = 0
+        self.snd_nxt_off = 0
+        self.peer_window = self.config.mss  # until first real window arrives
+
+        self.fin_queued = False
+        self.fin_off: Optional[int] = None
+        self.fin_sent = False
+        self.fin_acked = False
+        self.peer_fin_off: Optional[int] = None
+        self.peer_fin_consumed = False
+        self.rst_sent = False
+
+        self.cc = RenoCongestionControl(self.config.mss,
+                                        self.config.initial_window_segments)
+        self.rtt = RttEstimator(self.config.initial_rto_ns,
+                                self.config.min_rto_ns, self.config.max_rto_ns)
+        self._rtx_timer = Timer(world.sim, self._on_rtx_timeout,
+                                label=f"{name}.rtx")
+        self._persist_timer = Timer(world.sim, self._on_persist_timeout,
+                                    label=f"{name}.persist")
+        self._delack_timer = Timer(world.sim, self._send_pure_ack,
+                                   label=f"{name}.delack")
+        self._timewait_timer = Timer(world.sim, self._on_timewait_expired,
+                                     label=f"{name}.timewait")
+        self._persist_interval = self.config.persist_min_ns
+        self._last_sent_window = self.config.recv_buffer_bytes
+        self._rtx_count = 0
+        self._syn_rtx_count = 0
+        # RTT timing (Karn's rule: invalidated on any retransmission).
+        self._timed_end: Optional[int] = None
+        self._timed_at = 0
+        self._syn_sent_at = 0
+
+        # --- application callbacks (installed by the socket layer) ---
+        self.on_established: Callable[[], None] = lambda: None
+        self.on_data_available: Callable[[], None] = lambda: None
+        self.on_peer_fin: Callable[[], None] = lambda: None
+        self.on_closed: Callable[[], None] = lambda: None
+        self.on_reset: Callable[[str], None] = lambda reason: None
+        self.on_writable: Callable[[], None] = lambda: None
+
+        # --- ST-TCP hooks ---
+        self.inorder_tap: Optional[Callable[[int, bytes], None]] = None
+        self.stt_tolerate_future_acks = False
+        self._future_ack_off = 0
+        # Highest stream offset the peer has *attempted* to send us, even
+        # if the data was trimmed at the window edge.  The ST-TCP backup
+        # uses this to recognize an unfillable hole after takeover (data
+        # beyond a gap wider than the receive window never enters the
+        # buffer, so has_gap alone cannot see it).
+        self.peer_data_high = 0
+
+        # --- statistics ---
+        self.segments_sent = 0
+        self.segments_received = 0
+        self.bytes_sent = 0            # payload bytes, incl. retransmits
+        self.retransmissions = 0
+        self.dupacks_received = 0
+        self.acks_sent = 0
+        self.established_at: Optional[int] = None
+        self.closed_at: Optional[int] = None
+
+    # ------------------------------------------------------------ open/close
+
+    def open_active(self, isn: int) -> None:
+        """Client-side open: send SYN."""
+        if self.state is not TcpState.CLOSED:
+            raise ConnectionClosedError(f"{self.name}: open on {self.state}")
+        self.iss = isn & 0xFFFFFFFF
+        self.state = TcpState.SYN_SENT
+        self._syn_sent_at = self.world.sim.now
+        self._trace("state", state="SYN_SENT")
+        self._send_syn()
+
+    def open_passive(self, isn: int) -> None:
+        """Server-side open: wait for SYN from the (fixed) peer.
+
+        ``isn`` is our ISN to use in the SYN-ACK; the ST-TCP backup passes
+        the primary's ISN here to keep the replica byte-aligned.
+        """
+        if self.state is not TcpState.CLOSED:
+            raise ConnectionClosedError(f"{self.name}: open on {self.state}")
+        self.iss = isn & 0xFFFFFFFF
+        self.state = TcpState.LISTEN
+        self._trace("state", state="LISTEN")
+
+    def close(self) -> None:
+        """Graceful close: queue a FIN after all pending data."""
+        if self.state in (TcpState.CLOSED, TcpState.TIME_WAIT,
+                          TcpState.LAST_ACK, TcpState.CLOSING,
+                          TcpState.FIN_WAIT_1, TcpState.FIN_WAIT_2):
+            return
+        if self.state in (TcpState.LISTEN, TcpState.SYN_SENT):
+            self._enter_closed("local close")
+            return
+        if self.fin_queued:
+            return
+        self.fin_queued = True
+        self.fin_off = self.send_buffer.end_offset
+        if self.state is TcpState.ESTABLISHED or self.state is TcpState.SYN_RCVD:
+            self.state = TcpState.FIN_WAIT_1
+        elif self.state is TcpState.CLOSE_WAIT:
+            self.state = TcpState.LAST_ACK
+        self._trace("state", state=self.state.value, fin_off=self.fin_off)
+        self._try_send()
+
+    def abort(self) -> None:
+        """Hard close: emit RST and drop all state."""
+        if self.state.is_synchronized or self.state is TcpState.SYN_RCVD:
+            self._emit(self._make_segment(
+                flags=TcpFlags.RST | TcpFlags.ACK,
+                seq=self._seq_of(self.snd_nxt_off)))
+            self.rst_sent = True
+        self._enter_closed("local abort")
+
+    # --------------------------------------------------------------- app I/O
+
+    def write(self, data: bytes) -> int:
+        """Queue application bytes for transmission; returns count accepted.
+
+        Writes during connection setup (SYN_SENT / SYN_RCVD) are queued
+        and flushed once the handshake completes, like a real socket."""
+        if self.fin_queued:
+            raise ConnectionClosedError(f"{self.name}: write after close")
+        writable = (self.state.can_send_data
+                    or self.state in (TcpState.SYN_SENT, TcpState.SYN_RCVD,
+                                      TcpState.LISTEN))
+        if not writable:
+            raise ConnectionClosedError(
+                f"{self.name}: write in state {self.state}")
+        accepted = self.send_buffer.write(data)
+        if self.stt_tolerate_future_acks and self._future_ack_off > self.snd_una_off:
+            self._apply_future_ack()
+        self._try_send()
+        return accepted
+
+    def read(self, max_bytes: Optional[int] = None) -> bytes:
+        """Consume in-order received bytes (may be empty)."""
+        data = self.recv_buffer.read(max_bytes)
+        if data and self.state.is_synchronized:
+            # Window-update ack, but only when the peer may be stalled: the
+            # last window we advertised was under one MSS and reading has
+            # reopened at least one MSS of space.
+            if (self._last_sent_window < self.config.mss
+                    and self.recv_buffer.window >= self.config.mss):
+                self._send_pure_ack()
+        return data
+
+    @property
+    def readable_bytes(self) -> int:
+        """In-order bytes the application can read now."""
+        return self.recv_buffer.readable
+
+    @property
+    def writable_bytes(self) -> int:
+        """Send-buffer space available to the application."""
+        return 0 if self.fin_queued else self.send_buffer.free_space
+
+    # ------------------------------------------------- ST-TCP progress view
+
+    @property
+    def last_byte_received(self) -> int:
+        """In-order bytes received from the peer (HB field A / item 1)."""
+        return self.recv_buffer.rcv_next
+
+    @property
+    def last_ack_received(self) -> int:
+        """Bytes of ours the peer has acked (HB item 2)."""
+        return self.snd_una_off
+
+    @property
+    def last_app_byte_written(self) -> int:
+        """Bytes the application wrote to the send buffer (HB item 3)."""
+        return self.send_buffer.end_offset
+
+    @property
+    def last_app_byte_read(self) -> int:
+        """Bytes the application read from the receive buffer (HB item 4)."""
+        return self.recv_buffer.bytes_read
+
+    @property
+    def flight_size(self) -> int:
+        """Bytes sent but not yet acknowledged."""
+        return self.snd_nxt_off - self.snd_una_off
+
+    def inject_stream_bytes(self, offset: int, data: bytes) -> None:
+        """ST-TCP: insert client bytes fetched from the primary, as if they
+        had arrived on the wire (no ack is generated — the backup's output
+        is suppressed anyway)."""
+        before = self.recv_buffer.rcv_next
+        newly = self.recv_buffer.receive(offset, data)
+        if newly and self.inorder_tap is not None:
+            self.inorder_tap(before, self.recv_buffer.peek_tail(newly))
+        self._maybe_consume_peer_fin()
+        if self.recv_buffer.readable:
+            self.on_data_available()
+
+    def kick_output(self) -> None:
+        """Force an immediate retransmission + ack (used by the optional
+        ``kick_on_takeover`` failover acceleration, an ablation knob —
+        the paper's system waits for the next backed-off retransmission)."""
+        if not self.state.is_synchronized:
+            return
+        self._send_pure_ack()
+        if self.flight_size > 0 or (self.fin_sent and not self.fin_acked):
+            self._retransmit_head()
+            self._restart_rtx()
+
+    # ---------------------------------------------------------- segment input
+
+    def segment_arrived(self, segment: TcpSegment) -> None:
+        """Demultiplexed entry point for one inbound segment."""
+        self.segments_received += 1
+        if self.state is TcpState.CLOSED:
+            return
+        if segment.rst:
+            self._handle_rst(segment)
+            return
+        if self.state is TcpState.LISTEN:
+            self._handle_listen(segment)
+            return
+        if self.state is TcpState.SYN_SENT:
+            self._handle_syn_sent(segment)
+            return
+        if segment.syn:
+            # Retransmitted SYN on a SYN_RCVD connection: re-send SYN-ACK.
+            if self.state is TcpState.SYN_RCVD:
+                self._send_syn_ack()
+            elif self.state.is_synchronized:
+                # Challenge-ack a stray SYN (RFC 5961 flavour).  Covers the
+                # lost-final-ACK handshake case: the peer retransmits its
+                # SYN-ACK and our ack re-completes its handshake even if
+                # we have no data to send.
+                self._send_pure_ack()
+            return
+        if self.state is TcpState.TIME_WAIT:
+            if segment.fin:
+                self._send_pure_ack()
+            return
+        if segment.ack_flag:
+            self._process_ack(segment)
+            if self.state is TcpState.CLOSED:
+                return
+        if segment.payload:
+            self._process_payload(segment)
+        if segment.fin:
+            self._note_peer_fin(segment)
+        self._maybe_consume_peer_fin()
+
+    # -------------------------------------------------------- handshake paths
+
+    def _handle_listen(self, segment: TcpSegment) -> None:
+        if not segment.syn or segment.ack_flag:
+            return
+        self.irs = segment.seq
+        self.peer_window = segment.window
+        self.state = TcpState.SYN_RCVD
+        self._syn_sent_at = self.world.sim.now
+        self._trace("state", state="SYN_RCVD", irs=self.irs)
+        self._send_syn_ack()
+
+    def _handle_syn_sent(self, segment: TcpSegment) -> None:
+        if not segment.syn:
+            return
+        if segment.ack_flag:
+            if seq_sub(segment.ack, seq_add(self.iss, 1)) != 0:
+                # Bogus ack of our SYN: reset per RFC 793.
+                self._emit(TcpSegment(self.local_port, self.remote_port,
+                                      seq=segment.ack, ack=0,
+                                      flags=TcpFlags.RST, window=0))
+                return
+            self.irs = segment.seq
+            self.peer_window = segment.window
+            self.snd_una_off = 0
+            # RFC 6298: the SYN/SYN-ACK exchange provides the first RTT
+            # sample (Karn: only if the SYN was not retransmitted).
+            if self._syn_rtx_count == 0:
+                self.rtt.on_sample(self.world.sim.now - self._syn_sent_at)
+            self._establish()
+            self._send_pure_ack()
+        # (simultaneous open is not modelled)
+
+    def _establish(self) -> None:
+        self.state = TcpState.ESTABLISHED
+        self.established_at = self.world.sim.now
+        self._rtx_count = 0
+        self._syn_rtx_count = 0
+        self._rtx_timer.stop()
+        self._trace("state", state="ESTABLISHED")
+        self.on_established()
+        self._try_send()
+
+    # ------------------------------------------------------------ ack handling
+
+    def _process_ack(self, segment: TcpSegment) -> None:
+        if self.state is TcpState.SYN_RCVD:
+            if seq_sub(segment.ack, seq_add(self.iss, 1)) >= 0:
+                self.peer_window = segment.window
+                if self._syn_rtx_count == 0:
+                    self.rtt.on_sample(self.world.sim.now - self._syn_sent_at)
+                self._establish()
+            else:
+                return
+        ack_off = seq_sub(segment.ack, seq_add(self.iss, 1))
+        if ack_off < 0:
+            return  # old ack from before our ISN; ignore
+        fin_ack_off = (self.fin_off + 1) if self.fin_off is not None else None
+        ack_covers_fin = (fin_ack_off is not None and ack_off >= fin_ack_off
+                          and self.fin_sent)
+        data_ack_off = min(ack_off, self.fin_off) if self.fin_off is not None \
+            else ack_off
+        stream_end = self.send_buffer.end_offset
+        if data_ack_off > stream_end:
+            if self.stt_tolerate_future_acks:
+                # Backup replica: the client acked bytes our (lagging) app
+                # has not written yet.  Remember and apply on write.
+                self._future_ack_off = max(self._future_ack_off, data_ack_off)
+                data_ack_off = stream_end
+            else:
+                # Ack for data we never sent: protocol violation; ignore.
+                return
+        elif self.stt_tolerate_future_acks:
+            self._future_ack_off = max(self._future_ack_off, data_ack_off)
+
+        newly_acked = data_ack_off - self.snd_una_off
+        if newly_acked > 0:
+            self.send_buffer.ack_to(data_ack_off)
+            self.snd_una_off = data_ack_off
+            self.snd_nxt_off = max(self.snd_nxt_off, self.snd_una_off)
+            self._rtx_count = 0
+            self._sample_rtt(data_ack_off)
+            self.cc.on_new_ack(newly_acked, self.snd_una_off)
+            self.rtt.reset_backoff()
+            if self._all_acked():
+                self._rtx_timer.stop()
+            else:
+                self._restart_rtx()
+            self.peer_window = segment.window
+            self.on_writable()
+        else:
+            self.peer_window = segment.window
+            if (ack_off == self.snd_una_off and not segment.payload
+                    and not segment.syn and not segment.fin
+                    and self.flight_size > 0):
+                self.dupacks_received += 1
+                if self.cc.on_dupack(self.flight_size, self.snd_nxt_off):
+                    self._trace("fast-retransmit", at=self.snd_una_off)
+                    self._retransmit_head()
+        if ack_covers_fin and not self.fin_acked:
+            self.fin_acked = True
+            self._rtx_timer.stop()
+            self._on_fin_acked()
+        # The ack may have opened send-window room for queued data.
+        self._try_send()
+
+    def _all_acked(self) -> bool:
+        if self.snd_una_off < self.snd_nxt_off:
+            return False
+        if self.fin_sent and not self.fin_acked:
+            return False
+        return True
+
+    def _sample_rtt(self, ack_off: int) -> None:
+        if self._timed_end is not None and ack_off >= self._timed_end:
+            self.rtt.on_sample(self.world.sim.now - self._timed_at)
+            self._timed_end = None
+
+    def _apply_future_ack(self) -> None:
+        """Backup replica: treat already-client-acked bytes as sent+acked."""
+        target = min(self._future_ack_off, self.send_buffer.end_offset)
+        if target > self.snd_una_off:
+            self.send_buffer.ack_to(target)
+            self.snd_una_off = target
+            self.snd_nxt_off = max(self.snd_nxt_off, target)
+            if self._all_acked():
+                self._rtx_timer.stop()
+
+    def _on_fin_acked(self) -> None:
+        if self.state is TcpState.FIN_WAIT_1:
+            self.state = TcpState.FIN_WAIT_2
+            self._trace("state", state="FIN_WAIT_2")
+        elif self.state is TcpState.CLOSING:
+            self._enter_time_wait()
+        elif self.state is TcpState.LAST_ACK:
+            self._enter_closed("closed cleanly")
+
+    # ------------------------------------------------------------ data input
+
+    def _process_payload(self, segment: TcpSegment) -> None:
+        if self.irs is None:
+            return
+        off = seq_sub(segment.seq, seq_add(self.irs, 1))
+        self.peer_data_high = max(self.peer_data_high,
+                                  off + len(segment.payload))
+        if off + len(segment.payload) <= self.recv_buffer.rcv_next:
+            # Entirely old data: pure duplicate, re-ack it.
+            self._send_pure_ack()
+            return
+        before = self.recv_buffer.rcv_next
+        newly = self.recv_buffer.receive(off, segment.payload)
+        if newly and self.inorder_tap is not None:
+            self.inorder_tap(before, self.recv_buffer.peek_tail(newly))
+        if newly == 0 and off > self.recv_buffer.rcv_next:
+            # Out of order: immediate duplicate ack (triggers peer's
+            # fast retransmit).
+            self._send_pure_ack()
+        else:
+            self._ack_received_data()
+        if self.recv_buffer.readable:
+            self.on_data_available()
+
+    def _ack_received_data(self) -> None:
+        if self.config.delayed_ack:
+            if not self._delack_timer.armed:
+                self._delack_timer.start(self.config.delayed_ack_timeout_ns)
+            else:
+                # Second segment: ack immediately (RFC 1122 every-other).
+                self._delack_timer.stop()
+                self._send_pure_ack()
+        else:
+            self._send_pure_ack()
+
+    def _note_peer_fin(self, segment: TcpSegment) -> None:
+        if self.irs is None:
+            return
+        off = seq_sub(segment.seq, seq_add(self.irs, 1)) + len(segment.payload)
+        if self.peer_fin_off is None:
+            self.peer_fin_off = off
+            self._trace("peer-fin", off=off)
+
+    def _maybe_consume_peer_fin(self) -> None:
+        if (self.peer_fin_off is None or self.peer_fin_consumed
+                or self.recv_buffer.rcv_next < self.peer_fin_off):
+            return
+        self.peer_fin_consumed = True
+        self._delack_timer.stop()
+        self._send_pure_ack()
+        if self.state is TcpState.ESTABLISHED:
+            self.state = TcpState.CLOSE_WAIT
+        elif self.state is TcpState.FIN_WAIT_1:
+            if self.fin_acked:
+                self._enter_time_wait()
+                self.on_peer_fin()
+                return
+            # Our FIN not yet acked: simultaneous close.
+            self.state = TcpState.CLOSING
+        elif self.state is TcpState.FIN_WAIT_2:
+            self._enter_time_wait()
+            self.on_peer_fin()
+            return
+        self._trace("state", state=self.state.value)
+        self.on_peer_fin()
+
+    # -------------------------------------------------------------- RST paths
+
+    def _handle_rst(self, segment: TcpSegment) -> None:
+        if self.state is TcpState.SYN_SENT:
+            if not segment.ack_flag or seq_sub(segment.ack,
+                                               seq_add(self.iss, 1)) != 0:
+                return
+        elif self.state.is_synchronized and self.irs is not None:
+            off = seq_sub(segment.seq, seq_add(self.irs, 1))
+            window = max(self.recv_buffer.window, 1)
+            if not (self.recv_buffer.rcv_next - 1 <= off
+                    < self.recv_buffer.rcv_next + window):
+                return  # outside window: blind-reset protection
+        self._trace("rst-received")
+        reason = "connection reset by peer"
+        self._enter_closed(reason, reset=True)
+
+    # ----------------------------------------------------------------- output
+
+    def _seq_of(self, offset: int) -> int:
+        return seq_add(self.iss, 1 + offset)
+
+    def _current_ack(self) -> tuple[int, int]:
+        """(flags_ack_bit, ack_field) for outgoing segments."""
+        if self.irs is None:
+            return 0, 0
+        ack = seq_add(self.irs, 1 + self.recv_buffer.rcv_next
+                      + (1 if self.peer_fin_consumed else 0))
+        return TcpFlags.ACK, ack
+
+    def _make_segment(self, flags: int, seq: int, payload: bytes = b"") -> TcpSegment:
+        ack_bit, ack = self._current_ack()
+        window = self.recv_buffer.window
+        self._last_sent_window = window
+        return TcpSegment(self.local_port, self.remote_port, seq=seq,
+                          ack=ack if (flags & TcpFlags.ACK or ack_bit) else 0,
+                          flags=flags | ack_bit, window=window,
+                          payload=payload)
+
+    def _emit(self, segment: TcpSegment) -> None:
+        self.segments_sent += 1
+        self.bytes_sent += len(segment.payload)
+        self.transmit(segment)
+
+    def _send_syn(self) -> None:
+        self._emit(TcpSegment(self.local_port, self.remote_port, seq=self.iss,
+                              ack=0, flags=TcpFlags.SYN,
+                              window=self.recv_buffer.window))
+        self._rtx_timer.start(self.rtt.rto_ns)
+
+    def _send_syn_ack(self) -> None:
+        ack = seq_add(self.irs, 1)
+        self._emit(TcpSegment(self.local_port, self.remote_port, seq=self.iss,
+                              ack=ack, flags=TcpFlags.SYN | TcpFlags.ACK,
+                              window=self.recv_buffer.window))
+        self._rtx_timer.start(self.rtt.rto_ns)
+
+    def _send_pure_ack(self) -> None:
+        if not self.state.is_synchronized or self.irs is None:
+            return
+        self._delack_timer.stop()
+        self.acks_sent += 1
+        self._emit(self._make_segment(TcpFlags.ACK,
+                                      seq=self._seq_of(self.snd_nxt_off)))
+
+    def _try_send(self) -> None:
+        """Transmit as much queued data as the windows permit, plus FIN."""
+        if not self.state.is_synchronized or self.irs is None:
+            return
+        sent_any = True
+        while sent_any:
+            sent_any = False
+            window = self.cc.send_window(self.peer_window)
+            in_flight = self.flight_size
+            pending = self._send_limit() - self.snd_nxt_off
+            room = window - in_flight
+            chunk = min(self.config.mss, pending, room)
+            if chunk > 0:
+                payload = self.send_buffer.get_range(self.snd_nxt_off, chunk)
+                flags = TcpFlags.ACK
+                is_last_data = (self.snd_nxt_off + len(payload)
+                                == self.send_buffer.end_offset)
+                if is_last_data:
+                    flags |= TcpFlags.PSH
+                fin_now = (self.fin_queued and not self.fin_sent
+                           and self.snd_nxt_off + len(payload) == self.fin_off)
+                if fin_now:
+                    flags |= TcpFlags.FIN
+                seg = self._make_segment(flags, self._seq_of(self.snd_nxt_off),
+                                         payload)
+                if self._timed_end is None:
+                    self._timed_end = self.snd_nxt_off + len(payload)
+                    self._timed_at = self.world.sim.now
+                self._emit(seg)
+                self.snd_nxt_off += len(payload)
+                if fin_now:
+                    self.fin_sent = True
+                if not self._rtx_timer.armed:
+                    self._rtx_timer.start(self.rtt.rto_ns)
+                sent_any = True
+                continue
+            # Bare FIN (no data left to carry it on).
+            if (self.fin_queued and not self.fin_sent
+                    and self.snd_nxt_off == self.fin_off
+                    and self.snd_una_off == self.snd_nxt_off):
+                self._emit(self._make_segment(TcpFlags.FIN | TcpFlags.ACK,
+                                              self._seq_of(self.fin_off)))
+                self.fin_sent = True
+                if not self._rtx_timer.armed:
+                    self._rtx_timer.start(self.rtt.rto_ns)
+        self._pump_or_persist()
+
+    def _send_limit(self) -> int:
+        """Highest stream offset we are allowed to transmit up to."""
+        end = self.send_buffer.end_offset
+        return min(end, self.fin_off) if self.fin_off is not None else end
+
+    def _pump_or_persist(self) -> None:
+        """Arm the persist timer when data waits on a zero window."""
+        has_pending = self._send_limit() > self.snd_nxt_off
+        if (self.peer_window == 0 and has_pending and self.flight_size == 0
+                and self.state.is_synchronized):
+            if not self._persist_timer.armed:
+                self._persist_timer.start(self._persist_interval)
+        else:
+            self._persist_timer.stop()
+            self._persist_interval = self.config.persist_min_ns
+
+    def _on_persist_timeout(self) -> None:
+        """Send a 1-byte window probe into a zero window."""
+        if self.peer_window > 0 or self._send_limit() <= self.snd_nxt_off:
+            self._persist_interval = self.config.persist_min_ns
+            self._try_send()
+            return
+        payload = self.send_buffer.get_range(self.snd_nxt_off, 1)
+        if payload:
+            self._emit(self._make_segment(TcpFlags.ACK,
+                                          self._seq_of(self.snd_nxt_off),
+                                          payload))
+            self._trace("window-probe", off=self.snd_nxt_off)
+        self._persist_interval = min(self._persist_interval * 2,
+                                     self.config.persist_max_ns)
+        self._persist_timer.start(self._persist_interval)
+
+    # ---------------------------------------------------------- retransmission
+
+    def _on_rtx_timeout(self) -> None:
+        if self.state is TcpState.SYN_SENT:
+            self._syn_rtx_count += 1
+            if self._syn_rtx_count > self.config.max_syn_retransmits:
+                self._enter_closed("connect timeout", reset=True)
+                return
+            self.rtt.on_backoff()
+            self.retransmissions += 1
+            self._emit(TcpSegment(self.local_port, self.remote_port,
+                                  seq=self.iss, ack=0, flags=TcpFlags.SYN,
+                                  window=self.recv_buffer.window))
+            self._rtx_timer.start(self.rtt.rto_ns)
+            return
+        if self.state is TcpState.SYN_RCVD:
+            self._syn_rtx_count += 1
+            if self._syn_rtx_count > self.config.max_syn_retransmits:
+                self._enter_closed("handshake timeout", reset=True)
+                return
+            self.rtt.on_backoff()
+            self.retransmissions += 1
+            self._send_syn_ack()
+            self._rtx_timer.start(self.rtt.rto_ns)
+            return
+        if self._all_acked():
+            return
+        self._rtx_count += 1
+        if self._rtx_count > self.config.max_retransmits:
+            self._trace("give-up", retries=self._rtx_count)
+            self._enter_closed("retransmission limit exceeded", reset=True)
+            return
+        self.cc.on_timeout(max(self.flight_size, self.config.mss))
+        self.rtt.on_backoff()
+        self._timed_end = None  # Karn: never time a retransmitted range
+        # Go-back-N (RFC 6298 §5.4 behaviour): everything beyond snd_una is
+        # presumed lost; rewind and let slow start re-send it.  Essential
+        # for the ST-TCP backup, whose pre-takeover "transmissions" were
+        # suppressed and never reached the client at all.
+        self.retransmissions += 1
+        self.snd_nxt_off = self.snd_una_off
+        if self.fin_sent and not self.fin_acked:
+            self.fin_sent = False
+        self._try_send()
+        self._rtx_timer.start(self.rtt.rto_ns)
+
+    def _retransmit_head(self) -> None:
+        """Retransmit the earliest unacknowledged segment."""
+        self.retransmissions += 1
+        if self.snd_una_off < self.snd_nxt_off:
+            length = min(self.config.mss, self.snd_nxt_off - self.snd_una_off)
+            payload = self.send_buffer.get_range(self.snd_una_off, length)
+            flags = TcpFlags.ACK
+            if (self.fin_sent and self.snd_una_off + len(payload) == self.fin_off):
+                flags |= TcpFlags.FIN
+            self._emit(self._make_segment(flags, self._seq_of(self.snd_una_off),
+                                          payload))
+            self._trace("retransmit", off=self.snd_una_off, len=len(payload))
+        elif self.fin_sent and not self.fin_acked:
+            self._emit(self._make_segment(TcpFlags.FIN | TcpFlags.ACK,
+                                          self._seq_of(self.fin_off)))
+            self._trace("retransmit-fin", off=self.fin_off)
+
+    def _restart_rtx(self) -> None:
+        self._rtx_timer.start(self.rtt.rto_ns)
+
+    # ------------------------------------------------------------- tear-down
+
+    def _enter_time_wait(self) -> None:
+        self.state = TcpState.TIME_WAIT
+        self._trace("state", state="TIME_WAIT")
+        self._rtx_timer.stop()
+        self._persist_timer.stop()
+        self._timewait_timer.start(2 * self.config.msl_ns)
+
+    def _on_timewait_expired(self) -> None:
+        self._enter_closed("TIME_WAIT expired")
+
+    def _enter_closed(self, reason: str, reset: bool = False) -> None:
+        already_closed = self.state is TcpState.CLOSED
+        self.state = TcpState.CLOSED
+        self.closed_at = self.world.sim.now
+        for timer in (self._rtx_timer, self._persist_timer,
+                      self._delack_timer, self._timewait_timer):
+            timer.stop()
+        if already_closed:
+            return
+        self._trace("closed", reason=reason)
+        if reset:
+            self.on_reset(reason)
+        self.on_closed()
+
+    # ----------------------------------------------------------------- misc
+
+    def _trace(self, message: str, **fields) -> None:
+        self.world.trace.record("tcp", self.name, message, **fields)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<TcpConnection {self.name} {self.state.value} "
+                f"una={self.snd_una_off} nxt={self.snd_nxt_off} "
+                f"rcv={self.recv_buffer.rcv_next}>")

@@ -1,0 +1,84 @@
+"""RTT estimation and retransmission timeout (RFC 6298 / Jacobson-Karels).
+
+The RTO and its exponential backoff matter a lot here: the paper's Demo 2
+observes that failover time = failure-detection time + *the residual wait
+until the next (backed-off) retransmission* — so the backoff schedule
+directly shapes the headline figure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.core import millis, seconds
+
+__all__ = ["RttEstimator"]
+
+
+class RttEstimator:
+    """Smoothed RTT, RTT variance, and the retransmission timeout."""
+
+    ALPHA = 1 / 8   # gain for SRTT
+    BETA = 1 / 4    # gain for RTTVAR
+    K = 4           # variance multiplier
+
+    def __init__(self,
+                 initial_rto_ns: int = seconds(1),
+                 min_rto_ns: int = millis(200),
+                 max_rto_ns: int = seconds(60),
+                 clock_granularity_ns: int = millis(1)):
+        if not min_rto_ns <= initial_rto_ns <= max_rto_ns:
+            raise ValueError("initial RTO outside [min, max] bounds")
+        self.min_rto_ns = min_rto_ns
+        self.max_rto_ns = max_rto_ns
+        self.granularity_ns = clock_granularity_ns
+        self._srtt: Optional[int] = None
+        self._rttvar: Optional[int] = None
+        self._rto = initial_rto_ns
+        self.samples = 0
+        self.backoffs = 0
+
+    @property
+    def rto_ns(self) -> int:
+        """Current retransmission timeout."""
+        return self._rto
+
+    @property
+    def srtt_ns(self) -> Optional[int]:
+        """Smoothed RTT (None before the first sample)."""
+        return self._srtt
+
+    @property
+    def rttvar_ns(self) -> Optional[int]:
+        """RTT variance (None before the first sample)."""
+        return self._rttvar
+
+    def on_sample(self, rtt_ns: int) -> None:
+        """Fold in one RTT measurement (never from a retransmitted segment —
+        Karn's algorithm is enforced by the caller)."""
+        if rtt_ns < 0:
+            raise ValueError(f"negative RTT sample: {rtt_ns}")
+        self.samples += 1
+        if self._srtt is None:
+            self._srtt = rtt_ns
+            self._rttvar = rtt_ns // 2
+        else:
+            err = abs(self._srtt - rtt_ns)
+            self._rttvar = round((1 - self.BETA) * self._rttvar
+                                 + self.BETA * err)
+            self._srtt = round((1 - self.ALPHA) * self._srtt
+                               + self.ALPHA * rtt_ns)
+        rto = self._srtt + max(self.granularity_ns, self.K * self._rttvar)
+        self._rto = max(self.min_rto_ns, min(self.max_rto_ns, rto))
+
+    def on_backoff(self) -> int:
+        """Double the RTO after a retransmission timeout; returns new RTO."""
+        self.backoffs += 1
+        self._rto = min(self.max_rto_ns, self._rto * 2)
+        return self._rto
+
+    def reset_backoff(self) -> None:
+        """Recompute RTO from the smoothed estimate after a fresh ack."""
+        if self._srtt is not None:
+            rto = self._srtt + max(self.granularity_ns, self.K * self._rttvar)
+            self._rto = max(self.min_rto_ns, min(self.max_rto_ns, rto))

@@ -1,0 +1,89 @@
+"""TCP segments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TcpFlags", "TcpSegment", "TCP_HEADER_BYTES"]
+
+TCP_HEADER_BYTES = 20
+
+
+class TcpFlags:
+    """Flag bit masks (subset of the real header we model)."""
+
+    SYN = 0x01
+    ACK = 0x02
+    FIN = 0x04
+    RST = 0x08
+    PSH = 0x10
+
+    @staticmethod
+    def describe(flags: int) -> str:
+        """Render flag bits as e.g. 'SYN|ACK'."""
+        names = []
+        for bit, name in ((TcpFlags.SYN, "SYN"), (TcpFlags.ACK, "ACK"),
+                          (TcpFlags.FIN, "FIN"), (TcpFlags.RST, "RST"),
+                          (TcpFlags.PSH, "PSH")):
+            if flags & bit:
+                names.append(name)
+        return "|".join(names) if names else "-"
+
+
+@dataclass(frozen=True)
+class TcpSegment:
+    """One TCP segment.
+
+    ``seq``/``ack`` are 32-bit wire sequence numbers.  ``payload`` is real
+    bytes — the simulator transfers actual data so end-to-end integrity
+    (exactly-once, in-order delivery across failover) can be asserted
+    byte-for-byte in tests.
+    """
+
+    src_port: int
+    dst_port: int
+    seq: int
+    ack: int
+    flags: int
+    window: int
+    payload: bytes = field(default=b"", repr=False)
+
+    @property
+    def size_bytes(self) -> int:
+        """On-wire segment size (header + payload)."""
+        return TCP_HEADER_BYTES + len(self.payload)
+
+    @property
+    def syn(self) -> bool:
+        """SYN flag set."""
+        return bool(self.flags & TcpFlags.SYN)
+
+    @property
+    def ack_flag(self) -> bool:
+        """ACK flag set."""
+        return bool(self.flags & TcpFlags.ACK)
+
+    @property
+    def fin(self) -> bool:
+        """FIN flag set."""
+        return bool(self.flags & TcpFlags.FIN)
+
+    @property
+    def rst(self) -> bool:
+        """RST flag set."""
+        return bool(self.flags & TcpFlags.RST)
+
+    @property
+    def psh(self) -> bool:
+        """PSH flag set."""
+        return bool(self.flags & TcpFlags.PSH)
+
+    @property
+    def seq_space(self) -> int:
+        """Sequence-space the segment occupies (SYN and FIN count as one)."""
+        return len(self.payload) + (1 if self.syn else 0) + (1 if self.fin else 0)
+
+    def __str__(self) -> str:
+        return (f"TCP[{self.src_port}->{self.dst_port} "
+                f"{TcpFlags.describe(self.flags)} seq={self.seq} ack={self.ack} "
+                f"win={self.window} len={len(self.payload)}]")

@@ -1,0 +1,72 @@
+"""32-bit TCP sequence-number arithmetic (RFC 793 comparison semantics).
+
+Sequence numbers live on a mod-2**32 circle; "less than" means "within the
+forward half-circle".  All comparisons here are safe as long as the two
+numbers are within 2**31 of each other, which TCP's window rules guarantee.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SEQ_MOD",
+    "SEQ_MASK",
+    "seq_add",
+    "seq_sub",
+    "seq_lt",
+    "seq_le",
+    "seq_gt",
+    "seq_ge",
+    "seq_between",
+    "seq_max",
+    "seq_min",
+]
+
+SEQ_MOD = 1 << 32
+SEQ_MASK = SEQ_MOD - 1
+_HALF = 1 << 31
+
+
+def seq_add(seq: int, delta: int) -> int:
+    """``seq + delta`` on the sequence circle."""
+    return (seq + delta) & SEQ_MASK
+
+
+def seq_sub(a: int, b: int) -> int:
+    """Signed circular distance ``a - b`` in ``[-2**31, 2**31)``."""
+    diff = (a - b) & SEQ_MASK
+    return diff - SEQ_MOD if diff >= _HALF else diff
+
+
+def seq_lt(a: int, b: int) -> bool:
+    """True if ``a`` precedes ``b`` on the circle."""
+    return seq_sub(a, b) < 0
+
+
+def seq_le(a: int, b: int) -> bool:
+    """True if ``a`` precedes or equals ``b`` on the circle."""
+    return seq_sub(a, b) <= 0
+
+
+def seq_gt(a: int, b: int) -> bool:
+    """True if ``a`` follows ``b`` on the circle."""
+    return seq_sub(a, b) > 0
+
+
+def seq_ge(a: int, b: int) -> bool:
+    """True if ``a`` follows or equals ``b`` on the circle."""
+    return seq_sub(a, b) >= 0
+
+
+def seq_between(low: int, x: int, high: int) -> bool:
+    """True if ``low <= x <= high`` walking forward from ``low``."""
+    return seq_le(low, x) and seq_le(x, high)
+
+
+def seq_max(a: int, b: int) -> int:
+    """The later of two sequence numbers."""
+    return a if seq_ge(a, b) else b
+
+
+def seq_min(a: int, b: int) -> int:
+    """The earlier of two sequence numbers."""
+    return a if seq_le(a, b) else b

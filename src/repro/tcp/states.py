@@ -1,0 +1,40 @@
+"""TCP connection states (RFC 793 names)."""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["TcpState"]
+
+
+class TcpState(enum.Enum):
+    """The RFC 793 connection states."""
+
+    CLOSED = "CLOSED"
+    LISTEN = "LISTEN"
+    SYN_SENT = "SYN_SENT"
+    SYN_RCVD = "SYN_RCVD"
+    ESTABLISHED = "ESTABLISHED"
+    FIN_WAIT_1 = "FIN_WAIT_1"
+    FIN_WAIT_2 = "FIN_WAIT_2"
+    CLOSE_WAIT = "CLOSE_WAIT"
+    CLOSING = "CLOSING"
+    LAST_ACK = "LAST_ACK"
+    TIME_WAIT = "TIME_WAIT"
+
+    @property
+    def is_synchronized(self) -> bool:
+        """States in which both sides have synchronized sequence numbers."""
+        return self not in (TcpState.CLOSED, TcpState.LISTEN,
+                            TcpState.SYN_SENT, TcpState.SYN_RCVD)
+
+    @property
+    def can_send_data(self) -> bool:
+        """States in which the local side may still transmit data."""
+        return self in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT)
+
+    @property
+    def can_receive_data(self) -> bool:
+        """States in which the peer may still legitimately send data."""
+        return self in (TcpState.ESTABLISHED, TcpState.FIN_WAIT_1,
+                        TcpState.FIN_WAIT_2)

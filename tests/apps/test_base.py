@@ -1,0 +1,32 @@
+"""Tests for the deterministic payload pattern."""
+
+from repro.apps.base import pattern_bytes, verify_pattern
+
+
+def test_pattern_is_pure_function_of_offset():
+    assert pattern_bytes(100, 50) == pattern_bytes(100, 50)
+    # Concatenation property: two adjacent ranges form the longer range.
+    assert pattern_bytes(0, 100) == pattern_bytes(0, 40) + pattern_bytes(40, 60)
+
+
+def test_pattern_differs_by_offset():
+    assert pattern_bytes(0, 100) != pattern_bytes(1, 100)
+
+
+def test_verify_accepts_correct_data():
+    assert verify_pattern(1234, pattern_bytes(1234, 500)) == -1
+
+
+def test_verify_reports_first_corruption():
+    data = bytearray(pattern_bytes(0, 100))
+    data[42] ^= 0xFF
+    assert verify_pattern(0, bytes(data)) == 42
+
+
+def test_verify_empty():
+    assert verify_pattern(0, b"") == -1
+
+
+def test_zero_length():
+    assert pattern_bytes(10, 0) == b""
+    assert pattern_bytes(10, -5) == b""

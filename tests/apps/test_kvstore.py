@@ -1,0 +1,78 @@
+"""Tests for the key-value store application."""
+
+from repro.apps.kvstore import KvClient, KvServer
+from repro.sim.core import millis, seconds
+
+
+def test_basic_operations(lan):
+    KvServer(lan.hosts[0], "kv", port=6379).start()
+    client = KvClient(lan.hosts[1], "c", lan.ip(0), commands=[
+        b"SET a 1", b"GET a", b"DEL a", b"GET a", b"KEYS"])
+    client.start()
+    lan.world.run(until=seconds(5))
+    assert client.replies == [b"OK", b"VALUE 1", b"OK", b"MISSING",
+                              b"COUNT 0"]
+
+
+def test_state_accumulates(lan):
+    server = KvServer(lan.hosts[0], "kv", port=6379)
+    server.start()
+    commands = [b"SET k%d v%d" % (i, i) for i in range(20)] + [b"KEYS"]
+    client = KvClient(lan.hosts[1], "c", lan.ip(0), commands=commands)
+    client.start()
+    lan.world.run(until=seconds(5))
+    assert client.replies[-1] == b"COUNT 20"
+    assert server.store[b"k7"] == b"v7"
+
+
+def test_errors_are_deterministic(lan):
+    KvServer(lan.hosts[0], "kv", port=6379).start()
+    client = KvClient(lan.hosts[1], "c", lan.ip(0), commands=[
+        b"", b"BOGUS x", b"SET onlykey", b"GET"])
+    client.start()
+    lan.world.run(until=seconds(5))
+    assert all(reply.startswith(b"ERR") for reply in client.replies)
+
+
+def test_two_replicas_reach_identical_state(lan3):
+    s0 = KvServer(lan3.hosts[0], "kv0", port=6379)
+    s1 = KvServer(lan3.hosts[1], "kv1", port=6379)
+    s0.start()
+    s1.start()
+    commands = [b"SET x 1", b"SET y 2", b"DEL x", b"SET z 3"]
+    KvClient(lan3.hosts[2], "c0", lan3.ip(0), commands=commands).start()
+    KvClient(lan3.hosts[2], "c1", lan3.ip(1), commands=commands).start()
+    lan3.world.run(until=seconds(5))
+    assert s0.store == s1.store == {b"y": b"2", b"z": b"3"}
+
+
+def test_kv_state_survives_sttcp_failover():
+    """The stateful-service headline: keys written before the crash are
+    readable from the (former) backup after failover, on the SAME
+    connection."""
+    from repro.faults.faults import HwCrash
+    from repro.scenarios.builder import build_testbed
+    from repro.sim.core import seconds as s
+
+    tb = build_testbed(seed=41)
+    primary_kv = KvServer(tb.primary, "kv-p", port=80)
+    backup_kv = KvServer(tb.backup, "kv-b", port=80)
+    primary_kv.start()
+    backup_kv.start()
+    tb.pair.start()
+    commands = ([b"SET k%d v%d" % (i, i) for i in range(50)]
+                + [b"GET k25", b"KEYS"]
+                + [b"GET k%d" % i for i in range(50)])
+    client = KvClient(tb.client, "c", tb.service_ip, port=80,
+                      commands=commands, interval_ns=millis(20))
+    client.start()
+    # The writes take 50*20ms = 1s; crash right after them.
+    tb.inject.at(s(1.2), HwCrash(tb.primary))
+    tb.run_until(60)
+    assert client.reset_count == 0
+    assert client.done
+    assert client.replies[50] == b"VALUE v25"
+    assert client.replies[51] == b"COUNT 50"
+    # Every key written to the dead primary is served by the backup.
+    assert client.replies[52:] == [b"VALUE v%d" % i for i in range(50)]
+    assert backup_kv.store == {b"k%d" % i: b"v%d" % i for i in range(50)}

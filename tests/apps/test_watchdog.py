@@ -1,0 +1,96 @@
+"""Tests for the application watchdog (paper Sec. 4.2.2 extension)."""
+
+from repro.apps.watchdog import ApplicationWatchdog
+from repro.host.app import Application
+from repro.sim.core import millis, seconds
+
+
+class Dummy(Application):
+    def __init__(self, host):
+        super().__init__(host, "dummy")
+
+
+def test_healthy_app_never_suspected(lan):
+    app = Dummy(lan.hosts[0])
+    app.start()
+    suspicions = []
+    wd = ApplicationWatchdog(lan.world, app, suspicions.append,
+                             period_ns=millis(100), miss_threshold=3)
+    wd.start()
+    lan.world.run(until=seconds(5))
+    assert suspicions == []
+    assert not wd.suspicious
+
+
+def test_hung_app_is_suspected(lan):
+    app = Dummy(lan.hosts[0])
+    app.start()
+    suspicions = []
+    wd = ApplicationWatchdog(lan.world, app, suspicions.append,
+                             period_ns=millis(100), miss_threshold=3)
+    wd.start()
+    lan.world.run(until=seconds(1))
+    app.crash(cleanup=False)
+    lan.world.run(until=seconds(2))
+    assert suspicions == [app]
+    assert wd.suspicious
+
+
+def test_detection_latency_is_threshold_periods(lan):
+    app = Dummy(lan.hosts[0])
+    app.start()
+    when = []
+    wd = ApplicationWatchdog(lan.world, app,
+                             lambda a: when.append(lan.world.sim.now),
+                             period_ns=millis(100), miss_threshold=3)
+    wd.start()
+    lan.world.run(until=seconds(1))
+    app.crash(cleanup=False)
+    lan.world.run(until=seconds(3))
+    latency = when[0] - seconds(1)
+    assert millis(300) <= latency <= millis(500)
+
+
+def test_fires_exactly_once(lan):
+    app = Dummy(lan.hosts[0])
+    app.start()
+    suspicions = []
+    wd = ApplicationWatchdog(lan.world, app, suspicions.append,
+                             period_ns=millis(100))
+    wd.start()
+    app.crash(cleanup=False)
+    lan.world.run(until=seconds(5))
+    assert len(suspicions) == 1
+
+
+def test_manual_pet_mode(lan):
+    app = Dummy(lan.hosts[0])
+    app.start()
+    suspicions = []
+    wd = ApplicationWatchdog(lan.world, app, suspicions.append,
+                             period_ns=millis(100), miss_threshold=3,
+                             auto_pet=False)
+    wd.start()
+    # Nobody pets: suspicion even though the app object is alive.
+    lan.world.run(until=seconds(2))
+    assert len(suspicions) == 1
+
+
+def test_stop_cancels_monitoring(lan):
+    app = Dummy(lan.hosts[0])
+    app.start()
+    suspicions = []
+    wd = ApplicationWatchdog(lan.world, app, suspicions.append,
+                             period_ns=millis(100))
+    wd.start()
+    wd.stop()
+    app.crash(cleanup=False)
+    lan.world.run(until=seconds(5))
+    assert suspicions == []
+
+
+def test_bad_threshold_rejected(lan):
+    import pytest
+    app = Dummy(lan.hosts[0])
+    with pytest.raises(ValueError):
+        ApplicationWatchdog(lan.world, app, lambda a: None, miss_threshold=0)

@@ -1,0 +1,55 @@
+"""Shared fixtures: a bare world, a two-host LAN, and testbed factories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.addresses import IPAddress
+from repro.net.cable import Cable
+from repro.net.switch import Switch
+from repro.sim.world import World
+from repro.host.host import Host
+
+
+@pytest.fixture
+def world() -> World:
+    return World(seed=1234)
+
+
+class Lan:
+    """A small switched LAN for substrate tests."""
+
+    def __init__(self, world: World, host_count: int = 2,
+                 bandwidth_bps: int = 100_000_000, loss_rate: float = 0.0):
+        self.world = world
+        self.switch = Switch(world)
+        self.hosts: list[Host] = []
+        self.cables: list[Cable] = []
+        for i in range(host_count):
+            host = Host(world, f"h{i}")
+            nic = host.add_nic(f"02:00:00:00:00:{i + 1:02x}",
+                               [f"10.0.0.{i + 1}"], "10.0.0.0")
+            port = self.switch.new_port()
+            cable = Cable(world, nic, port, bandwidth_bps=bandwidth_bps,
+                          loss_rate=loss_rate)
+            nic.attach_cable(cable)
+            port.cable = cable
+            self.hosts.append(host)
+            self.cables.append(cable)
+
+    def ip(self, index: int) -> IPAddress:
+        return IPAddress(f"10.0.0.{index + 1}")
+
+
+@pytest.fixture
+def lan(world: World) -> Lan:
+    return Lan(world)
+
+
+@pytest.fixture
+def lan3(world: World) -> Lan:
+    return Lan(world, host_count=3)
+
+
+def make_lan(world: World, **kwargs) -> Lan:
+    return Lan(world, **kwargs)

@@ -1,0 +1,65 @@
+"""Tests for the fault taxonomy — each fault produces its Table-1 symptom."""
+
+from repro.faults.faults import (AppCrashWithCleanup, AppHang, CableCut,
+                                 HwCrash, NicFailure, OsCrash, TransientLoss)
+from repro.host.app import Application
+
+
+class Dummy(Application):
+    def __init__(self, host):
+        super().__init__(host, "dummy")
+
+
+def test_hw_crash_silences_host(lan):
+    HwCrash(lan.hosts[0]).inject()
+    assert not lan.hosts[0].is_up
+
+
+def test_os_crash_same_symptom(lan):
+    OsCrash(lan.hosts[0]).inject()
+    assert not lan.hosts[0].is_up
+    assert lan.hosts[0].os.crashed
+
+
+def test_app_hang_no_cleanup(lan):
+    app = Dummy(lan.hosts[0])
+    app.start()
+    AppHang(app).inject()
+    assert app.crashed and app.crash_had_cleanup is False
+    assert lan.hosts[0].is_up  # only the app died
+
+
+def test_app_crash_with_cleanup(lan):
+    app = Dummy(lan.hosts[0])
+    app.start()
+    AppCrashWithCleanup(app).inject()
+    assert app.crashed and app.crash_had_cleanup is True
+
+
+def test_nic_failure(lan):
+    NicFailure(lan.hosts[0].nics[0]).inject()
+    assert not lan.hosts[0].nics[0].is_up
+    assert lan.hosts[0].is_up
+
+
+def test_cable_cut(lan):
+    CableCut(lan.cables[0]).inject()
+    assert lan.cables[0].is_cut
+
+
+def test_transient_loss_and_clear(lan):
+    fault = TransientLoss(lan.cables[0], loss_rate=0.9)
+    fault.inject()
+    assert lan.cables[0].loss_rate == 0.9
+    fault.clear()
+    assert lan.cables[0].loss_rate == 0.0
+
+
+def test_descriptions_are_informative(lan):
+    app = Dummy(lan.hosts[0])
+    faults = [HwCrash(lan.hosts[0]), OsCrash(lan.hosts[0]), AppHang(app),
+              AppCrashWithCleanup(app), NicFailure(lan.hosts[0].nics[0]),
+              CableCut(lan.cables[0]), TransientLoss(lan.cables[0])]
+    for fault in faults:
+        assert len(fault.description) > 5
+        assert str(fault) == fault.description

@@ -1,0 +1,50 @@
+"""Tests for the fault injector's scheduling semantics."""
+
+from repro.faults.faults import HwCrash, TransientLoss
+from repro.faults.injector import FaultInjector
+from repro.sim.core import millis, seconds
+
+
+def test_at_injects_at_absolute_time(lan):
+    injector = FaultInjector(lan.world)
+    record = injector.at(seconds(2), HwCrash(lan.hosts[0]))
+    lan.world.run(until=seconds(1))
+    assert lan.hosts[0].is_up and not record.injected
+    lan.world.run(until=seconds(3))
+    assert not lan.hosts[0].is_up and record.injected
+
+
+def test_after_is_relative(lan):
+    injector = FaultInjector(lan.world)
+    lan.world.run(until=seconds(1))
+    injector.after(seconds(1), HwCrash(lan.hosts[0]))
+    lan.world.run(until=seconds(1.5))
+    assert lan.hosts[0].is_up
+    lan.world.run(until=seconds(2.5))
+    assert not lan.hosts[0].is_up
+
+
+def test_loss_burst_clears_itself(lan):
+    injector = FaultInjector(lan.world)
+    injector.loss_burst(seconds(1), millis(500),
+                        TransientLoss(lan.cables[0], 0.8))
+    lan.world.run(until=seconds(1.2))
+    assert lan.cables[0].loss_rate == 0.8
+    lan.world.run(until=seconds(2))
+    assert lan.cables[0].loss_rate == 0.0
+
+
+def test_injection_bookkeeping(lan):
+    injector = FaultInjector(lan.world)
+    injector.at(seconds(1), HwCrash(lan.hosts[0]))
+    injector.at(seconds(2), HwCrash(lan.hosts[1]))
+    lan.world.run(until=seconds(1.5))
+    assert injector.injected_count == 1
+    assert injector.first_injection_time() == seconds(1)
+    assert len(injector.records) == 2
+
+
+def test_no_injections_yet(lan):
+    injector = FaultInjector(lan.world)
+    assert injector.first_injection_time() is None
+    assert injector.injected_count == 0

@@ -1,0 +1,121 @@
+"""Unit tests for the application base class and crash modes."""
+
+from repro.net.addresses import IPAddress
+from repro.sim.core import seconds
+from repro.host.app import Application
+from repro.tcp.states import TcpState
+
+
+class Worker(Application):
+    """Test app: one socket, one periodic timer."""
+
+    def __init__(self, host, connect_to=None):
+        super().__init__(host, "worker")
+        self.ticks = 0
+        self.connect_to = connect_to
+        self.sock = None
+
+    def on_start(self):
+        self.every(100_000_000, self._tick)
+        if self.connect_to is not None:
+            self.sock = self.track_socket(
+                self.host.tcp.connect(self.connect_to, 80))
+
+    def _tick(self):
+        self.ticks += 1
+
+
+def test_start_is_idempotent(lan):
+    app = Worker(lan.hosts[0])
+    app.start()
+    app.start()
+    lan.world.run(until=seconds(1))
+    assert app.ticks == 10
+
+
+def test_timers_stop_on_hang_crash(lan):
+    app = Worker(lan.hosts[0])
+    app.start()
+    lan.world.run(until=seconds(1))
+    app.crash(cleanup=False)
+    lan.world.run(until=seconds(2))
+    assert app.ticks == 10
+    assert app.crashed and not app.is_alive
+
+
+def test_hang_crash_leaves_sockets_open(lan):
+    lan.hosts[0].tcp.listen(80, lambda s: None)
+    app = Worker(lan.hosts[1], connect_to=IPAddress("10.0.0.1"))
+    app.start()
+    lan.world.run(until=seconds(1))
+    app.crash(cleanup=False)
+    lan.world.run(until=seconds(2))
+    # Socket stays ESTABLISHED: no FIN was generated (paper Sec. 4.2.1).
+    assert app.sock.state is TcpState.ESTABLISHED
+
+
+def test_cleanup_crash_closes_sockets(lan):
+    server_socks = []
+    lan.hosts[0].tcp.listen(80, server_socks.append)
+    app = Worker(lan.hosts[1], connect_to=IPAddress("10.0.0.1"))
+    app.start()
+    lan.world.run(until=seconds(1))
+    app.crash(cleanup=True)
+    lan.world.run(until=seconds(2))
+    # FIN was generated and delivered (paper Sec. 4.2.2).
+    assert app.sock.connection.fin_queued
+    assert server_socks[0].connection.peer_fin_consumed
+
+
+def test_crash_is_idempotent(lan):
+    app = Worker(lan.hosts[0])
+    app.start()
+    app.crash(cleanup=False)
+    app.crash(cleanup=True)   # second crash ignored
+    assert app.crash_had_cleanup is False
+
+
+def test_guard_callback_suppressed_after_crash(lan):
+    app = Worker(lan.hosts[0])
+    app.start()
+    calls = []
+    guarded = app.guard_callback(lambda: calls.append(1))
+    guarded()
+    app.crash(cleanup=False)
+    guarded()
+    assert calls == [1]
+
+
+def test_after_timer(lan):
+    app = Worker(lan.hosts[0])
+    app.start()
+    fired = []
+    app.after(seconds(1), lambda: fired.append(lan.world.sim.now))
+    lan.world.run(until=seconds(2))
+    assert fired == [seconds(1)]
+
+
+def test_stop_halts_timers_without_crash_flag(lan):
+    app = Worker(lan.hosts[0])
+    app.start()
+    lan.world.run(until=seconds(1))
+    app.stop()
+    lan.world.run(until=seconds(2))
+    assert app.ticks == 10
+    assert not app.crashed
+
+
+def test_untrack_socket(lan):
+    lan.hosts[0].tcp.listen(80, lambda s: None)
+    app = Worker(lan.hosts[1], connect_to=IPAddress("10.0.0.1"))
+    app.start()
+    app.untrack_socket(app.sock)
+    assert app.sockets == []
+
+
+def test_os_model_kill_helpers(lan):
+    from repro.host.osmodel import OperatingSystem
+    app = Worker(lan.hosts[0])
+    app.start()
+    lan.hosts[0].os.hang_app(app)
+    assert app.crash_had_cleanup is False

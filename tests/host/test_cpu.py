@@ -1,0 +1,82 @@
+"""Unit tests for the FIFO CPU model."""
+
+import pytest
+
+from repro.host.cpu import CpuModel
+from repro.sim.world import World
+
+
+def test_single_job_runs_after_cost():
+    world = World()
+    cpu = CpuModel(world)
+    done = []
+    cpu.submit(1000, lambda: done.append(world.sim.now))
+    world.run()
+    assert done == [1000]
+
+
+def test_fifo_queueing_accumulates_delay():
+    world = World()
+    cpu = CpuModel(world)
+    done = []
+    cpu.submit(1000, lambda: done.append(world.sim.now))
+    cpu.submit(1000, lambda: done.append(world.sim.now))
+    cpu.submit(1000, lambda: done.append(world.sim.now))
+    world.run()
+    assert done == [1000, 2000, 3000]
+
+
+def test_idle_gap_resets_queue():
+    world = World()
+    cpu = CpuModel(world)
+    done = []
+    cpu.submit(100, lambda: done.append(world.sim.now))
+    world.run()
+    world.sim.schedule(900, lambda: cpu.submit(
+        100, lambda: done.append(world.sim.now)))
+    world.run()
+    assert done == [100, 1100]  # second job starts fresh at t=1000
+
+
+def test_backlog_reporting():
+    world = World()
+    cpu = CpuModel(world)
+    cpu.submit(5000, lambda: None)
+    cpu.submit(5000, lambda: None)
+    assert cpu.backlog_ns == 10_000
+    world.run()
+    assert cpu.backlog_ns == 0
+
+
+def test_utilization():
+    world = World()
+    cpu = CpuModel(world)
+    cpu.submit(500, lambda: None)
+    world.run(until=1000)
+    assert cpu.utilization(1000) == 0.5
+    assert cpu.utilization(0) == 0.0
+
+
+def test_overload_backlog_grows_without_bound():
+    world = World()
+    cpu = CpuModel(world)
+    # Offered load 2x capacity: 200ns of work every 100ns.
+    for t in range(0, 10_000, 100):
+        world.sim.schedule_at(t, lambda: cpu.submit(200, lambda: None))
+    world.run(until=10_000)
+    assert cpu.backlog_ns > 5_000
+
+
+def test_negative_cost_rejected():
+    world = World()
+    with pytest.raises(ValueError):
+        CpuModel(world).submit(-1, lambda: None)
+
+
+def test_jobs_counter():
+    world = World()
+    cpu = CpuModel(world)
+    for _ in range(5):
+        cpu.submit(10, lambda: None)
+    world.run()
+    assert cpu.jobs_run == 5

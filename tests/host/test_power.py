@@ -1,0 +1,42 @@
+"""Unit tests for the power strip (STONITH)."""
+
+import pytest
+
+from repro.sim.core import millis
+from repro.host.power import PowerStrip
+
+
+def test_power_down_after_actuation_delay(lan):
+    strip = PowerStrip(lan.world, actuation_delay_ns=millis(5))
+    strip.register(lan.hosts[0])
+    strip.power_down(lan.hosts[0], initiator="test")
+    assert lan.hosts[0].is_up  # not yet
+    lan.world.run()
+    assert not lan.hosts[0].is_up
+    assert strip.was_powered_down("h0")
+
+
+def test_power_down_already_dead_is_safe(lan):
+    strip = PowerStrip(lan.world)
+    strip.register(lan.hosts[0])
+    lan.hosts[0].crash_hw()
+    strip.power_down(lan.hosts[0], initiator="test")
+    lan.world.run()
+    assert not lan.hosts[0].is_up
+
+
+def test_unregistered_host_rejected(lan):
+    strip = PowerStrip(lan.world)
+    with pytest.raises(KeyError):
+        strip.power_down(lan.hosts[0], initiator="test")
+
+
+def test_power_downs_recorded_with_initiator(lan):
+    strip = PowerStrip(lan.world)
+    strip.register(lan.hosts[0])
+    strip.register(lan.hosts[1])
+    strip.power_down(lan.hosts[1], initiator="backup-engine")
+    lan.world.run()
+    assert strip.power_downs[0][1] == "h1"
+    assert strip.power_downs[0][2] == "backup-engine"
+    assert not strip.was_powered_down("h0")

@@ -1,0 +1,114 @@
+"""Edge-of-envelope scenarios: young connections, handshake-time crashes,
+idle-connection crashes, and post-takeover service quality."""
+
+import pytest
+
+from repro.apps.streaming import StreamClient, StreamServer
+from repro.faults.faults import HwCrash
+from repro.scenarios.builder import build_testbed
+from repro.sim.core import millis, seconds
+from repro.tcp.states import TcpState
+
+
+def make_testbed(seed=51):
+    tb = build_testbed(seed=seed)
+    StreamServer(tb.primary, "srv-p", port=80).start()
+    StreamServer(tb.backup, "srv-b", port=80).start()
+    tb.pair.start()
+    return tb
+
+
+def test_very_young_connection_survives_crash():
+    """Connection established ~50ms before the crash: the replica barely
+    exists, yet the stream must survive."""
+    tb = make_testbed()
+    tb.run_until(1)   # engines settled
+    client = StreamClient(tb.client, "c", tb.service_ip, port=80,
+                          total_bytes=5_000_000)
+    client.start()
+    tb.inject.at(tb.world.sim.now + millis(50), HwCrash(tb.primary))
+    tb.run_until(30)
+    assert client.received == 5_000_000
+    assert client.corrupt_at is None
+    assert client.reset_count == 0
+
+
+def test_crash_during_handshake_recovered_by_syn_retransmission():
+    """The primary dies between the client's SYN and any data.  The paper
+    does not promise handshake failover; what MUST hold is that the client
+    still reaches the service — its retransmitted SYN is answered by the
+    (now live) backup listener after takeover."""
+    tb = make_testbed()
+    tb.run_until(1)
+    crash_at = tb.world.sim.now + millis(1)
+    client = StreamClient(tb.client, "c", tb.service_ip, port=80,
+                          total_bytes=100_000)
+    client.start()
+    tb.inject.at(crash_at, HwCrash(tb.primary))
+    tb.run_until(60)
+    assert client.received == 100_000
+    assert client.corrupt_at is None
+
+
+def test_idle_connection_crash_detected_and_served_later():
+    """Crash while the connection is idle: detection is HB-based so it
+    happens anyway; a later request is served by the backup on the same
+    connection."""
+    tb = make_testbed()
+    client = StreamClient(tb.client, "c", tb.service_ip, port=80,
+                          total_bytes=10_000, close_when_complete=False)
+    client.start()
+    tb.run_until(2)
+    assert client.received == 10_000     # transfer done; connection idle
+    tb.inject.at(seconds(3), HwCrash(tb.primary))
+    tb.run_until(6)
+    assert tb.pair.backup.takeover_at is not None
+    # Ask for more data on the SAME socket: the backup must serve it.
+    client.total_bytes = 20_000
+    client._request_more(client.sock)
+    tb.run_until(30)
+    assert client.received == 20_000
+    assert client.corrupt_at is None
+    assert client.reset_count == 0
+
+
+def test_new_connection_while_pair_degraded_non_ft():
+    """After the backup is lost (non-FT mode), new clients still get
+    ordinary, un-replicated service from the primary."""
+    tb = make_testbed()
+    tb.run_until(1)
+    tb.inject.at(seconds(1.5), HwCrash(tb.backup))
+    tb.run_until(4)
+    assert tb.pair.primary.mode == "non-fault-tolerant"
+    client = StreamClient(tb.client, "late", tb.service_ip, port=80,
+                          total_bytes=1_000_000)
+    client.start()
+    tb.run_until(20)
+    assert client.received == 1_000_000
+    assert client.reset_count == 0
+
+
+def test_back_to_back_transfers_across_failover():
+    """Sequential request/response cycles on one connection, with the
+    crash landing between cycles."""
+    tb = make_testbed()
+    client = StreamClient(tb.client, "c", tb.service_ip, port=80,
+                          total_bytes=40_000_000, request_chunk=10_000_000)
+    client.start()
+    tb.inject.at(seconds(1), HwCrash(tb.primary))
+    tb.run_until(90)
+    assert client.received == 40_000_000
+    assert client.corrupt_at is None
+    assert client.reset_count == 0
+
+
+def test_post_takeover_connection_closes_cleanly():
+    tb = make_testbed()
+    client = StreamClient(tb.client, "c", tb.service_ip, port=80,
+                          total_bytes=20_000_000)   # closes when complete
+    client.start()
+    tb.inject.at(seconds(1), HwCrash(tb.primary))
+    tb.run_until(90)
+    assert client.received == 20_000_000
+    # Full close handshake with the backup completed (TIME_WAIT or gone).
+    assert client.sock.state in (TcpState.TIME_WAIT, TcpState.CLOSED)

@@ -1,0 +1,57 @@
+"""Table 1, exhaustively: every single-failure row, both locations —
+symptom classification AND recovery action."""
+
+import pytest
+
+from repro.faults.faults import (AppCrashWithCleanup, AppHang, HwCrash,
+                                 NicFailure)
+from repro.scenarios.runner import run_failover_experiment
+from repro.sim.core import seconds
+from repro.sttcp.config import SttcpConfig
+from repro.sttcp.events import EventKind
+
+TOTAL = 30_000_000
+CONFIG = SttcpConfig(max_delay_fin_ns=seconds(5))
+
+# (row, fault factory, expected detection kind, expected recovery)
+MATRIX = [
+    ("row1-primary", lambda tb, sp, sb: HwCrash(tb.primary),
+     EventKind.PEER_CRASH_DETECTED, "takeover"),
+    ("row1-backup", lambda tb, sp, sb: HwCrash(tb.backup),
+     EventKind.PEER_CRASH_DETECTED, "non-ft"),
+    ("row2-primary", lambda tb, sp, sb: AppHang(sp),
+     EventKind.APP_FAILURE_DETECTED, "takeover"),
+    ("row2-backup", lambda tb, sp, sb: AppHang(sb),
+     EventKind.APP_FAILURE_DETECTED, "non-ft"),
+    ("row3-primary", lambda tb, sp, sb: AppCrashWithCleanup(sp),
+     EventKind.APP_FAILURE_DETECTED, "takeover"),
+    ("row3-backup", lambda tb, sp, sb: AppCrashWithCleanup(sb),
+     EventKind.APP_FAILURE_DETECTED, "non-ft"),
+    ("row4-primary", lambda tb, sp, sb: NicFailure(tb.primary.nics[0]),
+     EventKind.NIC_FAILURE_DETECTED, "takeover"),
+    ("row4-backup", lambda tb, sp, sb: NicFailure(tb.backup.nics[0]),
+     EventKind.NIC_FAILURE_DETECTED, "non-ft"),
+]
+
+
+@pytest.mark.parametrize("row_id,fault,kind,recovery",
+                         MATRIX, ids=[m[0] for m in MATRIX])
+def test_single_failure_masked_and_classified(row_id, fault, kind, recovery):
+    result = run_failover_experiment(fault, total_bytes=TOTAL,
+                                     fault_at_s=1.0, run_until_s=60,
+                                     seed=3, config=CONFIG)
+    # The ST-TCP guarantee: the client never notices a single failure.
+    assert result.stream_intact, f"{row_id}: stream damaged"
+    pair = result.testbed.pair
+    strip = result.testbed.power_strip
+
+    if recovery == "takeover":
+        assert pair.backup.events.has(kind), f"{row_id}: wrong classification"
+        assert pair.backup.takeover_at is not None
+        assert strip.was_powered_down("primary")
+        assert pair.backup.mode == "active"
+    else:
+        assert pair.primary.events.has(kind), f"{row_id}: wrong classification"
+        assert pair.backup.takeover_at is None
+        assert strip.was_powered_down("backup")
+        assert pair.primary.mode == "non-fault-tolerant"

@@ -1,0 +1,74 @@
+"""Wire-level proof of the headline mechanism: after takeover the backup
+continues the *same* TCP connection — same ports, same sequence space, no
+SYN, no RST — while the Ethernet source quietly changes machines."""
+
+import pytest
+
+from repro.apps.streaming import StreamClient, StreamServer
+from repro.faults.faults import HwCrash
+from repro.scenarios.builder import build_testbed
+from repro.sim.core import seconds
+from repro.tcp.segment import TcpSegment
+from repro.tcp.seq import seq_ge
+
+
+@pytest.fixture(scope="module")
+def capture():
+    tb = build_testbed(seed=3)
+    StreamServer(tb.primary, "srv-p", port=80).start()
+    StreamServer(tb.backup, "srv-b", port=80).start()
+    tb.pair.start()
+    segments = []   # (time, segment) of every TCP segment the client got
+
+    def tap(packet):
+        if isinstance(packet.payload, TcpSegment) \
+                and packet.payload.src_port == 80:
+            segments.append((tb.world.sim.now, packet.payload))
+
+    tb.client.ip.add_packet_tap(tap)
+    client = StreamClient(tb.client, "c", tb.service_ip, port=80,
+                          total_bytes=30_000_000)
+    client.start()
+    fault_at = seconds(1)
+    tb.inject.at(fault_at, HwCrash(tb.primary))
+    tb.run_until(60)
+    assert client.received == 30_000_000
+    return tb, client, segments, fault_at
+
+
+def test_exactly_one_syn_ack_ever(capture):
+    _tb, _client, segments, _fault = capture
+    syns = [seg for _t, seg in segments if seg.syn]
+    assert len(syns) == 1            # the original handshake, nothing else
+
+
+def test_no_rst_ever(capture):
+    _tb, _client, segments, _fault = capture
+    assert not any(seg.rst for _t, seg in segments)
+
+
+def test_sequence_space_continues_across_takeover(capture):
+    """The last pre-crash data segment and the first post-takeover data
+    segment belong to one monotonic sequence space."""
+    _tb, _client, segments, fault_at = capture
+    data = [(t, seg) for t, seg in segments if seg.payload]
+    before = [seg for t, seg in data if t < fault_at]
+    after = [seg for t, seg in data if t > fault_at]
+    assert before and after
+    last_before = before[-1]
+    first_after = after[0]
+    # The resumed stream overlaps or continues — never restarts.
+    assert seq_ge(first_after.seq, last_before.seq) or \
+        abs(first_after.seq - last_before.seq) < (1 << 20)
+    # Same source port throughout.
+    assert {seg.src_port for _t, seg in data} == {80}
+
+
+def test_total_payload_spans_exactly_the_response(capture):
+    """Coverage of [0, 30 MB) with no byte beyond the stream length + FIN."""
+    tb, client, segments, _fault = capture
+    data = [seg for _t, seg in segments if seg.payload]
+    isn = min(seg.seq for _t, seg in segments if seg.syn)
+    highest = max((seg.seq - isn - 1 + len(seg.payload)) & 0xFFFFFFFF
+                  for seg in data)
+    assert highest == 30_000_000

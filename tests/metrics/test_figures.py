@@ -1,0 +1,48 @@
+"""Tests for the ASCII figure helpers."""
+
+import pytest
+
+from repro.metrics.figures import bar_chart, sparkline, step_series
+
+
+def test_bar_chart_scales_to_peak():
+    chart = bar_chart(["a", "bb"], [1.0, 2.0], width=10, unit="s")
+    lines = chart.splitlines()
+    assert len(lines) == 2
+    assert lines[1].count("█") == 10       # the peak fills the width
+    assert lines[0].count("█") == 5
+    assert "2s" in lines[1]
+
+
+def test_bar_chart_validates_lengths():
+    with pytest.raises(ValueError):
+        bar_chart(["a"], [1.0, 2.0])
+
+
+def test_bar_chart_empty():
+    assert bar_chart([], []) == "(empty chart)"
+
+
+def test_sparkline_shape():
+    line = sparkline([0, 1, 2, 3, 4])
+    assert len(line) == 5
+    assert line[0] == "▁" and line[-1] == "█"
+
+
+def test_sparkline_resamples():
+    line = sparkline(list(range(100)), width=10)
+    assert len(line) == 10
+
+
+def test_sparkline_flat_series():
+    assert sparkline([5, 5, 5]) == "▁▁▁"
+
+
+def test_step_series_renders_extents():
+    plot = step_series([(0, 0), (1, 10), (2, 20)], width=20, height=5)
+    assert "*" in plot
+    assert "[0, 2]" in plot and "[0, 20]" in plot
+
+
+def test_step_series_empty():
+    assert step_series([]) == "(no data)"

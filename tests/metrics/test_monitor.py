@@ -1,0 +1,106 @@
+"""Tests for the client stream monitor (gap/glitch analysis)."""
+
+from repro.metrics.monitor import ClientStreamMonitor
+from repro.sim.core import millis, seconds
+from repro.sim.world import World
+
+
+def feed(world, monitor, schedule):
+    """schedule: list of (time_ns, nbytes)."""
+    for t, n in schedule:
+        world.sim.schedule_at(t, monitor.on_bytes, n)
+    world.run()
+
+
+def test_total_and_timestamps():
+    world = World()
+    monitor = ClientStreamMonitor(world)
+    feed(world, monitor, [(100, 10), (200, 20)])
+    assert monitor.total_bytes == 30
+    assert monitor.first_byte_at == 100
+    assert monitor.last_byte_at == 200
+
+
+def test_max_gap():
+    world = World()
+    monitor = ClientStreamMonitor(world)
+    feed(world, monitor, [(0, 1), (100, 1), (500, 1), (600, 1)])
+    assert monitor.max_gap_ns() == 400
+    assert monitor.max_gap_ns(after_ns=500) == 100
+
+
+def test_gap_at_instant():
+    world = World()
+    monitor = ClientStreamMonitor(world)
+    feed(world, monitor, [(100, 1), (1000, 1)])
+    last_before, first_after, gap = monitor.gap_at(500)
+    assert (last_before, first_after, gap) == (100, 1000, 900)
+    assert monitor.gap_at(2000) is None  # nothing after
+
+
+def test_largest_gap_after():
+    world = World()
+    monitor = ClientStreamMonitor(world)
+    feed(world, monitor, [(0, 1), (100, 1), (2000, 1), (2100, 1)])
+    stall = monitor.largest_gap_after(50)
+    assert stall == (100, 2000, 1900)
+
+
+def test_largest_gap_includes_boundary_sample():
+    world = World()
+    monitor = ClientStreamMonitor(world)
+    feed(world, monitor, [(100, 1), (5000, 1)])
+    # Even asking after t=200 sees the stall that started at 100.
+    stall = monitor.largest_gap_after(200)
+    assert stall == (100, 5000, 4900)
+
+
+def test_resume_time_after():
+    world = World()
+    monitor = ClientStreamMonitor(world)
+    feed(world, monitor, [(100, 1), (900, 1)])
+    assert monitor.resume_time_after(100) == 900
+    assert monitor.resume_time_after(900) is None
+
+
+def test_bytes_before():
+    world = World()
+    monitor = ClientStreamMonitor(world)
+    feed(world, monitor, [(100, 10), (200, 10), (300, 10)])
+    assert monitor.bytes_before(250) == 20
+    assert monitor.bytes_before(50) == 0
+
+
+def test_throughput():
+    world = World()
+    monitor = ClientStreamMonitor(world)
+    feed(world, monitor, [(0, 500_000), (seconds(1), 500_000)])
+    assert abs(monitor.throughput_mbps() - 8.0) < 0.1
+
+
+def test_events():
+    world = World()
+    monitor = ClientStreamMonitor(world)
+    monitor.note_event("reset")
+    monitor.note_event("reconnect")
+    monitor.note_event("reset")
+    assert len(monitor.events_of("reset")) == 2
+
+
+def test_progress_series_downsamples():
+    world = World()
+    monitor = ClientStreamMonitor(world)
+    feed(world, monitor, [(i * millis(10), 100) for i in range(100)])
+    series = monitor.progress_series(millis(100))
+    assert len(series) <= 12
+    assert series[-1][1] == monitor.total_bytes
+
+
+def test_empty_monitor_is_graceful():
+    world = World()
+    monitor = ClientStreamMonitor(world)
+    assert monitor.max_gap_ns() == 0
+    assert monitor.gap_at(100) is None
+    assert monitor.largest_gap_after(0) is None
+    assert monitor.throughput_mbps() is None
+    assert monitor.progress_series(1000) == []

@@ -1,0 +1,32 @@
+"""Tests for the report formatting helpers."""
+
+from repro.metrics.report import banner, format_duration, format_table
+from repro.sim.core import millis, seconds
+
+
+def test_format_duration_scales():
+    assert format_duration(None) == "-"
+    assert format_duration(500_000) == "500us"
+    assert format_duration(millis(25)) == "25.0ms"
+    assert format_duration(seconds(1.5)) == "1.500s"
+
+
+def test_format_table_alignment():
+    table = format_table(["name", "value"],
+                         [["x", 1], ["longer-name", 22]])
+    lines = table.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("name")
+    # All rows the same width.
+    assert len({len(line) for line in lines}) <= 2
+
+
+def test_format_table_stringifies_cells():
+    table = format_table(["a"], [[3.14159]])
+    assert "3.14159" in table
+
+
+def test_banner_centers_title():
+    text = banner("Demo 1", width=40)
+    assert "Demo 1" in text
+    assert len(text) == 40

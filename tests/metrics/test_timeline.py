@@ -1,0 +1,68 @@
+"""Tests for failover timeline assembly."""
+
+from repro.metrics.monitor import ClientStreamMonitor
+from repro.metrics.timeline import FailoverTimeline, build_timeline
+from repro.sim.core import seconds
+from repro.sim.world import World
+from repro.sttcp.events import EngineEventLog, EventKind
+
+
+def test_timeline_derived_quantities():
+    timeline = FailoverTimeline(fault_at=seconds(1),
+                                detected_at=seconds(2),
+                                takeover_at=seconds(2),
+                                client_resumed_at=seconds(3))
+    assert timeline.detection_latency_ns == seconds(1)
+    assert timeline.failover_time_ns == seconds(2)
+    assert timeline.backoff_residue_ns == seconds(1)
+
+
+def test_timeline_tolerates_missing_fields():
+    timeline = FailoverTimeline()
+    assert timeline.detection_latency_ns is None
+    assert timeline.failover_time_ns is None
+    assert timeline.backoff_residue_ns is None
+    assert "-" in timeline.describe()
+
+
+def test_build_from_event_logs():
+    backup = EngineEventLog()
+    primary = EngineEventLog()
+    backup.emit(seconds(2), EventKind.PEER_CRASH_DETECTED)
+    backup.emit(seconds(2), EventKind.STONITH, target="primary")
+    backup.emit(seconds(2), EventKind.TAKEOVER)
+    timeline = build_timeline(seconds(1), backup, primary)
+    assert timeline.detected_at == seconds(2)
+    assert timeline.detection_kind == EventKind.PEER_CRASH_DETECTED
+    assert timeline.takeover_at == seconds(2)
+    assert timeline.stonith_at == seconds(2)
+
+
+def test_earliest_detection_across_logs():
+    backup = EngineEventLog()
+    primary = EngineEventLog()
+    backup.emit(seconds(3), EventKind.APP_FAILURE_DETECTED)
+    primary.emit(seconds(2), EventKind.NIC_FAILURE_DETECTED)
+    timeline = build_timeline(seconds(1), backup, primary)
+    assert timeline.detected_at == seconds(2)
+    assert timeline.detection_kind == EventKind.NIC_FAILURE_DETECTED
+
+
+def test_resume_from_monitor_stall():
+    world = World()
+    monitor = ClientStreamMonitor(world)
+    for t in (0, 100, 200):
+        world.sim.schedule_at(seconds(1) + t, monitor.on_bytes, 1)
+    world.sim.schedule_at(seconds(4), monitor.on_bytes, 1)
+    world.run()
+    backup = EngineEventLog()
+    timeline = build_timeline(seconds(2), backup, None, monitor)
+    assert timeline.client_resumed_at == seconds(4)
+    assert timeline.failover_time_ns == seconds(2)
+
+
+def test_non_ft_recorded():
+    primary = EngineEventLog()
+    primary.emit(seconds(5), EventKind.NON_FT_MODE)
+    timeline = build_timeline(seconds(1), EngineEventLog(), primary)
+    assert timeline.non_ft_at == seconds(5)

@@ -1,0 +1,72 @@
+"""Unit tests for ARP: static entries, dynamic resolution, learning."""
+
+from repro.net.addresses import IPAddress, MacAddress
+
+
+def test_dynamic_resolution_roundtrip(lan):
+    h0, h1 = lan.hosts
+    arp0 = h0.interfaces[0].arp
+    resolved = []
+    arp0.resolve(lan.ip(1), resolved.append)
+    lan.world.run()
+    assert resolved == [h1.nics[0].mac]
+    # cached now: immediate
+    resolved2 = []
+    arp0.resolve(lan.ip(1), resolved2.append)
+    assert resolved2 == [h1.nics[0].mac]
+
+
+def test_static_entry_wins_without_traffic(lan):
+    arp0 = lan.hosts[0].interfaces[0].arp
+    multi = MacAddress("03:00:5e:00:00:64")
+    arp0.add_static(IPAddress("10.0.0.100"), multi)
+    resolved = []
+    arp0.resolve(IPAddress("10.0.0.100"), resolved.append)
+    assert resolved == [multi]
+    assert arp0.requests_sent == 0
+
+
+def test_static_entry_not_overwritten_by_learning(lan):
+    h0, h1 = lan.hosts
+    arp0 = h0.interfaces[0].arp
+    multi = MacAddress("03:00:5e:00:00:64")
+    arp0.add_static(lan.ip(1), multi)
+    # h1 ARPs for h0, so h0 would normally learn h1's real MAC.
+    resolved = []
+    h1.interfaces[0].arp.resolve(lan.ip(0), resolved.append)
+    lan.world.run()
+    assert arp0.lookup(lan.ip(1)) == multi
+
+
+def test_multiple_waiters_single_request(lan):
+    arp0 = lan.hosts[0].interfaces[0].arp
+    resolved = []
+    arp0.resolve(lan.ip(1), resolved.append)
+    arp0.resolve(lan.ip(1), resolved.append)
+    lan.world.run()
+    assert len(resolved) == 2
+    assert arp0.requests_sent == 1
+
+
+def test_unresolvable_address_never_calls_back(lan):
+    arp0 = lan.hosts[0].interfaces[0].arp
+    resolved = []
+    arp0.resolve(IPAddress("10.0.0.250"), resolved.append)
+    lan.world.run()
+    assert resolved == []
+
+
+def test_opportunistic_learning_from_requests(lan):
+    h0, h1 = lan.hosts
+    resolved = []
+    h0.interfaces[0].arp.resolve(lan.ip(1), resolved.append)
+    lan.world.run()
+    # h1 received h0's request and learned h0's mapping from it.
+    assert h1.interfaces[0].arp.lookup(lan.ip(0)) == h0.nics[0].mac
+
+
+def test_replies_sent_counter(lan):
+    h0, h1 = lan.hosts
+    h0.interfaces[0].arp.resolve(lan.ip(1), lambda mac: None)
+    lan.world.run()
+    assert h1.interfaces[0].arp.replies_sent == 1

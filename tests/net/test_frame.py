@@ -1,0 +1,30 @@
+"""Tests for Ethernet frame and IP packet size modelling."""
+
+from repro.net.addresses import IPAddress, MacAddress
+from repro.net.frame import (ETHERNET_HEADER_BYTES, ETHERNET_MIN_FRAME_BYTES,
+                             EtherType, EthernetFrame)
+from repro.net.packet import IP_HEADER_BYTES, IPPacket, IPProtocol
+
+
+def test_frame_size_includes_header():
+    frame = EthernetFrame(MacAddress(1), MacAddress(2), EtherType.IPV4,
+                          b"x" * 100)
+    assert frame.size_bytes == 100 + ETHERNET_HEADER_BYTES
+
+
+def test_minimum_frame_size_enforced():
+    frame = EthernetFrame(MacAddress(1), MacAddress(2), EtherType.IPV4, b"x")
+    assert frame.size_bytes == ETHERNET_MIN_FRAME_BYTES
+
+
+def test_frame_wraps_structured_payload():
+    packet = IPPacket(IPAddress("10.0.0.1"), IPAddress("10.0.0.2"),
+                      IPProtocol.TCP, b"y" * 500)
+    frame = EthernetFrame(MacAddress(1), MacAddress(2), EtherType.IPV4,
+                          packet)
+    assert frame.size_bytes == 500 + IP_HEADER_BYTES + ETHERNET_HEADER_BYTES
+
+
+def test_str_renders():
+    frame = EthernetFrame(MacAddress(1), MacAddress(2), EtherType.ARP, b"")
+    assert "arp" in str(frame)

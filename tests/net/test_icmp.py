@@ -1,0 +1,77 @@
+"""Unit tests for ICMP echo and the Pinger."""
+
+from repro.net.icmp import Pinger
+from repro.sim.core import millis
+
+
+def test_echo_request_gets_reply(lan):
+    h0, h1 = lan.hosts
+    results = []
+    pinger = Pinger(lan.world, h0.icmp, lan.ip(1))
+    pinger.ping(results.append)
+    lan.world.run()
+    assert results == [True]
+    assert pinger.successes == 1
+    assert h1.icmp.echo_requests_answered == 1
+
+
+def test_ping_timeout_on_dead_target(lan):
+    h0, h1 = lan.hosts
+    h1.power_off()
+    results = []
+    pinger = Pinger(lan.world, h0.icmp, lan.ip(1), timeout_ns=millis(50))
+    pinger.ping(results.append)
+    lan.world.run()
+    assert results == [False]
+    assert pinger.failures == 1
+
+
+def test_ping_timeout_on_cut_cable(lan):
+    results = []
+    lan.cables[1].cut()
+    pinger = Pinger(lan.world, lan.hosts[0].icmp, lan.ip(1),
+                    timeout_ns=millis(50))
+    pinger.ping(results.append)
+    lan.world.run()
+    assert results == [False]
+
+
+def test_sequential_pings_counted_independently(lan):
+    results = []
+    pinger = Pinger(lan.world, lan.hosts[0].icmp, lan.ip(1))
+    pinger.ping(results.append)
+    lan.world.run()
+    pinger.ping(results.append)
+    lan.world.run()
+    assert results == [True, True]
+    assert pinger.successes == 2
+
+
+def test_late_reply_after_timeout_not_double_counted(lan):
+    # Timeout far shorter than the RTT: the reply arrives late.
+    results = []
+    pinger = Pinger(lan.world, lan.hosts[0].icmp, lan.ip(1), timeout_ns=1)
+    pinger.ping(results.append)
+    lan.world.run()
+    assert results == [False]
+    assert pinger.successes + pinger.failures == 1
+
+
+def test_overlapping_ping_fails_the_first(lan):
+    results = []
+    pinger = Pinger(lan.world, lan.hosts[0].icmp, lan.ip(1))
+    pinger.ping(results.append)
+    pinger.ping(results.append)  # issued before the first resolves
+    lan.world.run()
+    assert results[0] is False       # first forcibly resolved as failed
+    assert results[1] is True
+
+
+def test_two_pingers_do_not_cross_talk(lan):
+    r1, r2 = [], []
+    p1 = Pinger(lan.world, lan.hosts[0].icmp, lan.ip(1))
+    p2 = Pinger(lan.world, lan.hosts[0].icmp, lan.ip(1))
+    p1.ping(r1.append)
+    p2.ping(r2.append)
+    lan.world.run()
+    assert r1 == [True] and r2 == [True]

@@ -1,0 +1,135 @@
+"""Unit tests for the learning switch: learning, flooding, multicast,
+and the SPAN mirror used by the old-architecture ablation."""
+
+from repro.net.addresses import BROADCAST_MAC, MacAddress
+from repro.net.cable import Cable
+from repro.net.frame import EthernetFrame, EtherType
+from repro.net.switch import Switch
+from repro.sim.world import World
+
+MULTI = MacAddress("03:00:5e:00:00:64")
+
+
+class Station:
+    """A dumb station: records everything off its cable."""
+
+    def __init__(self, world, name, mac):
+        self.name = name
+        self.mac = mac
+        self.received = []
+        self._cable = None
+
+    def attach(self, world, switch):
+        port = switch.new_port()
+        self._cable = Cable(world, self, port)
+        port.cable = self._cable
+        return port
+
+    def receive_frame(self, frame):
+        self.received.append(frame)
+
+    def send(self, dst, payload=b"x" * 50):
+        self._cable.transmit(
+            self, EthernetFrame(dst, self.mac, EtherType.IPV4, payload))
+
+
+def build(n=3):
+    world = World()
+    switch = Switch(world)
+    stations = [Station(world, f"s{i}", MacAddress(i + 1)) for i in range(n)]
+    ports = [s.attach(world, switch) for s in stations]
+    return world, switch, stations, ports
+
+
+def test_unknown_unicast_is_flooded():
+    world, switch, (a, b, c), _ = build()
+    a.send(b.mac)
+    world.run()
+    assert len(b.received) == 1
+    assert len(c.received) == 1  # flooded: b's MAC not learned yet
+    assert switch.frames_flooded == 1
+
+
+def test_learned_unicast_is_forwarded_only():
+    world, switch, (a, b, c), _ = build()
+    b.send(a.mac)   # teaches the switch where b lives
+    world.run()
+    a.send(b.mac)
+    world.run()
+    assert len(b.received) == 1
+    # c saw only the first flood (b's frame to unknown a), nothing after.
+    assert len(c.received) == 1
+
+
+def test_broadcast_floods_all_but_ingress():
+    world, switch, (a, b, c), _ = build()
+    a.send(BROADCAST_MAC)
+    world.run()
+    assert len(b.received) == 1 and len(c.received) == 1
+    assert len(a.received) == 0
+
+
+def test_multicast_floods_always_even_after_learning():
+    world, switch, (a, b, c), _ = build()
+    # Let the switch learn everyone.
+    a.send(BROADCAST_MAC)
+    b.send(BROADCAST_MAC)
+    c.send(BROADCAST_MAC)
+    world.run()
+    a.send(MULTI)
+    world.run()
+    assert any(f.dst == MULTI for f in b.received)
+    assert any(f.dst == MULTI for f in c.received)
+
+
+def test_multicast_source_not_learned():
+    world, switch, stations, _ = build()
+    frame = EthernetFrame(stations[1].mac, MULTI, EtherType.IPV4, b"x")
+    stations[0]._cable.transmit(stations[0], frame)
+    world.run()
+    assert MULTI not in switch.mac_table
+
+
+def test_learning_table_contents():
+    world, switch, (a, b, c), ports = build()
+    a.send(BROADCAST_MAC)
+    world.run()
+    assert switch.mac_table[a.mac] is ports[0]
+
+
+def test_frame_to_station_on_ingress_segment_is_dropped():
+    world, switch, (a, b, c), _ = build()
+    a.send(BROADCAST_MAC)  # learn a on port 0
+    world.run()
+    # A frame from a TO a's own learned port: switch drops it.
+    before_b = len(b.received)
+    a.send(a.mac)
+    world.run()
+    assert len(b.received) == before_b
+
+
+def test_mirror_port_receives_forwarded_unicast():
+    world, switch, (a, b, c), ports = build()
+    switch.set_mirror_port(ports[2])
+    a.send(BROADCAST_MAC)
+    b.send(BROADCAST_MAC)
+    world.run()
+    b.received.clear()
+    c.received.clear()
+    a.send(b.mac)  # learned: forwarded to b AND mirrored to c
+    world.run()
+    assert len(b.received) == 1
+    assert len(c.received) == 1
+    assert switch.frames_mirrored == 1
+
+
+def test_mirror_not_duplicated_when_mirror_is_destination():
+    world, switch, (a, b, c), ports = build()
+    switch.set_mirror_port(ports[1])
+    a.send(BROADCAST_MAC)
+    b.send(BROADCAST_MAC)
+    world.run()
+    b.received.clear()
+    a.send(b.mac)
+    world.run()
+    assert len(b.received) == 1  # one copy only

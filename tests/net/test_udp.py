@@ -1,0 +1,59 @@
+"""Unit tests for the UDP layer."""
+
+import pytest
+
+from repro.errors import PortInUseError
+
+
+def test_send_and_receive(lan):
+    h0, h1 = lan.hosts
+    got = []
+    h1.udp.bind(5000, lambda payload, src, sport: got.append(
+        (payload, src, sport)))
+    h0.udp.send(lan.ip(1), 5000, 6000, b"hello")
+    lan.world.run()
+    assert got == [(b"hello", lan.ip(0), 6000)]
+
+
+def test_structured_payload_passes_through(lan):
+    h0, h1 = lan.hosts
+
+    class Message:
+        size_bytes = 24
+
+    got = []
+    h1.udp.bind(5000, lambda payload, src, sport: got.append(payload))
+    message = Message()
+    h0.udp.send(lan.ip(1), 5000, 5000, message)
+    lan.world.run()
+    assert got == [message]
+
+
+def test_unbound_port_drops(lan):
+    h0, h1 = lan.hosts
+    h0.udp.send(lan.ip(1), 5999, 6000, b"x")
+    lan.world.run()
+    assert h1.udp.datagrams_dropped == 1
+
+
+def test_double_bind_rejected(lan):
+    h0 = lan.hosts[0]
+    h0.udp.bind(5000, lambda *a: None)
+    with pytest.raises(PortInUseError):
+        h0.udp.bind(5000, lambda *a: None)
+
+
+def test_unbind_allows_rebind(lan):
+    h0 = lan.hosts[0]
+    h0.udp.bind(5000, lambda *a: None)
+    h0.udp.unbind(5000)
+    h0.udp.bind(5000, lambda *a: None)
+
+
+def test_counters(lan):
+    h0, h1 = lan.hosts
+    h1.udp.bind(5000, lambda *a: None)
+    h0.udp.send(lan.ip(1), 5000, 6000, b"x")
+    lan.world.run()
+    assert h0.udp.datagrams_sent == 1
+    assert h1.udp.datagrams_received == 1

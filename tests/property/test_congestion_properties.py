@@ -1,0 +1,75 @@
+"""Hypothesis invariants for Reno congestion control and RTT estimation."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.core import millis, seconds
+from repro.tcp.congestion import RenoCongestionControl
+from repro.tcp.rtt import RttEstimator
+
+MSS = 1460
+
+events = st.lists(
+    st.one_of(
+        st.tuples(st.just("ack"), st.integers(min_value=1, max_value=10 * MSS)),
+        st.tuples(st.just("dupack"), st.just(0)),
+        st.tuples(st.just("timeout"), st.just(0)),
+    ),
+    min_size=1, max_size=100)
+
+
+@given(events)
+@settings(max_examples=200)
+def test_cwnd_always_positive_and_ssthresh_floor(sequence):
+    cc = RenoCongestionControl(MSS)
+    snd_una = 0
+    snd_nxt = 20 * MSS
+    for kind, arg in sequence:
+        if kind == "ack":
+            snd_una += arg
+            snd_nxt = max(snd_nxt, snd_una)
+            cc.on_new_ack(arg, snd_una)
+        elif kind == "dupack":
+            cc.on_dupack(max(snd_nxt - snd_una, MSS), snd_nxt)
+        else:
+            cc.on_timeout(max(snd_nxt - snd_una, MSS))
+        assert cc.cwnd >= MSS
+        assert cc.ssthresh >= 2 * MSS
+        assert cc.send_window(10 ** 9) == cc.cwnd
+        assert cc.send_window(0) == 0
+
+
+@given(st.lists(st.integers(min_value=0, max_value=int(2e9)),
+                min_size=1, max_size=200))
+@settings(max_examples=200)
+def test_rto_always_within_bounds(samples):
+    est = RttEstimator(min_rto_ns=millis(200), max_rto_ns=seconds(60))
+    for sample in samples:
+        est.on_sample(sample)
+        assert millis(200) <= est.rto_ns <= seconds(60)
+
+
+@given(st.integers(min_value=0, max_value=50))
+@settings(max_examples=50)
+def test_backoff_is_monotone_and_capped(n_backoffs):
+    est = RttEstimator(min_rto_ns=millis(200), max_rto_ns=seconds(60))
+    est.on_sample(millis(10))
+    previous = est.rto_ns
+    for _ in range(n_backoffs):
+        current = est.on_backoff()
+        assert current >= previous
+        assert current <= seconds(60)
+        previous = current
+    est.reset_backoff()
+    assert est.rto_ns <= previous
+
+
+@given(st.lists(st.integers(min_value=1, max_value=int(1e8)),
+                min_size=2, max_size=100))
+@settings(max_examples=100)
+def test_srtt_stays_within_sample_envelope(samples):
+    """The smoothed RTT can never leave the [min, max] envelope of the
+    samples that produced it."""
+    est = RttEstimator()
+    for sample in samples:
+        est.on_sample(sample)
+    assert min(samples) <= est.srtt_ns <= max(samples)

@@ -1,0 +1,71 @@
+"""Hypothesis properties of the lag tracker: no false positives when the
+peer keeps up, guaranteed detection when it freezes."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.core import millis, seconds
+from repro.sim.world import World
+from repro.sttcp.detector import LagTracker
+
+
+@given(st.lists(st.integers(min_value=0, max_value=100_000),
+                min_size=2, max_size=40),
+       st.integers(min_value=0, max_value=3_000))
+@settings(max_examples=100)
+def test_peer_tracking_within_one_update_never_fires(increments, staleness):
+    """If the peer is always within one update of the local counter (the
+    healthy staleness pattern), no verdict is ever produced."""
+    world = World()
+    tracker = LagTracker(world, max_lag_bytes=1, max_lag_time_ns=seconds(2),
+                         confirm_ns=millis(500))
+    local = 0
+    previous_local = 0
+    for inc in increments:
+        previous_local = local
+        local += inc
+        # Peer reports the *previous* local value: maximal healthy lag.
+        tracker.update(local, previous_local)
+        world.run_for(millis(200))
+        assert tracker.verdict() is None
+
+
+@given(st.integers(min_value=1, max_value=10))
+@settings(max_examples=30)
+def test_frozen_peer_always_detected(freeze_after):
+    world = World()
+    tracker = LagTracker(world, max_lag_bytes=1000,
+                         max_lag_time_ns=seconds(2), confirm_ns=millis(500))
+    local = 0
+    for _ in range(freeze_after):
+        local += 5000
+        tracker.update(local, local - 2000)
+        world.run_for(millis(200))
+    # Peer freezes; local keeps moving.
+    frozen_peer = local - 2000
+    detected = False
+    for _ in range(30):
+        local += 5000
+        tracker.update(local, frozen_peer)
+        world.run_for(millis(200))
+        if tracker.verdict() is not None:
+            detected = True
+            break
+    assert detected
+
+
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=10_000),
+                          st.integers(min_value=0, max_value=10_000)),
+                min_size=1, max_size=50))
+@settings(max_examples=100)
+def test_update_never_crashes_and_lag_consistent(pairs):
+    world = World()
+    tracker = LagTracker(world, max_lag_bytes=100,
+                         max_lag_time_ns=seconds(1), confirm_ns=0)
+    max_local = 0
+    max_peer = 0
+    for local, peer in pairs:
+        tracker.update(local, peer)
+        max_local = max(max_local, local)
+        max_peer = max(max_peer, peer)
+        world.run_for(millis(50))
+        assert tracker.lag_bytes == max_local - max_peer

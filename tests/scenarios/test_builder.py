@@ -1,0 +1,101 @@
+"""Tests for the Figure-2 testbed construction invariants."""
+
+from repro.net.packet import IPProtocol
+from repro.scenarios.builder import build_testbed
+from repro.sim.core import seconds
+
+
+def test_multicast_flood_reaches_both_servers():
+    """The heart of Figure 2: a client packet to serviceIP arrives at BOTH
+    the primary and the backup (static ARP -> multiEA -> switch flood)."""
+    tb = build_testbed(seed=1)
+    got = {"primary": 0, "backup": 0}
+    tb.primary.ip.add_packet_tap(
+        lambda p: got.__setitem__("primary", got["primary"] + 1)
+        if p.dst == tb.service_ip else None)
+    tb.backup.ip.add_packet_tap(
+        lambda p: got.__setitem__("backup", got["backup"] + 1)
+        if p.dst == tb.service_ip else None)
+    tb.client.ip.send(tb.service_ip, IPProtocol.ICMP, b"probe")
+    tb.run_until(1)
+    assert got["primary"] == 1
+    assert got["backup"] == 1
+
+
+def test_client_arp_is_static_for_service_ip():
+    tb = build_testbed(seed=1)
+    mac = tb.client.interfaces[0].arp.lookup(tb.service_ip)
+    assert mac == tb.addresses.multi_ea
+    assert mac.is_multicast
+
+
+def test_both_servers_own_service_ip():
+    tb = build_testbed(seed=1)
+    assert tb.primary.ip.owns(tb.service_ip)
+    assert tb.backup.ip.owns(tb.service_ip)
+    assert not tb.client.ip.owns(tb.service_ip)
+
+
+def test_servers_subscribed_to_multi_ea():
+    tb = build_testbed(seed=1)
+    assert tb.addresses.multi_ea in tb.primary.nics[0].multicast_groups
+    assert tb.addresses.multi_ea in tb.backup.nics[0].multicast_groups
+
+
+def test_serial_link_between_servers():
+    tb = build_testbed(seed=1)
+    assert tb.serial_link is not None
+    assert len(tb.primary.serial_ports) == 1
+    assert len(tb.backup.serial_ports) == 1
+
+
+def test_gateway_is_client():
+    tb = build_testbed(seed=1)
+    assert tb.primary.ip.default_gateway == tb.addresses.client_ip
+    assert tb.backup.ip.default_gateway == tb.addresses.client_ip
+
+
+def test_power_strip_reaches_all_hosts():
+    tb = build_testbed(seed=1)
+    for host in (tb.client, tb.primary, tb.backup):
+        tb.power_strip.power_down(host, initiator="test")  # no KeyError
+
+
+def test_baseline_testbed_has_no_sttcp():
+    tb = build_testbed(seed=1, enable_sttcp=False)
+    assert tb.pair is None
+    assert tb.serial_link is None
+
+
+def test_old_architecture_mirror():
+    tb = build_testbed(seed=1, mirror_to_backup=True)
+    assert tb.backup.nics[0].promiscuous
+    assert tb.switch._mirror_port is not None
+
+
+def test_determinism_same_seed_same_trace():
+    def run_once():
+        tb = build_testbed(seed=42)
+        from repro.apps.streaming import StreamClient, StreamServer
+        StreamServer(tb.primary, "sp", port=80).start()
+        StreamServer(tb.backup, "sb", port=80).start()
+        tb.pair.start()
+        client = StreamClient(tb.client, "c", tb.service_ip, port=80,
+                              total_bytes=200_000)
+        client.start()
+        tb.run_until(5)
+        return (client.completed_at, tb.world.sim.events_processed)
+
+    assert run_once() == run_once()
+
+
+def test_different_seeds_differ_slightly():
+    def run_once(seed):
+        tb = build_testbed(seed=seed)
+        tb.pair.start()
+        tb.run_until(2)
+        return tb.world.sim.events_processed
+
+    # ISNs differ but the HB machinery is identical, so event counts are
+    # close; we only require both runs to complete sanely.
+    assert run_once(1) > 0 and run_once(2) > 0

@@ -1,0 +1,195 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.core import Simulator, micros, millis, seconds
+
+
+def test_time_helpers_are_exact_integers():
+    assert seconds(1) == 1_000_000_000
+    assert millis(1) == 1_000_000
+    assert micros(1) == 1_000
+    assert seconds(0.5) == 500_000_000
+    assert isinstance(seconds(0.1), int)
+
+
+def test_initial_time_is_zero():
+    sim = Simulator()
+    assert sim.now == 0
+    assert sim.now_s == 0.0
+
+
+def test_schedule_and_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(30, order.append, "c")
+    sim.schedule(10, order.append, "a")
+    sim.schedule(20, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 30
+
+
+def test_same_timestamp_is_fifo():
+    sim = Simulator()
+    order = []
+    for tag in range(10):
+        sim.schedule(100, order.append, tag)
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_zero_delay_runs_after_already_queued_same_instant():
+    sim = Simulator()
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(0, order.append, "nested")
+
+    sim.schedule(0, first)
+    sim.schedule(0, order.append, "second")
+    sim.run()
+    assert order == ["first", "second", "nested"]
+
+
+def test_run_until_stops_clock_exactly():
+    sim = Simulator()
+    fired = []
+    sim.schedule(100, fired.append, 1)
+    sim.schedule(300, fired.append, 2)
+    sim.run(until=200)
+    assert fired == [1]
+    assert sim.now == 200  # advanced to the boundary even with queue empty
+    sim.run(until=400)
+    assert fired == [1, 2]
+
+
+def test_run_for_advances_relative():
+    sim = Simulator()
+    sim.run_for(500)
+    assert sim.now == 500
+    sim.run_for(250)
+    assert sim.now == 750
+
+
+def test_cancel_prevents_execution():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(10, fired.append, 1)
+    handle.cancel()
+    sim.run()
+    assert fired == []
+    assert handle.cancelled
+    assert not handle.fired
+
+
+def test_cancel_is_idempotent_and_safe_after_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(10, fired.append, 1)
+    sim.run()
+    assert handle.fired
+    handle.cancel()  # harmless
+    assert fired == [1]
+
+
+def test_handle_pending_lifecycle():
+    sim = Simulator()
+    handle = sim.schedule(10, lambda: None)
+    assert handle.pending
+    sim.run()
+    assert not handle.pending
+    assert handle.fired
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_float_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(1.5, lambda: None)
+
+
+def test_schedule_at_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(100, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(50, lambda: None)
+
+
+def test_callbacks_can_schedule_more_work():
+    sim = Simulator()
+    results = []
+
+    def chain(n):
+        results.append(n)
+        if n < 5:
+            sim.schedule(10, chain, n + 1)
+
+    sim.schedule(0, chain, 0)
+    sim.run()
+    assert results == [0, 1, 2, 3, 4, 5]
+    assert sim.now == 50
+
+
+def test_max_events_limit():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(i + 1, fired.append, i)
+    executed = sim.run(max_events=3)
+    assert executed == 3
+    assert fired == [0, 1, 2]
+
+
+def test_peek_next_time_skips_cancelled():
+    sim = Simulator()
+    h1 = sim.schedule(10, lambda: None)
+    sim.schedule(20, lambda: None)
+    h1.cancel()
+    assert sim.peek_next_time() == 20
+
+
+def test_pending_events_counts_live_only():
+    sim = Simulator()
+    h1 = sim.schedule(10, lambda: None)
+    sim.schedule(20, lambda: None)
+    h1.cancel()
+    assert sim.pending_events == 1
+
+
+def test_run_not_reentrant():
+    sim = Simulator()
+
+    def reenter():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.schedule(1, reenter)
+    sim.run()
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(i, lambda: None)
+    sim.run()
+    assert sim.events_processed == 5
+
+
+def test_exceptions_propagate():
+    sim = Simulator()
+
+    def boom():
+        raise RuntimeError("bug in protocol code")
+
+    sim.schedule(1, boom)
+    with pytest.raises(RuntimeError):
+        sim.run()

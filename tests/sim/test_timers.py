@@ -1,0 +1,137 @@
+"""Unit tests for Timer and PeriodicTimer."""
+
+import pytest
+
+from repro.sim.core import Simulator
+from repro.sim.timers import PeriodicTimer, Timer
+
+
+def test_timer_fires_once():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now))
+    timer.start(100)
+    sim.run()
+    assert fired == [100]
+    assert not timer.armed
+
+
+def test_timer_restart_replaces_deadline():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now))
+    timer.start(100)
+    sim.run(until=50)
+    timer.restart(100)  # now due at 150
+    sim.run()
+    assert fired == [150]
+
+
+def test_timer_stop_prevents_fire():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(1))
+    timer.start(100)
+    timer.stop()
+    sim.run()
+    assert fired == []
+    assert not timer.armed
+
+
+def test_timer_stop_is_idempotent():
+    sim = Simulator()
+    timer = Timer(sim, lambda: None)
+    timer.stop()
+    timer.stop()
+
+
+def test_timer_deadline_property():
+    sim = Simulator()
+    timer = Timer(sim, lambda: None)
+    assert timer.deadline is None
+    timer.start(100)
+    assert timer.deadline == 100
+    timer.stop()
+    assert timer.deadline is None
+
+
+def test_timer_can_rearm_from_callback():
+    sim = Simulator()
+    fired = []
+    holder = {}
+
+    def tick():
+        fired.append(sim.now)
+        if len(fired) < 3:
+            holder["timer"].start(10)
+
+    holder["timer"] = Timer(sim, tick)
+    holder["timer"].start(10)
+    sim.run()
+    assert fired == [10, 20, 30]
+
+
+def test_periodic_timer_ticks_at_period():
+    sim = Simulator()
+    ticks = []
+    timer = PeriodicTimer(sim, lambda: ticks.append(sim.now), period=100)
+    timer.start()
+    sim.run(until=450)
+    timer.stop()
+    assert ticks == [100, 200, 300, 400]
+
+
+def test_periodic_fire_immediately():
+    sim = Simulator()
+    ticks = []
+    timer = PeriodicTimer(sim, lambda: ticks.append(sim.now), period=100)
+    timer.start(fire_immediately=True)
+    sim.run(until=250)
+    timer.stop()
+    assert ticks == [0, 100, 200]
+
+
+def test_periodic_stop_halts_ticks():
+    sim = Simulator()
+    ticks = []
+    timer = PeriodicTimer(sim, lambda: ticks.append(sim.now), period=100)
+    timer.start()
+    sim.run(until=250)
+    timer.stop()
+    sim.run(until=1000)
+    assert ticks == [100, 200]
+    assert not timer.running
+
+
+def test_periodic_reschedule_takes_effect_next_tick():
+    sim = Simulator()
+    ticks = []
+    timer = PeriodicTimer(sim, lambda: ticks.append(sim.now), period=100)
+    timer.start()
+    sim.run(until=150)
+    timer.reschedule(50)
+    sim.run(until=320)
+    timer.stop()
+    # tick at 100 (old period), then 200 (scheduled before change), then 250, 300
+    assert ticks == [100, 200, 250, 300]
+
+
+def test_periodic_rejects_bad_period():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        PeriodicTimer(sim, lambda: None, period=0)
+    timer = PeriodicTimer(sim, lambda: None, period=10)
+    with pytest.raises(ValueError):
+        timer.reschedule(-5)
+
+
+def test_periodic_restart_resets_phase():
+    sim = Simulator()
+    ticks = []
+    timer = PeriodicTimer(sim, lambda: ticks.append(sim.now), period=100)
+    timer.start()
+    sim.run(until=150)
+    timer.start()  # restart at t=150: next ticks 250, 350...
+    sim.run(until=400)
+    timer.stop()
+    assert ticks == [100, 250, 350]

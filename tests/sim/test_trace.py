@@ -1,0 +1,79 @@
+"""Unit tests for the structured trace log."""
+
+from repro.sim.core import Simulator
+from repro.sim.trace import TraceLog
+
+
+def make_log(enabled=None):
+    sim = Simulator()
+    return sim, TraceLog(lambda: sim.now, enabled_categories=enabled)
+
+
+def test_records_carry_time_and_fields():
+    sim, log = make_log()
+    sim.schedule(100, lambda: log.record("tcp", "conn1", "sent", seq=5))
+    sim.run()
+    assert len(log) == 1
+    record = log.records[0]
+    assert record.time == 100
+    assert record.category == "tcp"
+    assert record.fields == {"seq": 5}
+
+
+def test_category_filtering_drops_unlisted():
+    _sim, log = make_log(enabled={"hb"})
+    log.record("tcp", "x", "dropped")
+    log.record("hb", "x", "kept")
+    assert len(log) == 1
+    assert log.records[0].category == "hb"
+
+
+def test_filter_by_category_source_contains():
+    _sim, log = make_log()
+    log.record("tcp", "a", "sent data")
+    log.record("tcp", "b", "sent data")
+    log.record("hb", "a", "heartbeat out")
+    assert len(log.filter(category="tcp")) == 2
+    assert len(log.filter(source="a")) == 2
+    assert len(log.filter(contains="heartbeat")) == 1
+    assert len(log.filter(category="tcp", source="a")) == 1
+
+
+def test_first_and_last():
+    _sim, log = make_log()
+    log.record("x", "s", "one")
+    log.record("x", "s", "two")
+    assert log.first(category="x").message == "one"
+    assert log.last(category="x").message == "two"
+    assert log.first(category="zzz") is None
+
+
+def test_subscribe_sees_live_records():
+    _sim, log = make_log()
+    seen = []
+    log.subscribe(seen.append)
+    log.record("x", "s", "hello")
+    assert len(seen) == 1
+
+
+def test_set_enabled_categories_at_runtime():
+    _sim, log = make_log()
+    log.record("tcp", "s", "kept")
+    log.set_enabled_categories({"hb"})
+    log.record("tcp", "s", "dropped")
+    assert len(log) == 1
+
+
+def test_str_rendering_includes_fields():
+    _sim, log = make_log()
+    log.record("tcp", "conn", "sent", seq=3)
+    text = str(log.records[0])
+    assert "seq=3" in text and "tcp" in text
+
+
+def test_dump_filters():
+    _sim, log = make_log()
+    log.record("a", "s", "m1")
+    log.record("b", "s", "m2")
+    assert "m1" in log.dump(category="a")
+    assert "m2" not in log.dump(category="a")

@@ -1,0 +1,37 @@
+"""Tests for the World container."""
+
+from repro.sim.core import seconds
+from repro.sim.world import World
+
+
+def test_world_bundles_services():
+    world = World(seed=5)
+    assert world.rng.seed == 5
+    assert world.now == 0
+    world.trace.record("sim", "test", "hello")
+    assert len(world.trace) == 1
+    assert world.trace.records[0].time == 0
+
+
+def test_run_and_run_for():
+    world = World()
+    fired = []
+    world.sim.schedule(seconds(1), fired.append, 1)
+    world.run_for(seconds(2))
+    assert fired == [1]
+    assert world.now == seconds(2)
+    assert world.now_s == 2.0
+
+
+def test_trace_clock_follows_sim():
+    world = World()
+    world.sim.schedule(100, lambda: world.trace.record("sim", "t", "later"))
+    world.run()
+    assert world.trace.records[0].time == 100
+
+
+def test_trace_category_restriction():
+    world = World(trace_categories={"fault"})
+    world.trace.record("tcp", "x", "dropped")
+    world.trace.record("fault", "x", "kept")
+    assert len(world.trace) == 1

@@ -1,0 +1,58 @@
+"""Fixtures for ST-TCP engine tests: a full Figure-2 testbed with stream
+servers on both machines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.streaming import StreamClient, StreamServer
+from repro.metrics.monitor import ClientStreamMonitor
+from repro.scenarios.builder import Testbed, build_testbed
+from repro.sttcp.config import SttcpConfig
+
+
+class SttcpFixture:
+    """Testbed + replica servers + (optionally) a running client."""
+
+    def __init__(self, config: SttcpConfig | None = None, seed: int = 7,
+                 **build_kwargs):
+        self.tb: Testbed = build_testbed(seed=seed, config=config,
+                                         **build_kwargs)
+        self.server_primary = StreamServer(self.tb.primary, "srv-p", port=80)
+        self.server_backup = StreamServer(self.tb.backup, "srv-b", port=80)
+        self.server_primary.start()
+        self.server_backup.start()
+        self.tb.pair.start()
+        self.monitor = ClientStreamMonitor(self.tb.world)
+        self.client: StreamClient | None = None
+
+    def start_client(self, total_bytes: int = 1_000_000,
+                     **kwargs) -> StreamClient:
+        self.client = StreamClient(self.tb.client, "client",
+                                   self.tb.service_ip, port=80,
+                                   total_bytes=total_bytes,
+                                   monitor=self.monitor, **kwargs)
+        self.client.start()
+        return self.client
+
+    @property
+    def primary_engine(self):
+        return self.tb.pair.primary
+
+    @property
+    def backup_engine(self):
+        return self.tb.pair.backup
+
+    def run(self, seconds: float) -> None:
+        """Advance virtual time by ``seconds`` (relative)."""
+        self.tb.run_for(seconds)
+
+
+@pytest.fixture
+def sttcp():
+    return SttcpFixture()
+
+
+@pytest.fixture
+def sttcp_factory():
+    return SttcpFixture

@@ -1,0 +1,40 @@
+"""Unit tests for SttcpConfig validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.core import millis
+from repro.sttcp.config import SttcpConfig
+
+
+def test_defaults_valid():
+    SttcpConfig().validate()
+
+
+def test_detection_time():
+    config = SttcpConfig(hb_period_ns=millis(200), hb_miss_threshold=3)
+    assert config.detection_time_ns == millis(600)
+
+
+def test_with_hb_period_copies():
+    base = SttcpConfig()
+    fast = base.with_hb_period(millis(100))
+    assert fast.hb_period_ns == millis(100)
+    assert base.hb_period_ns == millis(200)
+    assert fast.app_max_lag_bytes == base.app_max_lag_bytes
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"service_port": 0},
+    {"service_port": 70000},
+    {"hb_period_ns": 0},
+    {"hb_miss_threshold": 0},
+    {"app_max_lag_bytes": 0},
+    {"app_max_lag_time_ns": -1},
+    {"max_delay_fin_ns": 0},
+    {"retain_buffer_bytes": 0},
+    {"hb_udp_port": 7077, "control_udp_port": 7077},
+])
+def test_invalid_configs_rejected(kwargs):
+    with pytest.raises(ConfigurationError):
+        SttcpConfig(**kwargs).validate()

@@ -1,0 +1,65 @@
+"""Tests for the server-to-server control channel."""
+
+from repro.sttcp.control import (AppFailureNotice, ConnClosed, ConnInit,
+                                 ControlChannel, FetchReply, FetchRequest)
+
+
+def make_channels(lan, serials=None):
+    h0, h1 = lan.hosts
+    a = ControlChannel(lan.world, h0.udp, lan.ip(0), lan.ip(1), 7077,
+                       serial_port=serials[0] if serials else None)
+    b = ControlChannel(lan.world, h1.udp, lan.ip(1), lan.ip(0), 7077,
+                       serial_port=serials[1] if serials else None)
+    return a, b
+
+
+def test_udp_roundtrip(lan):
+    a, b = make_channels(lan)
+    got = []
+    b.set_handler(got.append)
+    message = ConnInit((1, 2), 80, 12345)
+    a.send(message)
+    lan.world.run()
+    assert got == [message]
+    assert a.messages_sent == 1
+    assert b.messages_received == 1
+
+
+def test_third_party_messages_rejected(lan3):
+    h0, h1, h2 = lan3.hosts
+    a = ControlChannel(lan3.world, h0.udp, lan3.ip(0), lan3.ip(1), 7077)
+    got = []
+    a.set_handler(got.append)
+    # h2 (not the pair peer) sends to the control port: must be ignored.
+    h2.udp.send(lan3.ip(0), 7077, 7077, ConnClosed((1, 2)))
+    lan3.world.run()
+    assert got == []
+
+
+def test_serial_mirroring(lan):
+    from repro.net.serial_link import SerialLink
+    h0, h1 = lan.hosts
+    p0, p1 = h0.add_serial_port(), h1.add_serial_port()
+    SerialLink(lan.world, p0, p1)
+    a, b = make_channels(lan, serials=(p0, p1))
+    got = []
+    b.set_handler(got.append)
+    p1.set_handler(b.deliver_from_serial)
+    # Kill the IP path; the serial copy must still arrive.
+    lan.cables[0].cut()
+    a.send(ConnInit((1, 2), 80, 99), also_serial=True)
+    lan.world.run()
+    assert len(got) == 1
+
+
+def test_message_sizes_are_modelled():
+    assert ConnInit((1, 2), 80, 5).size_bytes > 0
+    assert FetchRequest((1, 2), ((0, 10), (20, 30))).size_bytes == 24
+    assert FetchReply((1, 2), 0, b"x" * 100).size_bytes == 112
+    assert ConnClosed((1, 2)).size_bytes == 8
+    assert AppFailureNotice("primary").size_bytes == 8
+
+
+def test_fetch_reply_repr_hides_data():
+    reply = FetchReply((1, 2), 0, b"secret" * 100)
+    assert "secret" not in repr(reply)

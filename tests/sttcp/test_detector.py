@@ -1,0 +1,157 @@
+"""Unit tests for the lag trackers and ping scoreboard — the heart of
+Table 1's application- and NIC-failure detection."""
+
+from repro.sim.core import millis, seconds
+from repro.sim.world import World
+from repro.sttcp.detector import LagTracker, PingScoreboard
+
+
+def make_tracker(world, confirm=millis(500)):
+    return LagTracker(world, max_lag_bytes=1000, max_lag_time_ns=seconds(2),
+                      confirm_ns=confirm, name="test")
+
+
+def test_no_lag_no_verdict(world):
+    tracker = make_tracker(world)
+    tracker.update(100, 100)
+    assert tracker.verdict() is None
+
+
+def test_healthy_staleness_never_fires(world):
+    """The peer's counter is always one HB behind; as long as each update
+    shows progress past the previous window target, no verdict."""
+    tracker = make_tracker(world)
+    local = 0
+    for step in range(50):
+        local += 5000                        # fast transfer
+        tracker.update(local, local - 3000)  # snapshot 3000 behind
+        world.run_for(millis(200))
+        assert tracker.verdict() is None, f"false positive at step {step}"
+
+
+def test_frozen_peer_fires_byte_criterion(world):
+    tracker = make_tracker(world)
+    tracker.update(5000, 100)        # opens the window (lag 4900 >= 1000)
+    world.run_for(millis(600))       # > confirm window
+    tracker.update(6000, 100)        # peer still frozen
+    verdict = tracker.verdict()
+    assert verdict is not None and "AppMaxLagBytes" in verdict
+
+
+def test_byte_criterion_needs_confirm_duration(world):
+    tracker = make_tracker(world)
+    tracker.update(5000, 100)
+    world.run_for(millis(100))       # < 500ms confirm
+    assert tracker.verdict() is None
+
+
+def test_peer_covering_target_clears_window(world):
+    tracker = make_tracker(world)
+    tracker.update(5000, 100)        # window target = 5000
+    world.run_for(millis(400))
+    tracker.update(9000, 5000)       # peer reached the target
+    world.run_for(millis(400))
+    # Window restarted at the second update; not yet matured.
+    assert tracker.verdict() is None
+
+
+def test_time_criterion_slow_peer(world):
+    """A peer advancing too slowly trips AppMaxLagTime even if it moves."""
+    tracker = make_tracker(world, confirm=seconds(100))  # byte crit. off
+    tracker.update(5000, 100)
+    world.run_for(seconds(3))        # > 2s AppMaxLagTime, peer never moved
+    tracker.update(5000, 100)
+    verdict = tracker.verdict()
+    assert verdict is not None and "AppMaxLagTime" in verdict
+
+
+def test_time_criterion_resets_on_progress(world):
+    tracker = make_tracker(world, confirm=seconds(100))
+    tracker.update(5000, 100)
+    world.run_for(seconds(1))
+    tracker.update(6000, 5500)       # peer advanced
+    world.run_for(seconds(1.5))
+    tracker.update(6000, 5500)
+    assert tracker.verdict() is None  # stall clock restarted at progress
+
+
+def test_evidence_time_gates_maturity(world):
+    """A verdict cannot mature past the last proof of peer liveness:
+    a crashed peer's frozen counters are the crash detector's business."""
+    tracker = make_tracker(world)
+    tracker.update(5000, 100)
+    evidence = world.sim.now          # last HB now
+    world.run_for(seconds(10))        # silence
+    tracker.update(9000, 100)
+    assert tracker.verdict(evidence) is None          # window never matured
+    assert tracker.verdict() is not None              # without gating it would
+
+
+def test_evidence_spanning_window_allows_verdict(world):
+    tracker = make_tracker(world)
+    tracker.update(5000, 100)
+    world.run_for(millis(600))
+    evidence = world.sim.now          # HB arrived after the window matured
+    tracker.update(5000, 100)
+    assert tracker.verdict(evidence) is not None
+
+
+def test_reset_clears_windows(world):
+    tracker = make_tracker(world)
+    tracker.update(5000, 100)
+    world.run_for(seconds(5))
+    tracker.reset()
+    assert tracker.verdict() is None
+
+
+def test_lag_bytes_property(world):
+    tracker = make_tracker(world)
+    tracker.update(500, 200)
+    assert tracker.lag_bytes == 300
+
+
+class TestPingScoreboard:
+    def test_initial_state_inconclusive(self):
+        board = PingScoreboard(fail_threshold=3)
+        assert not board.peer_nic_failed()
+        assert board.latest_local_ok is None
+
+    def test_asymmetry_detected(self):
+        board = PingScoreboard(fail_threshold=3)
+        for _ in range(3):
+            board.record_local(True)
+            board.record_peer(False)
+        assert board.peer_nic_failed()
+
+    def test_local_failures_block_verdict(self):
+        """If our own pings fail too, we cannot blame the peer."""
+        board = PingScoreboard(fail_threshold=3)
+        for _ in range(5):
+            board.record_local(False)
+            board.record_peer(False)
+        assert not board.peer_nic_failed()
+
+    def test_streak_broken_by_success(self):
+        board = PingScoreboard(fail_threshold=3)
+        board.record_local(True)
+        board.record_peer(False)
+        board.record_peer(False)
+        board.record_peer(True)     # streak broken
+        board.record_local(True)
+        board.record_local(True)
+        board.record_peer(False)
+        assert not board.peer_nic_failed()
+
+    def test_none_results_ignored(self):
+        board = PingScoreboard(fail_threshold=1)
+        board.record_peer(None)
+        board.record_local(True)
+        assert not board.peer_nic_failed()
+
+    def test_reset(self):
+        board = PingScoreboard(fail_threshold=1)
+        board.record_local(True)
+        board.record_peer(False)
+        assert board.peer_nic_failed()
+        board.reset()
+        assert not board.peer_nic_failed()

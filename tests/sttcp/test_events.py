@@ -1,0 +1,32 @@
+"""Unit tests for the engine event log."""
+
+from repro.sttcp.events import EngineEventLog, EventKind
+
+
+def test_emit_and_query():
+    log = EngineEventLog()
+    log.emit(100, EventKind.TAKEOVER, reason="test")
+    log.emit(200, EventKind.STONITH, target="primary")
+    assert len(log) == 2
+    assert log.has(EventKind.TAKEOVER)
+    assert not log.has(EventKind.NON_FT_MODE)
+    assert log.first(EventKind.TAKEOVER).time == 100
+    assert log.first(EventKind.TAKEOVER).detail["reason"] == "test"
+
+
+def test_first_last_of_kind():
+    log = EngineEventLog()
+    log.emit(1, "x")
+    log.emit(2, "x")
+    assert log.first("x").time == 1
+    assert log.last("x").time == 2
+    assert log.first("y") is None
+    assert log.of_kind("x") == log.events
+
+
+def test_str_rendering():
+    log = EngineEventLog()
+    event = log.emit(1_500_000_000, EventKind.TAKEOVER, reason="crash")
+    assert "takeover" in str(event)
+    assert "reason=crash" in str(event)
+    assert event.time_s == 1.5

@@ -1,0 +1,118 @@
+"""Primary-engine tests: retain buffer, ConnInit, fetch serving, non-FT."""
+
+from repro.sim.core import millis, seconds
+from repro.sttcp.control import FetchRequest
+from repro.sttcp.engine import MODE_NON_FT
+from repro.sttcp.events import EventKind
+
+
+def test_retain_buffer_tracks_client_bytes(sttcp):
+    client = sttcp.start_client(total_bytes=20_000_000)
+    sttcp.run(0.05)  # request arrived; backup confirmation not yet
+    mc = next(iter(sttcp.primary_engine.conns.values()))
+    # The GET line went into the retain buffer.
+    assert mc.retain.end_offset > 0
+
+
+def test_retain_released_after_backup_confirms(sttcp):
+    sttcp.start_client(total_bytes=20_000_000)
+    sttcp.run(1)   # several HB rounds
+    mc = next(iter(sttcp.primary_engine.conns.values()))
+    assert mc.retain.buffered == 0  # backup confirmed everything
+
+
+def test_conn_init_sent_on_both_channels(sttcp):
+    sttcp.start_client(total_bytes=20_000_000)
+    sttcp.run(0.5)
+    # The serial link carried at least one non-heartbeat message.
+    assert sttcp.primary_engine.control.messages_sent >= 1
+    assert len(sttcp.backup_engine.conns) == 1
+
+
+def test_fetch_served_from_retain(sttcp):
+    sttcp.start_client(total_bytes=20_000_000)
+    sttcp.run(0.05)
+    key = next(iter(sttcp.primary_engine.conns))
+    mc = sttcp.primary_engine.conns[key]
+    end = mc.retain.end_offset
+    assert end > 0
+    replies = []
+    sttcp.primary_engine.control.send = \
+        lambda msg, also_serial=False: replies.append(msg)
+    sttcp.primary_engine._serve_fetch(FetchRequest(key, ((0, end),)))
+    assert replies and not replies[0].unavailable
+    assert replies[0].offset == 0
+    assert len(replies[0].data) == end
+
+
+def test_fetch_for_unknown_conn_unavailable(sttcp):
+    replies = []
+    sttcp.primary_engine.control.send = \
+        lambda msg, also_serial=False: replies.append(msg)
+    sttcp.primary_engine._serve_fetch(FetchRequest((9, 9), ((0, 10),)))
+    assert replies[0].unavailable
+
+
+def test_fetch_for_released_range_unavailable(sttcp):
+    sttcp.start_client(total_bytes=20_000_000)
+    sttcp.run(1)   # backup confirmed; retain released
+    key = next(iter(sttcp.primary_engine.conns))
+    replies = []
+    sttcp.primary_engine.control.send = \
+        lambda msg, also_serial=False: replies.append(msg)
+    sttcp.primary_engine._serve_fetch(FetchRequest(key, ((0, 5),)))
+    assert replies[0].unavailable  # the output-commit problem, Sec. 4.3
+
+
+def test_non_ft_mode_stoniths_backup_and_stops(sttcp):
+    sttcp.start_client(total_bytes=20_000_000)
+    sttcp.run(1)
+    sttcp.primary_engine.enter_non_ft("test reason")
+    assert sttcp.primary_engine.mode == MODE_NON_FT
+    assert sttcp.primary_engine.events.has(EventKind.STONITH)
+    sttcp.run(1)
+    assert not sttcp.tb.backup.is_up
+    assert not sttcp.primary_engine.hb.running
+
+
+def test_non_ft_is_idempotent(sttcp):
+    sttcp.run(1)
+    sttcp.primary_engine.enter_non_ft("first")
+    sttcp.primary_engine.enter_non_ft("second")
+    assert len(sttcp.primary_engine.events.of_kind(
+        EventKind.NON_FT_MODE)) == 1
+
+
+def test_service_continues_in_non_ft_mode(sttcp):
+    sttcp.run(0.5)
+    sttcp.primary_engine.enter_non_ft("test")
+    sttcp.run(0.5)
+    client = sttcp.start_client(total_bytes=100_000)
+    sttcp.run(10)
+    assert client.received == 100_000
+    assert client.reset_count == 0
+
+
+def test_conn_init_resent_if_backup_silent_about_it(sttcp_factory):
+    """If the backup's HBs never mention a connection (lost ConnInit on
+    both channels), the primary re-announces it."""
+    fixture = sttcp_factory()
+    # Break the backup's control reception: drop ConnInit once.
+    original = fixture.backup_engine._on_conn_init
+    dropped = {"n": 0}
+
+    def flaky(init):
+        if dropped["n"] < 2:
+            dropped["n"] += 1
+            return
+        original(init)
+
+    fixture.backup_engine._on_conn_init = flaky
+    # Rewire the control dispatch (method was captured at bind time).
+    fixture.backup_engine.control.set_handler(fixture.backup_engine._on_control)
+    fixture.start_client(total_bytes=20_000_000)
+    fixture.run(1)
+    assert dropped["n"] >= 2
+    # The re-announcement eventually created the replica.
+    from repro.sttcp.events import EventKind
+    assert fixture.backup_engine.events.has(EventKind.CONN_REPLICATED)

@@ -1,0 +1,39 @@
+"""Unit tests for heartbeat message structures and the paper's size claim."""
+
+from repro.sttcp.state import (ConnProgress, Heartbeat, PER_CONNECTION_BYTES,
+                               ROLE_PRIMARY)
+
+
+def progress(key=(1, 2)):
+    return ConnProgress(key=key, last_byte_received=100,
+                        last_ack_received=90, last_app_byte_written=80,
+                        last_app_byte_read=70)
+
+
+def test_per_connection_size_is_under_20_bytes():
+    """Paper Sec. 3: "The HB is less than 20 bytes per TCP connection"."""
+    assert progress().size_bytes <= 20
+    assert PER_CONNECTION_BYTES <= 20
+
+
+def test_heartbeat_size_scales_with_connections():
+    hb0 = Heartbeat(ROLE_PRIMARY, 1)
+    hb2 = Heartbeat(ROLE_PRIMARY, 1, (progress((1, 1)), progress((1, 2))))
+    assert hb2.size_bytes - hb0.size_bytes == 2 * PER_CONNECTION_BYTES
+
+
+def test_bandwidth_per_connection_at_200ms_is_0_8_kbps():
+    """Paper Sec. 3: 20 bytes / 200 ms = 0.8 kbps per connection."""
+    bits_per_second = PER_CONNECTION_BYTES * 8 / 0.2
+    assert bits_per_second == 800
+
+
+def test_progress_for_lookup():
+    hb = Heartbeat(ROLE_PRIMARY, 1, (progress((1, 1)), progress((1, 2))))
+    assert hb.progress_for((1, 2)).key == (1, 2)
+    assert hb.progress_for((9, 9)) is None
+
+
+def test_progress_flags_default_false():
+    p = progress()
+    assert not p.fin_generated and not p.rst_generated

@@ -1,0 +1,91 @@
+"""Tests for the watchdog→engine integration (paper Sec. 4.2.2 extension).
+
+The detection gap it closes: an application failure on an *idle*
+connection produces no TCP-layer lag signal; a FIN-generating failure on
+an idle connection is indistinguishable from a normal close.  The
+watchdog reports at the application layer, and the engines act on it.
+"""
+
+from repro.apps.streaming import StreamClient, StreamServer
+from repro.scenarios.builder import build_testbed
+from repro.sim.core import millis, seconds
+from repro.sttcp.events import EventKind
+
+
+def idle_connection_testbed(seed=31):
+    """A completed (idle) transfer kept open — no TCP-layer activity."""
+    tb = build_testbed(seed=seed)
+    server_p = StreamServer(tb.primary, "srv-p", port=80)
+    server_b = StreamServer(tb.backup, "srv-b", port=80)
+    server_p.start()
+    server_b.start()
+    tb.pair.start()
+    client = StreamClient(tb.client, "c", tb.service_ip, port=80,
+                          total_bytes=10_000, close_when_complete=False)
+    client.start()
+    return tb, server_p, server_b, client
+
+
+def test_watchdog_detects_idle_primary_app_failure():
+    tb, server_p, server_b, client = idle_connection_testbed()
+    wd = tb.pair.primary.attach_watchdog(server_p, period_ns=millis(100))
+    tb.run_until(2)
+    assert client.received == 10_000
+    # The primary's app hangs; the connection is idle, so TCP-layer lag
+    # criteria have nothing to work with — only the watchdog can see it.
+    server_p.crash(cleanup=False)
+    tb.run_until(10)
+    assert wd.suspicious
+    assert tb.pair.backup.takeover_at is not None
+    assert "watchdog" in tb.pair.backup.takeover_reason
+    assert tb.power_strip.was_powered_down("primary")
+
+
+def test_without_watchdog_idle_app_failure_lingers():
+    """Control: the same failure without a watchdog is not detected within
+    the same window (the paper admits this limitation)."""
+    tb, server_p, _server_b, client = idle_connection_testbed()
+    tb.run_until(2)
+    server_p.crash(cleanup=False)
+    tb.run_until(10)
+    assert tb.pair.backup.takeover_at is None
+
+
+def test_watchdog_on_backup_app_reports_to_primary():
+    tb, _server_p, server_b, client = idle_connection_testbed()
+    tb.pair.backup.attach_watchdog(server_b, period_ns=millis(100))
+    tb.run_until(2)
+    server_b.crash(cleanup=False)
+    tb.run_until(10)
+    assert tb.pair.primary.mode == "non-fault-tolerant"
+    assert tb.power_strip.was_powered_down("backup")
+    assert tb.pair.backup.takeover_at is None
+
+
+def test_healthy_apps_never_trigger_watchdog_action():
+    tb, server_p, server_b, client = idle_connection_testbed()
+    tb.pair.primary.attach_watchdog(server_p, period_ns=millis(100))
+    tb.pair.backup.attach_watchdog(server_b, period_ns=millis(100))
+    tb.run_until(10)
+    assert tb.pair.primary.mode == "fault-tolerant"
+    assert tb.pair.backup.mode == "fault-tolerant"
+    assert client.received == 10_000
+
+
+def test_watchdog_failover_preserves_active_stream():
+    """Watchdog detection composes with the normal takeover machinery."""
+    tb = build_testbed(seed=32)
+    server_p = StreamServer(tb.primary, "srv-p", port=80)
+    StreamServer(tb.backup, "srv-b", port=80).start()
+    server_p.start()
+    tb.pair.start()
+    tb.pair.primary.attach_watchdog(server_p, period_ns=millis(100))
+    client = StreamClient(tb.client, "c", tb.service_ip, port=80,
+                          total_bytes=20_000_000)
+    client.start()
+    tb.world.sim.schedule_at(seconds(1),
+                             lambda: server_p.crash(cleanup=False))
+    tb.run_until(60)
+    assert client.received == 20_000_000
+    assert client.corrupt_at is None
+    assert client.reset_count == 0

@@ -1,0 +1,85 @@
+"""Helpers for end-to-end TCP tests over the two-host LAN fixture."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.addresses import IPAddress
+from repro.tcp.sockets import Socket
+
+
+class Collector:
+    """Accumulates everything a socket receives, plus lifecycle events."""
+
+    def __init__(self):
+        self.data = bytearray()
+        self.events: list[str] = []
+        self.socket: Socket | None = None
+
+    def attach(self, sock: Socket) -> Socket:
+        self.socket = sock
+        sock.on_connected = lambda s: self.events.append("connected")
+        sock.on_data = lambda s: self.data.extend(s.read())
+        sock.on_peer_closed = lambda s: self.events.append("peer-closed")
+        sock.on_closed = lambda s: self.events.append("closed")
+        sock.on_reset = lambda s, reason: self.events.append(f"reset:{reason}")
+        return sock
+
+
+class TcpPair:
+    """A server (accepting one connection) and a connecting client."""
+
+    def __init__(self, lan, port=80, server_config=None, client_config=None):
+        self.lan = lan
+        self.world = lan.world
+        self.server_host, self.client_host = lan.hosts[0], lan.hosts[1]
+        self.server = Collector()
+        self.client = Collector()
+        self.accepted: list[Socket] = []
+
+        def on_accept(sock: Socket):
+            self.accepted.append(sock)
+            self.server.attach(sock)
+
+        self.listener = self.server_host.tcp.listen(port, on_accept,
+                                                    config=server_config)
+        self.client.attach(self.client_host.tcp.connect(
+            IPAddress("10.0.0.1"), port, config=client_config))
+
+    @property
+    def client_sock(self) -> Socket:
+        return self.client.socket
+
+    @property
+    def server_sock(self) -> Socket:
+        return self.server.socket
+
+    def run(self, until_s: float = 10.0) -> None:
+        self.world.run(until=round(until_s * 1_000_000_000))
+
+
+@pytest.fixture
+def tcp_pair(lan) -> TcpPair:
+    return TcpPair(lan)
+
+
+def pump_stream(sock: Socket, data: bytes) -> dict:
+    """Drive ``data`` through ``sock`` respecting backpressure; returns a
+    progress dict whose 'sent' field advances as the buffer drains."""
+    progress = {"sent": 0}
+
+    def pump(s: Socket):
+        # writable_bytes is 0 once close() has been called, which also
+        # stops the pump (no write-after-close).
+        while progress["sent"] < len(data) and s.writable_bytes > 0:
+            accepted = s.send(data[progress["sent"]:progress["sent"] + 65536])
+            if accepted == 0:
+                return
+            progress["sent"] += accepted
+
+    previous = sock.on_connected
+    sock.on_connected = lambda s: (previous(s), pump(s))
+    sock.on_writable = pump
+    if sock.state.value == "ESTABLISHED":
+        pump(sock)
+    return progress

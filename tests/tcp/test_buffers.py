@@ -1,0 +1,204 @@
+"""Unit tests for send, receive (reassembly) and retain buffers."""
+
+import pytest
+
+from repro.tcp.buffers import ReceiveBuffer, RetainBuffer, SendBuffer
+
+
+class TestSendBuffer:
+    def test_write_and_read_range(self):
+        buf = SendBuffer(capacity=100)
+        assert buf.write(b"hello") == 5
+        assert buf.get_range(0, 5) == b"hello"
+        assert buf.end_offset == 5
+
+    def test_capacity_limits_write(self):
+        buf = SendBuffer(capacity=10)
+        assert buf.write(b"x" * 20) == 10
+        assert buf.free_space == 0
+        assert buf.write(b"y") == 0
+
+    def test_ack_frees_space(self):
+        buf = SendBuffer(capacity=10)
+        buf.write(b"0123456789")
+        assert buf.ack_to(4) == 4
+        assert buf.free_space == 4
+        assert buf.base_offset == 4
+        assert buf.get_range(4, 3) == b"456"
+
+    def test_stale_ack_is_noop(self):
+        buf = SendBuffer(capacity=10)
+        buf.write(b"abcdef")
+        buf.ack_to(4)
+        assert buf.ack_to(2) == 0
+        assert buf.base_offset == 4
+
+    def test_ack_beyond_written_rejected(self):
+        buf = SendBuffer(capacity=10)
+        buf.write(b"abc")
+        with pytest.raises(ValueError):
+            buf.ack_to(5)
+
+    def test_range_below_acked_rejected(self):
+        buf = SendBuffer(capacity=10)
+        buf.write(b"abcdef")
+        buf.ack_to(3)
+        with pytest.raises(ValueError):
+            buf.get_range(1, 2)
+
+    def test_range_clamped_to_available(self):
+        buf = SendBuffer(capacity=10)
+        buf.write(b"abc")
+        assert buf.get_range(1, 100) == b"bc"
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            SendBuffer(capacity=0)
+
+
+class TestReceiveBuffer:
+    def test_in_order_delivery(self):
+        buf = ReceiveBuffer(capacity=100)
+        assert buf.receive(0, b"abc") == 3
+        assert buf.read() == b"abc"
+        assert buf.rcv_next == 3
+        assert buf.bytes_read == 3
+
+    def test_out_of_order_held_until_gap_fills(self):
+        buf = ReceiveBuffer(capacity=100)
+        assert buf.receive(3, b"def") == 0
+        assert buf.readable == 0
+        assert buf.has_gap
+        assert buf.receive(0, b"abc") == 6
+        assert buf.read() == b"abcdef"
+        assert not buf.has_gap
+
+    def test_duplicate_data_ignored(self):
+        buf = ReceiveBuffer(capacity=100)
+        buf.receive(0, b"abc")
+        assert buf.receive(0, b"abc") == 0
+        assert buf.read() == b"abc"
+
+    def test_partial_overlap_trimmed(self):
+        buf = ReceiveBuffer(capacity=100)
+        buf.receive(0, b"abc")
+        assert buf.receive(1, b"bcde") == 2      # only "de" is new
+        assert buf.read() == b"abcde"
+
+    def test_window_shrinks_with_buffered_data(self):
+        buf = ReceiveBuffer(capacity=10)
+        buf.receive(0, b"abcd")
+        assert buf.window == 6
+        buf.receive(6, b"xy")   # out of order also counts
+        assert buf.window == 4
+        buf.read()
+        assert buf.window == 8
+
+    def test_data_beyond_window_trimmed(self):
+        buf = ReceiveBuffer(capacity=8)
+        assert buf.receive(0, b"0123456789abc") == 8
+        assert buf.read() == b"01234567"
+
+    def test_ooo_merging_overlaps(self):
+        buf = ReceiveBuffer(capacity=100)
+        buf.receive(5, b"fgh")
+        buf.receive(7, b"hij")     # overlaps previous chunk
+        buf.receive(0, b"abcde")
+        assert buf.read() == b"abcdefghij"
+
+    def test_missing_ranges(self):
+        buf = ReceiveBuffer(capacity=100)
+        buf.receive(5, b"x" * 5)
+        buf.receive(15, b"y" * 5)
+        assert buf.missing_ranges() == [(0, 5), (10, 15)]
+
+    def test_highest_received(self):
+        buf = ReceiveBuffer(capacity=100)
+        buf.receive(0, b"ab")
+        assert buf.highest_received == 2
+        buf.receive(10, b"cd")
+        assert buf.highest_received == 12
+
+    def test_read_max_bytes(self):
+        buf = ReceiveBuffer(capacity=100)
+        buf.receive(0, b"abcdef")
+        assert buf.read(2) == b"ab"
+        assert buf.read(2) == b"cd"
+        assert buf.read() == b"ef"
+
+    def test_peek_tail(self):
+        buf = ReceiveBuffer(capacity=100)
+        buf.receive(0, b"abcdef")
+        assert buf.peek_tail(3) == b"def"
+        assert buf.peek_tail(0) == b""
+        assert buf.readable == 6  # not consumed
+
+    def test_ooo_chunk_overlapping_rcv_next_after_fill(self):
+        buf = ReceiveBuffer(capacity=100)
+        buf.receive(4, b"efgh")
+        buf.receive(0, b"abcdef")   # overlaps the stored OOO chunk
+        assert buf.read() == b"abcdefgh"
+
+    def test_empty_receive_noop(self):
+        buf = ReceiveBuffer(capacity=100)
+        assert buf.receive(0, b"") == 0
+
+
+class TestRetainBuffer:
+    def test_append_and_get(self):
+        buf = RetainBuffer(capacity=100)
+        buf.append(0, b"abc")
+        buf.append(3, b"def")
+        assert buf.get_range(0, 6) == b"abcdef"
+        assert buf.end_offset == 6
+
+    def test_release_frees_prefix(self):
+        buf = RetainBuffer(capacity=100)
+        buf.append(0, b"abcdef")
+        assert buf.release_to(3) == 3
+        assert buf.base_offset == 3
+        assert buf.get_range(3, 3) == b"def"
+
+    def test_released_range_is_unavailable(self):
+        buf = RetainBuffer(capacity=100)
+        buf.append(0, b"abcdef")
+        buf.release_to(3)
+        assert buf.get_range(0, 3) is None   # the output-commit problem
+
+    def test_duplicate_append_ignored(self):
+        buf = RetainBuffer(capacity=100)
+        buf.append(0, b"abc")
+        buf.append(0, b"abc")
+        assert buf.end_offset == 3
+
+    def test_overlapping_append_trimmed(self):
+        buf = RetainBuffer(capacity=100)
+        buf.append(0, b"abc")
+        buf.append(2, b"cde")
+        assert buf.get_range(0, 5) == b"abcde"
+
+    def test_gap_append_rejected(self):
+        buf = RetainBuffer(capacity=100)
+        buf.append(0, b"abc")
+        with pytest.raises(ValueError):
+            buf.append(5, b"x")
+
+    def test_overflow_sets_flag_and_tolerates_further_appends(self):
+        buf = RetainBuffer(capacity=4)
+        buf.append(0, b"abcdef")
+        assert buf.overflowed
+        assert buf.buffered == 4
+        # Post-overflow appends (now non-contiguous) are dropped quietly;
+        # the engine reads .overflowed and declares the backup failed.
+        buf.append(6, b"gh")
+        assert buf.buffered == 4
+
+    def test_release_beyond_end_clamped(self):
+        buf = RetainBuffer(capacity=100)
+        buf.append(0, b"abc")
+        assert buf.release_to(10) == 3
+
+    def test_get_range_past_end_returns_empty(self):
+        buf = RetainBuffer(capacity=100)
+        buf.append(0, b"abc")
+        assert buf.get_range(3, 5) == b""

@@ -1,0 +1,110 @@
+"""Unit tests for Reno congestion control."""
+
+from repro.tcp.congestion import RenoCongestionControl
+
+MSS = 1000
+
+
+def make(iw=10):
+    return RenoCongestionControl(MSS, initial_window_segments=iw)
+
+
+def test_initial_window():
+    cc = make(iw=10)
+    assert cc.cwnd == 10 * MSS
+
+
+def test_slow_start_grows_per_ack():
+    cc = make(iw=1)
+    cc.on_new_ack(MSS, snd_una=MSS)
+    assert cc.cwnd == 2 * MSS
+    cc.on_new_ack(2 * MSS, snd_una=3 * MSS)  # capped at one MSS per ack
+    assert cc.cwnd == 3 * MSS
+
+
+def test_congestion_avoidance_linear():
+    cc = make(iw=4)
+    cc.ssthresh = 4 * MSS  # at/above threshold: CA
+    # One cwnd's worth of acks grows cwnd by ~one MSS.
+    for _ in range(4):
+        cc.on_new_ack(MSS, snd_una=0)
+    assert cc.cwnd == 5 * MSS
+
+
+def test_fast_retransmit_on_third_dupack():
+    cc = make(iw=10)
+    flight = 8 * MSS
+    assert not cc.on_dupack(flight, snd_nxt=flight)
+    assert not cc.on_dupack(flight, snd_nxt=flight)
+    assert cc.on_dupack(flight, snd_nxt=flight)      # third: retransmit
+    assert cc.in_fast_recovery
+    assert cc.ssthresh == flight // 2
+    assert cc.cwnd == cc.ssthresh + 3 * MSS
+    assert cc.fast_retransmits == 1
+
+
+def test_fast_recovery_inflates_on_further_dupacks():
+    cc = make(iw=10)
+    flight = 8 * MSS
+    for _ in range(3):
+        cc.on_dupack(flight, snd_nxt=flight)
+    cwnd = cc.cwnd
+    cc.on_dupack(flight, snd_nxt=flight)
+    assert cc.cwnd == cwnd + MSS
+
+
+def test_full_ack_exits_recovery_and_deflates():
+    cc = make(iw=10)
+    flight = 8 * MSS
+    for _ in range(3):
+        cc.on_dupack(flight, snd_nxt=flight)
+    cc.on_new_ack(flight, snd_una=flight)  # covers the recovery point
+    assert not cc.in_fast_recovery
+    assert cc.cwnd == cc.ssthresh
+
+
+def test_partial_ack_stays_in_recovery():
+    cc = make(iw=10)
+    flight = 8 * MSS
+    for _ in range(3):
+        cc.on_dupack(flight, snd_nxt=flight)
+    cc.on_new_ack(MSS, snd_una=MSS)        # below the recovery point
+    assert cc.in_fast_recovery
+
+
+def test_timeout_collapses_to_one_mss():
+    cc = make(iw=10)
+    cc.on_timeout(flight_size=8 * MSS)
+    assert cc.cwnd == MSS
+    assert cc.ssthresh == 4 * MSS
+    assert cc.timeouts == 1
+    assert not cc.in_fast_recovery
+
+
+def test_ssthresh_floor_two_mss():
+    cc = make()
+    cc.on_timeout(flight_size=MSS)
+    assert cc.ssthresh == 2 * MSS
+
+
+def test_send_window_is_min_of_cwnd_and_peer():
+    cc = make(iw=10)
+    assert cc.send_window(5 * MSS) == 5 * MSS
+    assert cc.send_window(50 * MSS) == 10 * MSS
+
+
+def test_new_ack_resets_dupack_count():
+    cc = make(iw=10)
+    cc.on_dupack(5 * MSS, snd_nxt=5 * MSS)
+    cc.on_dupack(5 * MSS, snd_nxt=5 * MSS)
+    cc.on_new_ack(MSS, snd_una=MSS)
+    assert cc.dupacks == 0
+    # Two more dupacks do not trigger (count restarted).
+    assert not cc.on_dupack(5 * MSS, snd_nxt=5 * MSS)
+    assert not cc.on_dupack(5 * MSS, snd_nxt=5 * MSS)
+
+
+def test_bad_mss_rejected():
+    import pytest
+    with pytest.raises(ValueError):
+        RenoCongestionControl(0)

@@ -1,0 +1,153 @@
+"""Loss recovery: fast retransmit, RTO, go-back-N, lossy-link integrity."""
+
+from repro.sim.core import seconds
+from repro.tcp.segment import TcpSegment
+
+from tests.conftest import make_lan
+from tests.tcp.conftest import TcpPair, pump_stream
+
+
+def patterned(n: int) -> bytes:
+    return bytes(i % 251 for i in range(n))
+
+
+class SelectiveDropper:
+    """Wraps a cable's transmit to drop chosen TCP payload segments."""
+
+    def __init__(self, cable, should_drop):
+        self.dropped = 0
+        self._should_drop = should_drop
+        self._original = cable.transmit
+        cable.transmit = self._transmit
+
+    def _transmit(self, sender, frame):
+        segment = getattr(frame.payload, "payload", None)
+        if isinstance(segment, TcpSegment) and self._should_drop(segment,
+                                                                 self.dropped):
+            self.dropped += 1
+            return
+        self._original(sender, frame)
+
+
+def test_transfer_completes_over_lossy_link(world):
+    lan = make_lan(world, loss_rate=0.03)
+    pair = TcpPair(lan)
+    data = patterned(1_000_000)
+    pump_stream(pair.client_sock, data)
+    pair.run(120)
+    assert bytes(pair.server.data) == data
+    assert pair.client_sock.connection.retransmissions > 0
+
+
+def test_heavily_lossy_link_still_correct(world):
+    lan = make_lan(world, loss_rate=0.15)
+    pair = TcpPair(lan)
+    data = patterned(200_000)
+    pump_stream(pair.client_sock, data)
+    pair.run(300)
+    assert bytes(pair.server.data) == data
+
+
+def test_single_drop_triggers_fast_retransmit(world):
+    lan = make_lan(world)
+    pair = TcpPair(lan)
+    pair.run(0.1)
+    # Drop the first full-size data segment once.
+    dropper = SelectiveDropper(
+        lan.cables[1],
+        lambda seg, dropped: dropped == 0 and len(seg.payload) == 1460)
+    data = patterned(300_000)
+    pump_stream(pair.client_sock, data)
+    pair.run(30)
+    assert dropper.dropped == 1
+    assert bytes(pair.server.data) == data
+    assert pair.client_sock.connection.cc.fast_retransmits >= 1
+
+
+def test_rto_fires_when_all_acks_lost(world):
+    lan = make_lan(world)
+    pair = TcpPair(lan)
+    pair.run(0.1)
+    # Cut the link entirely; client data goes nowhere; RTO must fire and
+    # back off without crashing, then recovery on repair.
+    lan.cables[0].cut()
+    pair.client_sock.send(b"hello under darkness")
+    pair.run(3)
+    conn = pair.client_sock.connection
+    assert conn.retransmissions >= 2
+    assert conn.cc.timeouts >= 2
+    rto_grew = conn.rtt.rto_ns > conn.rtt.min_rto_ns
+    assert rto_grew
+    lan.cables[0].repair()
+    pair.run(90)
+    assert bytes(pair.server.data) == b"hello under darkness"
+
+
+def test_go_back_n_rewinds_snd_nxt(world):
+    lan = make_lan(world)
+    pair = TcpPair(lan)
+    pair.run(0.1)
+    lan.cables[0].cut()
+    pump_stream(pair.client_sock, patterned(50_000))
+    pair.run(2)
+    conn = pair.client_sock.connection
+    # After an RTO the connection rewound: nxt pulled back toward una.
+    assert conn.snd_nxt_off - conn.snd_una_off <= conn.cc.cwnd
+
+
+def test_retransmission_limit_gives_up(world):
+    from repro.tcp.connection import TcpConfig
+    lan = make_lan(world)
+    config = TcpConfig(max_retransmits=4)
+    pair = TcpPair(lan, client_config=config)
+    pair.run(0.1)
+    lan.cables[0].cut()
+    pair.client_sock.send(b"doomed")
+    pair.run(600)
+    assert pair.client_sock.state.value == "CLOSED"
+    assert any(e.startswith("reset") for e in pair.client.events)
+
+
+def test_duplicate_segments_are_harmless(world):
+    """A duplicating cable must not corrupt the stream (reassembly dedup)."""
+    lan = make_lan(world)
+    pair = TcpPair(lan)
+    cable = lan.cables[1]
+    original = cable.transmit
+
+    def duplicating(sender, frame):
+        original(sender, frame)
+        segment = getattr(frame.payload, "payload", None)
+        if isinstance(segment, TcpSegment) and segment.payload:
+            original(sender, frame)   # exact duplicate
+
+    cable.transmit = duplicating
+    data = patterned(100_000)
+    pump_stream(pair.client_sock, data)
+    pair.run(30)
+    assert bytes(pair.server.data) == data
+
+
+def test_reordering_is_tolerated(world):
+    """Delaying every 10th data segment forces out-of-order arrival."""
+    lan = make_lan(world)
+    pair = TcpPair(lan)
+    cable = lan.cables[1]
+    original = cable.transmit
+    count = {"n": 0}
+
+    def reordering(sender, frame):
+        segment = getattr(frame.payload, "payload", None)
+        if isinstance(segment, TcpSegment) and segment.payload:
+            count["n"] += 1
+            if count["n"] % 10 == 0:
+                world.sim.schedule(2_000_000,  # 2 ms late
+                                   lambda: original(sender, frame))
+                return
+        original(sender, frame)
+
+    cable.transmit = reordering
+    data = patterned(200_000)
+    pump_stream(pair.client_sock, data)
+    pair.run(60)
+    assert bytes(pair.server.data) == data

@@ -1,0 +1,80 @@
+"""Unit tests for the RTT estimator / RTO calculation."""
+
+import pytest
+
+from repro.sim.core import millis, seconds
+from repro.tcp.rtt import RttEstimator
+
+
+def test_initial_rto():
+    est = RttEstimator()
+    assert est.rto_ns == seconds(1)
+    assert est.srtt_ns is None
+
+
+def test_first_sample_initializes_srtt():
+    est = RttEstimator()
+    est.on_sample(millis(100))
+    assert est.srtt_ns == millis(100)
+    assert est.rttvar_ns == millis(50)
+    # RTO = srtt + 4*rttvar = 100 + 200 = 300ms
+    assert est.rto_ns == millis(300)
+
+
+def test_smoothing_converges():
+    est = RttEstimator()
+    for _ in range(50):
+        est.on_sample(millis(10))
+    assert abs(est.srtt_ns - millis(10)) < millis(1)
+    assert est.rto_ns == est.min_rto_ns  # variance collapsed; floor applies
+
+
+def test_min_rto_floor():
+    est = RttEstimator(min_rto_ns=millis(200))
+    for _ in range(20):
+        est.on_sample(100_000)  # 0.1 ms LAN RTT
+    assert est.rto_ns == millis(200)
+
+
+def test_backoff_doubles_and_caps():
+    est = RttEstimator(initial_rto_ns=seconds(1), max_rto_ns=seconds(8))
+    assert est.on_backoff() == seconds(2)
+    assert est.on_backoff() == seconds(4)
+    assert est.on_backoff() == seconds(8)
+    assert est.on_backoff() == seconds(8)  # capped
+    assert est.backoffs == 4
+
+
+def test_reset_backoff_recomputes_from_estimate():
+    est = RttEstimator()
+    est.on_sample(millis(100))
+    rto_before = est.rto_ns
+    est.on_backoff()
+    est.on_backoff()
+    est.reset_backoff()
+    assert est.rto_ns == rto_before
+
+
+def test_reset_backoff_without_samples_keeps_rto():
+    est = RttEstimator()
+    est.on_backoff()
+    rto = est.rto_ns
+    est.reset_backoff()
+    assert est.rto_ns == rto
+
+
+def test_negative_sample_rejected():
+    with pytest.raises(ValueError):
+        RttEstimator().on_sample(-1)
+
+
+def test_bad_bounds_rejected():
+    with pytest.raises(ValueError):
+        RttEstimator(initial_rto_ns=millis(100), min_rto_ns=millis(200))
+
+
+def test_variance_tracks_jitter():
+    est = RttEstimator()
+    for rtt in (millis(10), millis(90), millis(10), millis(90)):
+        est.on_sample(rtt)
+    assert est.rttvar_ns > millis(20)

@@ -1,0 +1,151 @@
+"""Unit tests for the TCP stack: demux, listeners, ST-TCP hooks."""
+
+import pytest
+
+from repro.errors import PortInUseError
+from repro.net.addresses import IPAddress
+from repro.sim.core import seconds
+from repro.tcp.segment import TcpFlags, TcpSegment
+from repro.tcp.states import TcpState
+
+from tests.tcp.conftest import Collector
+
+
+def test_listener_port_conflict(lan):
+    lan.hosts[0].tcp.listen(80, lambda s: None)
+    with pytest.raises(PortInUseError):
+        lan.hosts[0].tcp.listen(80, lambda s: None)
+
+
+def test_listener_close_frees_port(lan):
+    listener = lan.hosts[0].tcp.listen(80, lambda s: None)
+    listener.close()
+    lan.hosts[0].tcp.listen(80, lambda s: None)
+
+
+def test_listener_specific_ip_binding(lan):
+    host = lan.hosts[0]
+    service = IPAddress("10.0.0.100")
+    host.interfaces[0].add_address(service)
+    hits = []
+    host.tcp.listen(80, hits.append, ip=service)
+    # Connection to the machine address finds no listener -> RST.
+    client = Collector()
+    client.attach(lan.hosts[1].tcp.connect(IPAddress("10.0.0.1"), 80))
+    lan.world.run(until=seconds(1))
+    assert any(e.startswith("reset") for e in client.events)
+    # Connection to the service address succeeds.
+    client2 = Collector()
+    client2.attach(lan.hosts[1].tcp.connect(service, 80))
+    lan.world.run(until=seconds(2))
+    assert len(hits) == 1
+
+
+def test_find_listener_wildcard(lan):
+    host = lan.hosts[0]
+    listener = host.tcp.listen(80, lambda s: None)  # ip=None wildcard
+    assert host.tcp.find_listener(IPAddress("10.0.0.1"), 80) is listener
+    assert host.tcp.find_listener(IPAddress("10.0.0.99"), 80) is listener
+    assert host.tcp.find_listener(IPAddress("10.0.0.1"), 81) is None
+
+
+def test_on_connection_accepted_hook(lan):
+    host = lan.hosts[0]
+    host.tcp.listen(80, lambda s: None)
+    seen = []
+    host.tcp.on_connection_accepted.append(
+        lambda conn, sock, listener: seen.append((conn, sock, listener)))
+    client = Collector()
+    client.attach(lan.hosts[1].tcp.connect(IPAddress("10.0.0.1"), 80))
+    lan.world.run(until=seconds(1))
+    assert len(seen) == 1
+    conn, sock, listener = seen[0]
+    assert conn.local_port == 80
+
+
+def test_segment_filter_intercepts(lan):
+    host = lan.hosts[0]
+    host.tcp.listen(80, lambda s: None)
+    swallowed = []
+    host.tcp.segment_filter = lambda seg, src, dst: (
+        swallowed.append(seg) or True)
+    client = Collector()
+    client.attach(lan.hosts[1].tcp.connect(IPAddress("10.0.0.1"), 80))
+    lan.world.run(until=seconds(1))
+    assert len(swallowed) >= 1           # SYN(s) captured
+    assert len(host.tcp.connections) == 0
+
+
+def test_create_tap_connection_uses_given_isn(lan):
+    host = lan.hosts[0]
+    conn, sock = host.tcp.create_tap_connection(
+        IPAddress("10.0.0.1"), 80, IPAddress("10.0.0.2"), 50000, isn=777)
+    assert conn.iss == 777
+    assert conn.state is TcpState.LISTEN
+    assert host.tcp.has_connection(IPAddress("10.0.0.1"), 80,
+                                   IPAddress("10.0.0.2"), 50000)
+
+
+def test_tap_connection_accepts_syn_with_matching_isn(lan):
+    host = lan.hosts[0]
+    conn, _sock = host.tcp.create_tap_connection(
+        IPAddress("10.0.0.1"), 80, IPAddress("10.0.0.2"), 50000, isn=777)
+    sent = []
+    conn.transmit = sent.append
+    syn = TcpSegment(50000, 80, seq=1000, ack=0, flags=TcpFlags.SYN,
+                     window=65535)
+    conn.segment_arrived(syn)
+    assert conn.state is TcpState.SYN_RCVD
+    assert sent[0].seq == 777
+    assert sent[0].syn and sent[0].ack_flag
+
+
+def test_rst_sent_for_unknown_flow(lan):
+    host0, host1 = lan.hosts
+    client = Collector()
+    client.attach(host1.tcp.connect(IPAddress("10.0.0.1"), 12345))
+    lan.world.run(until=seconds(1))
+    assert host0.tcp.rsts_sent >= 1
+    assert any(e.startswith("reset") for e in client.events)
+
+
+def test_no_rst_for_rst(lan):
+    """RST segments to unknown flows must not generate RST replies
+    (no RST storms)."""
+    host0, host1 = lan.hosts
+    from repro.net.packet import IPProtocol
+    rst = TcpSegment(1234, 5678, seq=1, ack=0, flags=TcpFlags.RST, window=0)
+    host1.ip.send(IPAddress("10.0.0.1"), IPProtocol.TCP, rst)
+    lan.world.run(until=seconds(1))
+    assert host0.tcp.rsts_sent == 0
+
+
+def test_ephemeral_ports_unique(lan):
+    host = lan.hosts[1]
+    lan.hosts[0].tcp.listen(80, lambda s: None)
+    socks = [host.tcp.connect(IPAddress("10.0.0.1"), 80) for _ in range(5)]
+    ports = {s.connection.local_port for s in socks}
+    assert len(ports) == 5
+
+
+def test_freeze_stops_timers_and_processing(lan):
+    host0, host1 = lan.hosts
+    host0.tcp.listen(80, lambda s: None)
+    client = Collector()
+    client.attach(host1.tcp.connect(IPAddress("10.0.0.1"), 80))
+    lan.world.run(until=seconds(1))
+    host1.tcp.freeze()
+    # Frozen stack ignores inbound segments entirely.
+    before = client.socket.connection.segments_received
+    lan.hosts[0].tcp.connections[0].segment_arrived  # server still alive
+    client.socket.connection.segment_arrived  # attribute exists
+    lan.world.run(until=seconds(2))
+    assert client.socket.connection.segments_received == before
+
+
+def test_connect_requires_local_address(world):
+    from repro.errors import TcpError
+    from repro.host.host import Host
+    host = Host(world, "lonely")
+    with pytest.raises(TcpError):
+        host.tcp.connect(IPAddress("10.0.0.1"), 80)

@@ -1,0 +1,34 @@
+"""Tests for the TCP state enum helpers."""
+
+from repro.tcp.states import TcpState
+
+
+def test_synchronized_states():
+    synchronized = {s for s in TcpState if s.is_synchronized}
+    assert TcpState.ESTABLISHED in synchronized
+    assert TcpState.FIN_WAIT_1 in synchronized
+    assert TcpState.TIME_WAIT in synchronized
+    assert TcpState.CLOSED not in synchronized
+    assert TcpState.LISTEN not in synchronized
+    assert TcpState.SYN_SENT not in synchronized
+    assert TcpState.SYN_RCVD not in synchronized
+
+
+def test_can_send_data():
+    assert TcpState.ESTABLISHED.can_send_data
+    assert TcpState.CLOSE_WAIT.can_send_data      # half-close: peer FIN'd
+    assert not TcpState.FIN_WAIT_1.can_send_data  # we closed
+    assert not TcpState.CLOSED.can_send_data
+
+
+def test_can_receive_data():
+    assert TcpState.ESTABLISHED.can_receive_data
+    assert TcpState.FIN_WAIT_1.can_receive_data   # peer may still send
+    assert TcpState.FIN_WAIT_2.can_receive_data
+    assert not TcpState.CLOSE_WAIT.can_receive_data  # peer already FIN'd
+    assert not TcpState.TIME_WAIT.can_receive_data
+
+
+def test_values_are_rfc_names():
+    assert TcpState.ESTABLISHED.value == "ESTABLISHED"
+    assert len(TcpState) == 11

@@ -1,0 +1,28 @@
+"""Smoke tests for the ``python -m repro`` command-line interface."""
+
+from repro.cli import main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("demo1", "demo2", "demo3", "demo4", "demo5", "table1"):
+        assert name in out
+
+
+def test_no_command_lists(capsys):
+    assert main([]) == 0
+    assert "demo1" in capsys.readouterr().out
+
+
+def test_demo2_single_period(capsys):
+    assert main(["demo2", "--hb", "200", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "200 ms" in out
+    assert "failover time" in out
+
+
+def test_demo3_small_size(capsys):
+    assert main(["demo3", "--size", "5000000", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "overhead" in out
