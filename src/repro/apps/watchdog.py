@@ -87,6 +87,6 @@ class ApplicationWatchdog:
         if (self._world.sim.now - baseline
                 > self.miss_threshold * self.period_ns):
             self._fired = True
-            self._world.trace.record("detect", f"wd.{self.app.name}",
-                                     "application failure suspicion")
+            self._world.probes.fire("detect.watchdog", f"wd.{self.app.name}",
+                                    "application failure suspicion")
             self.on_failure_suspicion(self.app)

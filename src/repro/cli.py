@@ -10,14 +10,38 @@
     python -m repro demo5
     python -m repro table1
     python -m repro demo1 --seed 7       # every command takes --seed
+    python -m repro demo1 --obs-out out/ --obs-level frames
+
+Every command accepts ``--obs-out DIR`` to export observability
+artifacts (counter snapshot, per-connection TCP timeline, pcap-style
+frame log — see ``docs/observability.md``) and ``--obs-level`` to pick
+how much is recorded.  Exports are deterministic per seed.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.metrics.report import banner, format_duration, format_table
+from repro.obs.export import OBS_LEVELS
+
+
+def _obs_kwargs(args) -> dict:
+    """Runner kwargs to attach an ObsSession when --obs-out was given."""
+    return {"obs_level": args.obs_level} if args.obs_out else {}
+
+
+def _export_obs(obs, args, subdir: str = "") -> None:
+    """Write one run's artifacts under ``--obs-out[/subdir]`` and say so."""
+    if obs is None or not args.obs_out:
+        return
+    out = os.path.join(args.obs_out, subdir) if subdir else args.obs_out
+    paths = obs.write(out)
+    print(f"\nobservability artifacts ({obs.level}) -> {out}:")
+    for name in sorted(paths):
+        print(f"  {name}")
 
 
 def _demo1(args) -> int:
@@ -29,10 +53,10 @@ def _demo1(args) -> int:
     sttcp = run_failover_experiment(
         lambda tb, sp, sb: HwCrash(tb.primary),
         total_bytes=30_000_000, fault_at_s=1.0, run_until_s=60,
-        seed=args.seed)
+        seed=args.seed, **_obs_kwargs(args))
     baseline = run_baseline_failover(
         total_bytes=30_000_000, fault_at_s=1.0, run_until_s=60,
-        liveness_timeout_s=2.0, seed=args.seed)
+        liveness_timeout_s=2.0, seed=args.seed, **_obs_kwargs(args))
     rows = [
         ["ST-TCP", sttcp.client.reset_count, 0,
          format_duration(sttcp.glitch_ns),
@@ -44,6 +68,10 @@ def _demo1(args) -> int:
     print(format_table(["system", "resets", "reconnects", "outage",
                         "stream intact"], rows))
     print("\nST-TCP timeline:", sttcp.timeline.describe())
+    # The ST-TCP run's artifacts land in the --obs-out root; the
+    # baseline's in a subdirectory, so the headline run is easy to find.
+    _export_obs(sttcp.obs, args)
+    _export_obs(baseline.obs, args, subdir="baseline")
     return 0 if sttcp.stream_intact else 1
 
 
@@ -60,7 +88,9 @@ def _demo2(args) -> int:
             lambda tb, sp, sb: HwCrash(tb.primary),
             total_bytes=30_000_000, fault_at_s=2.0, run_until_s=60,
             seed=args.seed,
-            config=SttcpConfig(hb_period_ns=millis(period_ms)))
+            config=SttcpConfig(hb_period_ns=millis(period_ms)),
+            **_obs_kwargs(args))
+        _export_obs(result.obs, args, subdir=f"hb_{period_ms}ms")
         timeline = result.timeline
         rows.append([f"{period_ms} ms",
                      format_duration(timeline.detection_latency_ns),
@@ -73,12 +103,15 @@ def _demo2(args) -> int:
 
 def _demo3(args) -> int:
     from repro.apps.filetransfer import FileClient, FileServer
+    from repro.obs.export import ObsSession
     from repro.scenarios.builder import build_testbed
 
     print(f"Demo 3: {args.size / 1e6:.0f} MB transfer, ST-TCP on vs off")
     times = {}
     for enabled in (True, False):
         tb = build_testbed(seed=args.seed, enable_sttcp=enabled)
+        obs = (ObsSession(tb.world, level=args.obs_level)
+               if args.obs_out else None)
         FileServer(tb.primary, "fs-p", port=80).start()
         if enabled:
             FileServer(tb.backup, "fs-b", port=80).start()
@@ -89,6 +122,10 @@ def _demo3(args) -> int:
         client.start()
         tb.run_until(120)
         times[enabled] = client.transfer_time_ns
+        if obs is not None:
+            obs.finalize()
+            _export_obs(obs, args,
+                        subdir="sttcp_on" if enabled else "sttcp_off")
     overhead = (times[True] - times[False]) / times[False] * 100
     print(format_table(
         ["configuration", "transfer time"],
@@ -107,13 +144,14 @@ def _demo4(args) -> int:
     config = SttcpConfig(max_delay_fin_ns=seconds(5))
     print("Demo 4: application crash failures (primary app, t=1s)")
     rows = []
-    for label, fault in (("hang (no FIN)",
-                          lambda tb, sp, sb: AppHang(sp)),
-                         ("OS cleanup (FIN)",
-                          lambda tb, sp, sb: AppCrashWithCleanup(sp))):
+    for label, subdir, fault in (
+            ("hang (no FIN)", "app_hang", lambda tb, sp, sb: AppHang(sp)),
+            ("OS cleanup (FIN)", "app_crash_fin",
+             lambda tb, sp, sb: AppCrashWithCleanup(sp))):
         result = run_failover_experiment(
             fault, total_bytes=30_000_000, fault_at_s=1.0, run_until_s=60,
-            seed=args.seed, config=config)
+            seed=args.seed, config=config, **_obs_kwargs(args))
+        _export_obs(result.obs, args, subdir=subdir)
         rows.append([label,
                      format_duration(result.timeline.detection_latency_ns),
                      format_duration(result.timeline.failover_time_ns),
@@ -136,7 +174,9 @@ def _demo5(args) -> int:
              "primary")):
         result = run_failover_experiment(
             fault, total_bytes=30_000_000, fault_at_s=1.0, run_until_s=60,
-            seed=args.seed)
+            seed=args.seed, **_obs_kwargs(args))
+        _export_obs(result.obs, args,
+                    subdir=label.replace(" ", "_"))
         pair = result.testbed.pair
         action = ("backup took over" if pair.backup.takeover_at is not None
                   else "primary went non-FT")
@@ -173,7 +213,10 @@ def _table1(args) -> int:
     for failure, location, fault in scenarios:
         result = run_failover_experiment(
             fault, total_bytes=30_000_000, fault_at_s=1.0, run_until_s=60,
-            seed=args.seed, config=config)
+            seed=args.seed, config=config, **_obs_kwargs(args))
+        slug = (failure.replace(" ", "_").replace("/", "-")
+                .replace("+", "-"))
+        _export_obs(result.obs, args, subdir=f"{slug}_{location}")
         pair = result.testbed.pair
         action = ("backup takes over" if pair.backup.takeover_at is not None
                   else "primary non-FT")
@@ -204,6 +247,12 @@ def main(argv=None) -> int:
     for name, (_fn, help_text) in _COMMANDS.items():
         p = sub.add_parser(name, help=help_text)
         p.add_argument("--seed", type=int, default=3)
+        p.add_argument("--obs-out", metavar="DIR", default=None,
+                       help="export observability artifacts into DIR "
+                            "(see docs/observability.md)")
+        p.add_argument("--obs-level", choices=OBS_LEVELS, default="frames",
+                       help="how much to record when --obs-out is given "
+                            "(default: frames)")
         if name == "demo2":
             p.add_argument("--hb", type=int, nargs="+",
                            default=[200, 500, 1000],

@@ -52,8 +52,8 @@ class FaultInjector:
         return record
 
     def _fire(self, record: InjectionRecord) -> None:
-        self._world.trace.record("fault", "injector",
-                                 record.fault.description)
+        self._world.probes.fire("fault.inject", "injector",
+                                record.fault.description)
         record.fault.inject()
         record.injected = True
 

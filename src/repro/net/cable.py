@@ -112,8 +112,8 @@ class Cable:
         arrival_delay = (start - now) + tx_time + self.propagation_delay_ns
         if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
             self.frames_lost += 1
-            self._world.trace.record("eth", self.name, "frame lost",
-                                     size=frame.size_bytes)
+            self._world.probes.fire("eth.frame_lost", self.name, "frame lost",
+                                    size=frame.size_bytes)
             return
         receiver = self.other_end(sender)
         self._world.sim.schedule(arrival_delay, self._deliver, receiver, frame,

@@ -77,13 +77,13 @@ class Nic:
         """Inject a NIC failure: the card goes deaf and mute."""
         if not self._failed:
             self._failed = True
-            self._world.trace.record("fault", self.name, "NIC failed")
+            self._world.probes.fire("fault.nic", self.name, "NIC failed")
 
     def repair(self) -> None:
         """Clear an injected NIC failure."""
         if self._failed:
             self._failed = False
-            self._world.trace.record("fault", self.name, "NIC repaired")
+            self._world.probes.fire("fault.nic", self.name, "NIC repaired")
 
     # ---------------------------------------------------------------- data
 
@@ -94,6 +94,7 @@ class Nic:
             return
         self.frames_sent += 1
         self.bytes_sent += frame.size_bytes
+        self._world.probes.fire("nic.tx", self.name, size=frame.size_bytes)
         self._cable.transmit(self, frame)
 
     def receive_frame(self, frame: EthernetFrame) -> None:
@@ -105,6 +106,7 @@ class Nic:
             return
         self.frames_received += 1
         self.bytes_received += frame.size_bytes
+        self._world.probes.fire("nic.rx", self.name, size=frame.size_bytes)
         if self._upper is not None:
             self._upper(frame)
 

@@ -83,13 +83,16 @@ class Switch:
                                  port, frame, label=f"{self.name}.fwd")
 
     def _forward(self, ingress: SwitchPort, frame: EthernetFrame) -> None:
+        # The pcap tap: every frame crossing the fabric, exactly once.
+        self._world.probes.fire("eth.frame", self.name, frame=frame,
+                                ingress=ingress.index)
         dst = frame.dst
         if not dst.is_multicast:
             learned = self._mac_table.get(dst)
             if learned is not None and learned is not ingress:
                 self.frames_forwarded += 1
-                self._world.trace.record("eth", self.name, "forward",
-                                         dst=str(dst), port=learned.index)
+                self._world.probes.fire("eth.forward", self.name, "forward",
+                                        dst=str(dst), port=learned.index)
                 learned.transmit(frame)
                 if (self._mirror_port is not None
                         and self._mirror_port is not learned
@@ -101,7 +104,7 @@ class Switch:
                 return  # destination is on the ingress segment; drop
         # Multicast, broadcast, or unknown unicast: flood.
         self.frames_flooded += 1
-        self._world.trace.record("eth", self.name, "flood", dst=str(dst))
+        self._world.probes.fire("eth.flood", self.name, "flood", dst=str(dst))
         for port in self.ports:
             if port is not ingress:
                 port.transmit(frame)

@@ -1,0 +1,122 @@
+"""The probe bus — components fire named probe points, observers attach.
+
+The bus is layered on the :class:`~repro.sim.trace.TraceLog`: a fire of a
+``traced`` probe produces exactly the trace record the component used to
+emit directly (same category, source, message and fields), so existing
+trace-based tests see identical output.  Non-traced probes (the
+high-volume packet taps) reach only bus subscribers.
+
+The design goal is zero overhead when nobody is listening: with no
+subscriber for a probe and no wildcard subscriber, :meth:`ProbeBus.fire`
+builds no event object — the only cost is two dict lookups (and, for
+traced probes, the ``TraceLog.record`` call that was already there).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.obs.registry import PROBES, ProbeSpec, UnknownProbeError
+
+__all__ = ["ProbeEvent", "ProbeBus"]
+
+
+@dataclass(frozen=True)
+class ProbeEvent:
+    """One probe firing, as delivered to subscribers."""
+
+    time: int                    # virtual time, ns
+    probe: str                   # registered probe name, e.g. "tcp.retransmit"
+    category: str                # the probe's trace category
+    source: str                  # component name, e.g. "primary.tcp"
+    message: str                 # human-readable summary
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def time_s(self) -> float:
+        """Event time in (float) seconds."""
+        return self.time / 1_000_000_000
+
+
+Subscriber = Callable[[ProbeEvent], None]
+
+
+class ProbeBus:
+    """Named probe points with per-probe and wildcard subscribers."""
+
+    def __init__(self, clock: Callable[[], int], trace=None):
+        self._clock = clock
+        self._trace = trace
+        self._subs: dict[str, list[Subscriber]] = {}
+        self._all: list[Subscriber] = []
+        self.fired = 0  # probes that actually built an event for a subscriber
+
+    # ---------------------------------------------------------- subscribing
+
+    def subscribe(self, probe: str, callback: Subscriber) -> Subscriber:
+        """Attach ``callback`` to one probe point; returns the callback."""
+        self._spec(probe)  # validate the name early
+        self._subs.setdefault(probe, []).append(callback)
+        return callback
+
+    def subscribe_all(self, callback: Subscriber) -> Subscriber:
+        """Attach ``callback`` to every probe point."""
+        self._all.append(callback)
+        return callback
+
+    def unsubscribe(self, callback: Subscriber) -> None:
+        """Detach a callback wherever it is attached (idempotent)."""
+        for subs in self._subs.values():
+            while callback in subs:
+                subs.remove(callback)
+        while callback in self._all:
+            self._all.remove(callback)
+
+    def enabled(self, probe: str) -> bool:
+        """True when a fire of ``probe`` would reach at least one
+        subscriber — hot paths may use this to skip building expensive
+        field values."""
+        return bool(self._subs.get(probe)) or bool(self._all)
+
+    # --------------------------------------------------------------- firing
+
+    def fire(self, probe: str, source: str, message: Optional[str] = None,
+             **fields: Any) -> None:
+        """Fire one probe point.
+
+        ``message`` defaults to the probe's event name (the part after the
+        category).  Unregistered probe names raise
+        :class:`~repro.obs.registry.UnknownProbeError` — the registry is
+        the single source of truth, so drift fails fast.
+        """
+        spec = self._spec(probe)
+        subs = self._subs.get(probe)
+        if subs or self._all:
+            self.fired += 1
+            event = ProbeEvent(self._clock(), probe, spec.category, source,
+                               message if message is not None
+                               else probe.split(".", 1)[1], fields)
+            for callback in subs or ():
+                callback(event)
+            for callback in self._all:
+                callback(event)
+        if spec.traced and self._trace is not None:
+            self._trace.record(spec.category, source,
+                               message if message is not None
+                               else probe.split(".", 1)[1], **fields)
+
+    # ----------------------------------------------------------------- misc
+
+    @staticmethod
+    def _spec(probe: str) -> ProbeSpec:
+        spec = PROBES.get(probe)
+        if spec is None:
+            raise UnknownProbeError(
+                f"probe {probe!r} is not in the registry "
+                f"(repro.obs.registry.PROBES; see docs/observability.md)")
+        return spec
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        n_subs = sum(len(s) for s in self._subs.values())
+        return f"<ProbeBus subs={n_subs} wildcard={len(self._all)}>"

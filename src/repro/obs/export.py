@@ -1,0 +1,249 @@
+"""Observation sessions and exporters.
+
+:class:`ObsSession` attaches to a :class:`~repro.sim.world.World`'s probe
+bus and accumulates three artifacts:
+
+* a **counter/gauge/histogram snapshot** (always),
+* a **per-connection TCP timeline** — seq/ack/cwnd over virtual time,
+  one JSONL row per transmitted or retransmitted segment
+  (``level="timeline"`` and up),
+* a **pcap-style frame export** — one JSONL row per frame crossing the
+  switch, with decoded IP/TCP/UDP/ICMP/ARP summaries
+  (``level="frames"``).
+
+Every export is deterministic: rows carry only virtual time and
+seed-derived values, JSON keys are sorted, and row order is fire order —
+so two runs with the same seed produce byte-identical files (the
+determinism guard in ``tests/obs/test_export_determinism.py`` relies on
+this).  Formats are documented in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Optional
+
+from repro.net.frame import EthernetFrame
+from repro.net.packet import IPPacket
+from repro.obs.bus import ProbeEvent
+from repro.obs.metrics import (MetricsRegistry, format_snapshot_json,
+                               format_snapshot_text)
+from repro.tcp.segment import TcpFlags, TcpSegment
+
+__all__ = ["ObsSession", "OBS_LEVELS", "describe_frame", "jsonl_line"]
+
+#: Cumulative observation levels, cheapest first.
+OBS_LEVELS = ("counters", "timeline", "frames")
+
+#: Probes worth echoing into the scenario summary's event list.
+_SUMMARY_PROBES = frozenset(
+    ["fault.inject", "fault.nic", "detect.verdict", "detect.watchdog",
+     "hb.miss"]
+    + [f"sttcp.{kind}" for kind in
+       ("peer-crash-detected", "app-failure-detected",
+        "nic-failure-detected", "takeover", "non-ft-mode", "stonith",
+        "fin-held", "fin-released", "retain-overflow", "unrecoverable",
+        "ping-probing")])
+
+
+def jsonl_line(row: dict) -> str:
+    """One canonical JSONL row: sorted keys, compact, newline-terminated."""
+    return json.dumps(row, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def describe_frame(frame: EthernetFrame) -> dict:
+    """Decode a frame into a JSON-ready dict (the pcap-row body)."""
+    row: dict[str, Any] = {"src": str(frame.src), "dst": str(frame.dst),
+                           "type": frame.ethertype,
+                           "bytes": frame.size_bytes}
+    payload = frame.payload
+    if isinstance(payload, IPPacket):
+        row["ip"] = {"src": str(payload.src), "dst": str(payload.dst),
+                     "proto": payload.protocol, "ttl": payload.ttl}
+        inner = payload.payload
+        if isinstance(inner, TcpSegment):
+            row["tcp"] = {"sport": inner.src_port, "dport": inner.dst_port,
+                          "seq": inner.seq, "ack": inner.ack,
+                          "flags": TcpFlags.describe(inner.flags),
+                          "win": inner.window, "len": len(inner.payload)}
+        elif payload.protocol == "udp":
+            row["udp"] = {"sport": getattr(inner, "src_port", None),
+                          "dport": getattr(inner, "dst_port", None),
+                          "payload": type(getattr(inner, "payload",
+                                                  None)).__name__,
+                          "len": getattr(inner, "size_bytes", 0)}
+        elif payload.protocol == "icmp":
+            row["icmp"] = {"kind": type(inner).__name__,
+                           "len": getattr(inner, "size_bytes", 0)}
+    else:  # ARP and friends: duck-typed summary
+        row["arp"] = {"op": getattr(payload, "op", type(payload).__name__),
+                      "target": str(getattr(payload, "target_ip", ""))}
+    return row
+
+
+class ObsSession:
+    """One scenario's worth of observation, attached to a world's bus.
+
+    Levels are cumulative: ``counters`` < ``timeline`` < ``frames``.  The
+    session subscribes a single wildcard callback, so detaching it
+    (:meth:`detach`) restores the zero-overhead idle path.
+    """
+
+    def __init__(self, world, level: str = "frames"):
+        if level not in OBS_LEVELS:
+            raise ValueError(f"obs level {level!r} not in {OBS_LEVELS}")
+        self.world = world
+        self.level = level
+        self.metrics = MetricsRegistry()
+        self.frames: list[dict] = []
+        self.tcp_rows: list[dict] = []
+        self.events: list[dict] = []
+        self._last_hb_rx: Optional[int] = None
+        self._sub = world.probes.subscribe_all(self._on_probe)
+
+    def detach(self) -> None:
+        """Stop observing (the collected data stays queryable)."""
+        self.world.probes.unsubscribe(self._sub)
+
+    # -------------------------------------------------------- accumulation
+
+    def _on_probe(self, event: ProbeEvent) -> None:
+        self.metrics.counter(event.probe).inc()
+        probe = event.probe
+        fields = event.fields
+        if probe == "eth.frame":
+            frame = fields["frame"]
+            self.metrics.counter("eth.frames_total").inc()
+            self.metrics.counter("eth.bytes_total").inc(frame.size_bytes)
+            if self.level == "frames":
+                row = describe_frame(frame)
+                row["t"] = event.time
+                row["ingress"] = fields.get("ingress")
+                self.frames.append(row)
+        elif probe == "tcp.segment_tx":
+            self.metrics.counter("tcp.segments_sent_total").inc()
+            self.metrics.counter("tcp.bytes_sent_total").inc(
+                fields.get("len", 0))
+            if "cwnd" in fields:
+                self.metrics.histogram("tcp.cwnd_bytes").observe(
+                    fields["cwnd"])
+            if self.level != "counters":
+                self.tcp_rows.append(self._tcp_row(event, "tx"))
+        elif probe == "tcp.retransmit":
+            self.metrics.counter("tcp.retransmissions_total").inc()
+            if self.level != "counters":
+                self.tcp_rows.append(self._tcp_row(event, "rtx"))
+        elif probe == "tcp.segment_rx":
+            self.metrics.counter("tcp.segments_received_total").inc()
+        elif probe == "hb.send":
+            self.metrics.counter("hb.sent_total").inc()
+        elif probe == "hb.recv":
+            self.metrics.counter("hb.received_total").inc()
+            now = event.time
+            if self._last_hb_rx is not None:
+                self.metrics.histogram("hb.interarrival_ns").observe(
+                    now - self._last_hb_rx)
+            self._last_hb_rx = now
+        elif probe == "sttcp.suppress":
+            self.metrics.counter("sttcp.suppressed_segments_total").inc()
+        elif probe == "sttcp.retain":
+            self.metrics.counter("sttcp.retained_bytes_total").inc(
+                fields.get("len", 0))
+        elif probe == "sttcp.takeover":
+            self.metrics.gauge("sttcp.takeover_at_ns").set(event.time)
+        if probe in _SUMMARY_PROBES:
+            self.events.append({
+                "t": event.time, "probe": probe, "source": event.source,
+                "message": event.message,
+                "fields": {k: _jsonable(v) for k, v in fields.items()}})
+
+    @staticmethod
+    def _tcp_row(event: ProbeEvent, kind: str) -> dict:
+        row = {"t": event.time, "conn": event.source, "ev": kind}
+        row.update({k: _jsonable(v) for k, v in event.fields.items()})
+        return row
+
+    # ----------------------------------------------------------- finishing
+
+    def finalize(self, timeline=None, extra: Optional[dict] = None) -> None:
+        """Fold end-of-run results in: the failover timeline's latencies
+        become gauges (``sttcp.failover_latency_ns`` is the paper's
+        headline number) and the kernel totals are stamped."""
+        sim = self.world.sim
+        self.metrics.gauge("sim.virtual_time_ns").set(sim.now)
+        self.metrics.gauge("sim.events_processed_total").set(
+            sim.events_processed)
+        if timeline is not None:
+            gauges = {
+                "sttcp.fault_at_ns": timeline.fault_at,
+                "sttcp.detected_at_ns": timeline.detected_at,
+                "sttcp.detection_latency_ns": timeline.detection_latency_ns,
+                "sttcp.failover_latency_ns": timeline.failover_time_ns,
+                "sttcp.backoff_residue_ns": timeline.backoff_residue_ns,
+            }
+            for name, value in gauges.items():
+                if value is not None:
+                    self.metrics.gauge(name).set(value)
+        if extra:
+            for name, value in extra.items():
+                self.metrics.gauge(name).set(value)
+
+    def summary(self) -> dict:
+        """The scenario-level summary: snapshot + notable events."""
+        return {"level": self.level,
+                "snapshot": self.metrics.snapshot(),
+                "events": self.events}
+
+    # -------------------------------------------------------------- export
+
+    def write(self, out_dir: str) -> dict[str, str]:
+        """Write every artifact the level calls for; returns name->path.
+
+        Always: ``counters.json`` and ``summary.txt``.  ``timeline`` adds
+        ``tcp_timeline.jsonl``; ``frames`` adds ``frames.jsonl``.
+        """
+        os.makedirs(out_dir, exist_ok=True)
+        paths: dict[str, str] = {}
+
+        def _write(name: str, content: str) -> None:
+            path = os.path.join(out_dir, name)
+            with open(path, "w", encoding="utf-8", newline="\n") as fh:
+                fh.write(content)
+            paths[name] = path
+
+        snapshot = self.metrics.snapshot()
+        _write("counters.json", format_snapshot_json(snapshot))
+        _write("summary.txt", self._summary_text(snapshot))
+        _write("summary.json", jsonl_line(self.summary()))
+        if self.level in ("timeline", "frames"):
+            _write("tcp_timeline.jsonl",
+                   "".join(jsonl_line(row) for row in self.tcp_rows))
+        if self.level == "frames":
+            _write("frames.jsonl",
+                   "".join(jsonl_line(row) for row in self.frames))
+        return paths
+
+    def _summary_text(self, snapshot: dict) -> str:
+        lines = [f"observability summary (level={self.level})", ""]
+        lines.append(format_snapshot_text(snapshot).rstrip("\n"))
+        if self.events:
+            lines.append("")
+            lines.append("events:")
+            for ev in self.events:
+                detail = " ".join(f"{k}={v}" for k, v in ev["fields"].items())
+                lines.append(f"  [{ev['t'] / 1e9:12.6f}s] {ev['probe']:28s} "
+                             f"{ev['source']:24s} {ev['message']}"
+                             + (f" | {detail}" if detail else ""))
+        return "\n".join(lines) + "\n"
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce a probe field into something JSON-serializable, stably."""
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)

@@ -1,0 +1,182 @@
+"""The probe-point registry — every observable event, defined exactly once.
+
+This table is the single source of truth for instrumentation names:
+
+* **probe points** (``tcp.segment_tx``, ``hb.miss``, ``sttcp.takeover``...)
+  are stable, documented identifiers that components fire on the
+  :class:`~repro.obs.bus.ProbeBus`;
+* **trace categories** (``tcp``, ``hb``, ``sttcp``...) are the coarse
+  grouping the :class:`~repro.sim.trace.TraceLog` filters on — every
+  probe belongs to exactly one category, and every category any component
+  passes to ``TraceLog.record`` must be declared here.
+
+``tests/obs/test_registry_sync.py`` statically scans ``src/`` and fails if
+any emitted probe or category is missing from this module, and
+``docs/observability.md`` renders this table for humans; keep all three in
+sync (the test checks that too).
+
+Naming conventions
+------------------
+
+* probe names are ``<category>.<event>``, lower-case; the event part uses
+  ``_`` for multi-word events fired directly (``tcp.segment_tx``) and
+  ``-`` for events mirrored from the ST-TCP engine event log, whose kinds
+  are historically dash-separated (``sttcp.takeover``,
+  ``sttcp.non-ft-mode``);
+* counters derived from probes are named ``<category>.<noun>_total``;
+  gauges ``<area>.<quantity>_<unit>``; histograms ``<area>.<quantity>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ProbeSpec", "PROBES", "CATEGORIES", "UnknownProbeError",
+           "probes_in_category"]
+
+
+class UnknownProbeError(KeyError):
+    """Raised when a component fires a probe that is not registered."""
+
+
+@dataclass(frozen=True)
+class ProbeSpec:
+    """One stable probe point.
+
+    ``traced=True`` means a fire is mirrored into the ``TraceLog`` (subject
+    to its category filter) — these are the pre-existing trace records.
+    ``traced=False`` marks pure instrumentation taps (high-volume packet /
+    counter probes) that only reach bus subscribers, so enabling full
+    tracing does not change trace output.
+    """
+
+    name: str
+    category: str
+    description: str
+    emitted_by: str
+    traced: bool = True
+
+
+#: Trace-category registry (formerly the "informal registry" in the
+#: ``repro.sim.trace`` docstring).  Every category used anywhere in
+#: ``src/`` must appear here.
+CATEGORIES: dict[str, str] = {
+    "sim": "simulation kernel (run markers)",
+    "eth": "switch / NIC / cable frame events",
+    "arp": "ARP requests/replies and static entries",
+    "ip": "IP forwarding and errors",
+    "icmp": "echo requests/replies",
+    "tcp": "segment send/receive, state transitions, retransmits",
+    "hb": "ST-TCP heartbeat send/receive/miss",
+    "sttcp": "ST-TCP engine decisions (suppression, takeover...)",
+    "detect": "failure-detector verdicts and watchdog suspicions",
+    "fault": "fault injector actions and failure symptoms",
+    "app": "application-level milestones",
+    "power": "power-control (STONITH) actions",
+}
+
+
+def _spec(name: str, description: str, emitted_by: str,
+          traced: bool = True, category: str = "") -> ProbeSpec:
+    category = category or name.split(".", 1)[0]
+    return ProbeSpec(name, category, description, emitted_by, traced)
+
+
+_ALL_PROBES = [
+    # ------------------------------------------------------------- kernel
+    _spec("sim.run", "one Simulator.run episode finished",
+          "repro.sim.world.World.run", traced=False),
+    # ----------------------------------------------------------- ethernet
+    _spec("eth.frame", "a frame entered the switch fabric (pcap tap)",
+          "repro.net.switch.Switch._forward", traced=False),
+    _spec("eth.forward", "switch forwarded a unicast frame to a learned port",
+          "repro.net.switch.Switch._forward"),
+    _spec("eth.flood", "switch flooded a multicast/broadcast/unknown frame",
+          "repro.net.switch.Switch._forward"),
+    _spec("eth.frame_lost", "cable dropped a frame (injected loss)",
+          "repro.net.cable.Cable"),
+    _spec("nic.tx", "a NIC put a frame on its cable",
+          "repro.net.nic.Nic.send", traced=False, category="eth"),
+    _spec("nic.rx", "a NIC accepted an inbound frame",
+          "repro.net.nic.Nic.receive_frame", traced=False, category="eth"),
+    # ---------------------------------------------------------------- tcp
+    _spec("tcp.segment_tx", "a connection emitted a segment "
+          "(fields: off/ack/flags/len/cwnd/flight)",
+          "repro.tcp.connection.TcpConnection._emit", traced=False),
+    _spec("tcp.segment_rx", "a connection received a segment",
+          "repro.tcp.connection.TcpConnection.segment_arrived", traced=False),
+    _spec("tcp.retransmit", "a segment was retransmitted "
+          "(kind: rto/fast/head/fin)",
+          "repro.tcp.connection.TcpConnection", traced=False),
+    _spec("tcp.accept", "a listener accepted a new connection",
+          "repro.tcp.stack.TcpStack._accept", traced=False),
+    _spec("tcp.rst", "an RST was emitted for a segment matching no endpoint",
+          "repro.tcp.stack.TcpStack._send_rst_for"),
+    # ------------------------------------------------------------- ST-TCP
+    _spec("hb.send", "a heartbeat was transmitted (UDP and/or serial)",
+          "repro.sttcp.heartbeat.HeartbeatService._tick"),
+    _spec("hb.recv", "a heartbeat arrived on one link",
+          "repro.sttcp.heartbeat.HeartbeatService._receive"),
+    _spec("hb.miss", "a heartbeat link went stale (freshness transition)",
+          "repro.sttcp.engine.SttcpEngine.check_links", traced=False),
+    _spec("sttcp.suppress", "the backup generated-and-dropped one segment",
+          "repro.sttcp.backup.BackupEngine._suppressor", traced=False),
+    _spec("sttcp.retain", "the primary copied in-order client bytes into "
+          "its retain buffer",
+          "repro.sttcp.primary.PrimaryEngine._on_accepted", traced=False),
+    _spec("detect.verdict", "a lag tracker's failure criterion fired",
+          "repro.sttcp.detector.LagTracker.verdict", traced=False),
+    _spec("detect.watchdog", "the application watchdog missed a deadline",
+          "repro.apps.watchdog.ApplicationWatchdog"),
+    # -------------------------------------------------------------- faults
+    _spec("fault.inject", "the injector fired a scheduled fault",
+          "repro.faults.injector.FaultInjector._fire"),
+    _spec("fault.nic", "a NIC failure was injected or repaired",
+          "repro.net.nic.Nic.fail/repair"),
+]
+
+# One probe per ST-TCP engine event kind (repro.sttcp.events.EventKind);
+# SttcpEngine.emit fires ``sttcp.<kind>`` and mirrors it into the trace,
+# so the engine event vocabulary and the probe registry cannot drift
+# (tests/obs/test_registry_sync.py asserts the mapping is exhaustive).
+_ENGINE_EVENT_PROBES = {
+    "hb-ip-link-down": "the IP heartbeat link was declared stale",
+    "hb-serial-link-down": "the serial heartbeat link was declared stale",
+    "hb-link-recovered": "a stale heartbeat link became fresh again",
+    "peer-crash-detected": "both HB links silent: peer machine crashed "
+                           "(Table 1 row 1)",
+    "app-failure-detected": "application lag criteria met (Table 1 rows 2-3)",
+    "nic-failure-detected": "NIC failure attributed to the peer "
+                            "(Table 1 row 4)",
+    "takeover": "the backup took the connections over",
+    "non-ft-mode": "the primary carries on alone (backup declared failed)",
+    "stonith": "the peer was powered down out-of-band",
+    "conn-replicated": "a new service connection was announced to the backup",
+    "fin-held": "a locally generated FIN/RST is being delayed (Sec. 4.2.2)",
+    "fin-released": "a held FIN/RST was let out to the client",
+    "fin-suppressed": "the backup suppressed a replica FIN",
+    "fetch-requested": "the backup asked the primary for missed bytes",
+    "fetch-recovered": "a missed-byte fetch completed",
+    "unrecoverable": "a post-takeover gap could not be filled",
+    "retain-overflow": "the primary's retain buffer filled up",
+    "ping-probing": "gateway-ping disambiguation started (Sec. 4.3)",
+}
+for _kind, _desc in _ENGINE_EVENT_PROBES.items():
+    _ALL_PROBES.append(_spec(f"sttcp.{_kind}", _desc,
+                             "repro.sttcp.engine.SttcpEngine.emit"))
+
+#: name -> spec; the authoritative probe-point table.
+PROBES: dict[str, ProbeSpec] = {spec.name: spec for spec in _ALL_PROBES}
+
+if len(PROBES) != len(_ALL_PROBES):  # pragma: no cover - registry bug guard
+    raise AssertionError("duplicate probe name in registry")
+for _probe_spec in PROBES.values():  # registry self-consistency
+    if _probe_spec.category not in CATEGORIES:  # pragma: no cover
+        raise AssertionError(
+            f"probe {_probe_spec.name} has unregistered category "
+            f"{_probe_spec.category}")
+
+
+def probes_in_category(category: str) -> list[ProbeSpec]:
+    """All registered probes of one trace category, in table order."""
+    return [spec for spec in PROBES.values() if spec.category == category]

@@ -16,6 +16,7 @@ from repro.apps.streaming import StreamClient, StreamServer
 from repro.faults.faults import Fault
 from repro.metrics.monitor import ClientStreamMonitor
 from repro.metrics.timeline import FailoverTimeline, build_timeline
+from repro.obs.export import ObsSession
 from repro.scenarios.baselines import ReconnectingStreamClient
 from repro.scenarios.builder import Testbed, build_testbed
 from repro.sttcp.config import SttcpConfig
@@ -33,6 +34,9 @@ class FailoverResult:
     monitor: ClientStreamMonitor
     timeline: FailoverTimeline
     fault_description: str
+    #: Attached when the experiment ran with ``obs_level`` set; call
+    #: ``.write(out_dir)`` to export (see ``docs/observability.md``).
+    obs: Optional[ObsSession] = None
 
     @property
     def stream_intact(self) -> bool:
@@ -59,10 +63,16 @@ def run_failover_experiment(
         seed: int = 3,
         config: Optional[SttcpConfig] = None,
         request_chunk: int = 0,
+        obs_level: Optional[str] = None,
         **build_kwargs) -> FailoverResult:
     """The canonical Demo 1/2/4/5 shape: stream data, break something,
-    verify the client never notices more than a glitch."""
+    verify the client never notices more than a glitch.
+
+    ``obs_level`` (one of :data:`repro.obs.export.OBS_LEVELS`) attaches an
+    :class:`~repro.obs.export.ObsSession` for the whole run and returns it
+    on the result, already finalized against the failover timeline."""
     tb = build_testbed(seed=seed, config=config, **build_kwargs)
+    obs = ObsSession(tb.world, level=obs_level) if obs_level else None
     server_primary = StreamServer(tb.primary, "server-primary", port=80)
     server_backup = StreamServer(tb.backup, "server-backup", port=80)
     server_primary.start()
@@ -79,7 +89,10 @@ def run_failover_experiment(
     tb.run_until(run_until_s)
     timeline = build_timeline(fault_at, tb.pair.backup.events,
                               tb.pair.primary.events, monitor)
-    return FailoverResult(tb, client, monitor, timeline, fault.description)
+    if obs is not None:
+        obs.finalize(timeline=timeline)
+    return FailoverResult(tb, client, monitor, timeline, fault.description,
+                          obs=obs)
 
 
 @dataclass
@@ -90,6 +103,7 @@ class BaselineResult:
     client: ReconnectingStreamClient
     monitor: ClientStreamMonitor
     fault_at: int
+    obs: Optional[ObsSession] = None
 
     @property
     def disruption_ns(self) -> Optional[int]:
@@ -103,6 +117,7 @@ def run_baseline_failover(total_bytes: int = 50_000_000,
                           run_until_s: float = 60.0,
                           seed: int = 3,
                           liveness_timeout_s: float = 2.0,
+                          obs_level: Optional[str] = None,
                           **build_kwargs) -> BaselineResult:
     """Demo 1's counterfactual: hot standby, no ST-TCP.
 
@@ -112,6 +127,7 @@ def run_baseline_failover(total_bytes: int = 50_000_000,
     from repro.faults.faults import HwCrash
 
     tb = build_testbed(seed=seed, enable_sttcp=False, **build_kwargs)
+    obs = ObsSession(tb.world, level=obs_level) if obs_level else None
     StreamServer(tb.primary, "server-primary", port=80).start()
     StreamServer(tb.backup, "server-backup", port=80).start()
     monitor = ClientStreamMonitor(tb.world)
@@ -125,4 +141,6 @@ def run_baseline_failover(total_bytes: int = 50_000_000,
     fault_at = seconds(fault_at_s)
     tb.inject.at(fault_at, HwCrash(tb.primary))
     tb.run_until(run_until_s)
-    return BaselineResult(tb, client, monitor, fault_at)
+    if obs is not None:
+        obs.finalize()
+    return BaselineResult(tb, client, monitor, fault_at, obs=obs)

@@ -5,24 +5,14 @@ Protocol components emit :class:`TraceRecord` entries through a shared
 on behaviour ("the backup suppressed this FIN", "failover started at t=...")
 without string-parsing stdout.
 
-Categories in use across the library (informal registry):
-
-========== =====================================================
-category    emitted by
-========== =====================================================
-``sim``     simulation kernel (run markers)
-``eth``     switch / NIC frame events
-``arp``     ARP requests/replies
-``ip``      IP forwarding and errors
-``icmp``    echo requests/replies
-``tcp``     segment send/receive, state transitions, retransmits
-``hb``      ST-TCP heartbeat send/receive/miss
-``sttcp``   ST-TCP engine decisions (suppression, takeover...)
-``detect``  failure-detector verdicts
-``fault``   fault injector actions
-``app``     application-level milestones
-``power``   power-control (STONITH) actions
-========== =====================================================
+Category names are **not** defined here: the authoritative registry is
+:data:`repro.obs.registry.CATEGORIES` (rendered for humans in
+``docs/observability.md``), which also maps every fine-grained probe
+point to its category.  Components that fire through the
+:class:`~repro.obs.bus.ProbeBus` get their category from the registry;
+components that still call :meth:`TraceLog.record` directly must use a
+registered category — ``tests/obs/test_registry_sync.py`` scans ``src/``
+and fails on any category emitted anywhere but declared nowhere.
 """
 
 from __future__ import annotations

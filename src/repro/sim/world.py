@@ -1,9 +1,10 @@
 """The :class:`World` — shared root object for a simulated scenario.
 
-A ``World`` bundles the three kernel services every component needs:
+A ``World`` bundles the kernel services every component needs:
 
 * the :class:`~repro.sim.core.Simulator` event loop,
 * the :class:`~repro.sim.trace.TraceLog`,
+* the :class:`~repro.obs.bus.ProbeBus` (observability probe points),
 * the :class:`~repro.sim.rng.RngRegistry`.
 
 Passing a single ``world`` around keeps constructor signatures short and
@@ -14,6 +15,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.obs.bus import ProbeBus
 from repro.sim.core import Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceLog
@@ -29,6 +31,7 @@ class World:
         self.sim = Simulator()
         self.trace = TraceLog(lambda: self.sim.now,
                               enabled_categories=trace_categories)
+        self.probes = ProbeBus(lambda: self.sim.now, self.trace)
         self.rng = RngRegistry(seed)
 
     @property
@@ -43,8 +46,11 @@ class World:
 
     def run(self, until: Optional[int] = None,
             max_events: Optional[int] = None) -> int:
-        """Delegate to :meth:`Simulator.run`."""
-        return self.sim.run(until=until, max_events=max_events)
+        """Delegate to :meth:`Simulator.run`, marking the episode on the
+        ``sim.run`` probe for observers."""
+        processed = self.sim.run(until=until, max_events=max_events)
+        self.probes.fire("sim.run", "world", events=processed)
+        return processed
 
     def run_for(self, duration: int) -> int:
         """Delegate to :meth:`Simulator.run_for`."""

@@ -248,6 +248,8 @@ class BackupEngine(SttcpEngine):
         def suppress(segment: TcpSegment) -> None:
             """Count and drop one replica-generated segment."""
             mc.suppressed_segments += 1
+            self.world.probes.fire("sttcp.suppress", self.name,
+                                   len=len(segment.payload))
             if segment.fin and not mc.suppressed_fin:
                 mc.suppressed_fin = True
                 self.emit(EventKind.FIN_SUPPRESSED, key=mc.key)

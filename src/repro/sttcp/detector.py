@@ -46,6 +46,8 @@ class LagTracker:
         self._byte_lag_target = 0
         # When the peer counter last advanced while still behind the local.
         self._stalled_since: Optional[int] = None
+        # Edge-trigger for the detect.verdict probe: fire once per episode.
+        self._verdict_fired = False
 
     def update(self, local: int, peer: int) -> None:
         """Feed the latest counters (local from the live connection, peer
@@ -89,19 +91,31 @@ class LagTracker:
             else now
         if (self._byte_lag_since is not None
                 and matured_by - self._byte_lag_since >= self.confirm_ns):
-            return (f"{self.name}: peer lags by {self.lag_bytes} bytes "
-                    f">= AppMaxLagBytes={self.max_lag_bytes}")
+            return self._verdict_reached(
+                f"{self.name}: peer lags by {self.lag_bytes} bytes "
+                f">= AppMaxLagBytes={self.max_lag_bytes}")
         if (self._stalled_since is not None
                 and matured_by - self._stalled_since >= self.max_lag_time_ns):
-            return (f"{self.name}: byte {self._peer} unprocessed by peer for "
-                    f">= AppMaxLagTime ({self.max_lag_time_ns / 1e9:.1f}s)")
+            return self._verdict_reached(
+                f"{self.name}: byte {self._peer} unprocessed by peer for "
+                f">= AppMaxLagTime ({self.max_lag_time_ns / 1e9:.1f}s)")
+        self._verdict_fired = False
         return None
+
+    def _verdict_reached(self, reason: str) -> str:
+        """Fire the ``detect.verdict`` probe once per verdict episode."""
+        if not self._verdict_fired:
+            self._verdict_fired = True
+            self._world.probes.fire("detect.verdict", self.name,
+                                    reason=reason, lag=self.lag_bytes)
+        return reason
 
     def reset(self) -> None:
         """Clear all windows/streaks."""
         self._byte_lag_since = None
         self._byte_lag_target = 0
         self._stalled_since = None
+        self._verdict_fired = False
 
 
 class PingScoreboard:

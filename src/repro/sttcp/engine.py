@@ -102,9 +102,12 @@ class SttcpEngine:
     # ------------------------------------------------------- event plumbing
 
     def emit(self, kind: str, **detail: Any):
-        """Record an engine event (and mirror it into the trace)."""
+        """Record an engine event and fire its ``sttcp.<kind>`` probe (the
+        bus mirrors it into the trace, as before).  Every
+        :class:`~repro.sttcp.events.EventKind` has a registered probe, so
+        an unregistered kind fails loudly instead of drifting."""
         event = self.events.emit(self.world.sim.now, kind, **detail)
-        self.world.trace.record("sttcp", self.name, kind, **detail)
+        self.world.probes.fire(f"sttcp.{kind}", self.name, kind, **detail)
         return event
 
     def stonith_peer(self, reason: str) -> None:
@@ -214,10 +217,14 @@ class SttcpEngine:
         ip_up = self.hb.ip_link_up()
         serial_up = self.hb.serial_link_up()
         if ip_up != self._ip_was_up:
+            if not ip_up:
+                self.world.probes.fire("hb.miss", self.name, link="ip")
             self.emit(EventKind.HB_IP_LINK_DOWN if not ip_up
                       else EventKind.HB_LINK_RECOVERED, link="ip")
             self._ip_was_up = ip_up
         if serial_up != self._serial_was_up:
+            if not serial_up:
+                self.world.probes.fire("hb.miss", self.name, link="serial")
             self.emit(EventKind.HB_SERIAL_LINK_DOWN if not serial_up
                       else EventKind.HB_LINK_RECOVERED, link="serial")
             self._serial_was_up = serial_up

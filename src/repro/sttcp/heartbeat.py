@@ -98,8 +98,8 @@ class HeartbeatService:
         if self._serial is not None:
             self._serial.send(hb)
             self.bytes_sent_serial += hb.size_bytes
-        self._world.trace.record("hb", self.name, "sent", seq=self._seq,
-                                 extra=extra)
+        self._world.probes.fire("hb.send", self.name, "sent", seq=self._seq,
+                                extra=extra)
 
     # -------------------------------------------------------------- receiving
 
@@ -115,8 +115,8 @@ class HeartbeatService:
     def _receive(self, hb: Heartbeat, link: str) -> None:
         self._last_rx[link] = self._world.sim.now
         self.received[link] += 1
-        self._world.trace.record("hb", self.name, "received", link=link,
-                                 seq=hb.seq)
+        self._world.probes.fire("hb.recv", self.name, "received", link=link,
+                                seq=hb.seq)
         self.on_heartbeat(hb, link)
 
     # ------------------------------------------------------------- freshness

@@ -154,7 +154,15 @@ class PrimaryEngine(SttcpEngine):
         key: ConnKey = (conn.remote_ip.value, conn.remote_port)
         mc = ManagedPrimaryConn(self, conn, socket, key)
         self.conns[key] = mc
-        conn.inorder_tap = mc.retain.append
+
+        def retain_tap(offset: int, data: bytes, mc=mc) -> None:
+            """Copy in-order client bytes into the retain buffer (and let
+            observers count them via the sttcp.retain probe)."""
+            mc.retain.append(offset, data)
+            self.world.probes.fire("sttcp.retain", self.name,
+                                   off=offset, len=len(data))
+
+        conn.inorder_tap = retain_tap
         socket.close_interceptor = lambda sock, m=mc: self._intercept_close(m)
         socket.abort_interceptor = lambda sock, m=mc: self._intercept_abort(m)
         self.emit(EventKind.CONN_REPLICATED, key=key, isn=conn.iss)

@@ -309,6 +309,8 @@ class TcpConnection:
     def segment_arrived(self, segment: TcpSegment) -> None:
         """Demultiplexed entry point for one inbound segment."""
         self.segments_received += 1
+        self.world.probes.fire("tcp.segment_rx", self.name,
+                               len=len(segment.payload), flags=segment.flags)
         if self.state is TcpState.CLOSED:
             return
         if segment.rst:
@@ -591,6 +593,12 @@ class TcpConnection:
     def _emit(self, segment: TcpSegment) -> None:
         self.segments_sent += 1
         self.bytes_sent += len(segment.payload)
+        self.world.probes.fire("tcp.segment_tx", self.name,
+                               seq=segment.seq, ack=segment.ack,
+                               flags=TcpFlags.describe(segment.flags),
+                               len=len(segment.payload),
+                               win=segment.window, cwnd=self.cc.cwnd,
+                               flight=self.flight_size)
         self.transmit(segment)
 
     def _send_syn(self) -> None:
@@ -727,6 +735,8 @@ class TcpConnection:
             return
         self.cc.on_timeout(max(self.flight_size, self.config.mss))
         self.rtt.on_backoff()
+        self.world.probes.fire("tcp.retransmit", self.name, kind="rto",
+                               off=self.snd_una_off, rto=self.rtt.rto_ns)
         self._timed_end = None  # Karn: never time a retransmitted range
         # Go-back-N (RFC 6298 §5.4 behaviour): everything beyond snd_una is
         # presumed lost; rewind and let slow start re-send it.  Essential
@@ -742,6 +752,8 @@ class TcpConnection:
     def _retransmit_head(self) -> None:
         """Retransmit the earliest unacknowledged segment."""
         self.retransmissions += 1
+        self.world.probes.fire("tcp.retransmit", self.name, kind="head",
+                               off=self.snd_una_off)
         if self.snd_una_off < self.snd_nxt_off:
             length = min(self.config.mss, self.snd_nxt_off - self.snd_una_off)
             payload = self.send_buffer.get_range(self.snd_una_off, length)

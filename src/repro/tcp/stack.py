@@ -219,6 +219,8 @@ class TcpStack:
         socket = Socket(conn, on_cleanup=self._cleanup_socket)
         conn.open_passive(self.generate_isn())
         listener.accepted_count += 1
+        self._world.probes.fire("tcp.accept", self.name,
+                                port=segment.dst_port, peer=str(packet.src))
         # Let the application install its callbacks, then notify the ST-TCP
         # primary engine, then feed the SYN (sends the SYN-ACK).
         listener.on_accept(socket)
@@ -238,8 +240,8 @@ class TcpStack:
             rst = TcpSegment(segment.dst_port, segment.src_port, seq=0,
                              ack=ack, flags=TcpFlags.RST | TcpFlags.ACK,
                              window=0)
-        self._world.trace.record("tcp", self.name, "RST for unknown flow",
-                                 dst_port=segment.dst_port)
+        self._world.probes.fire("tcp.rst", self.name, "RST for unknown flow",
+                                dst_port=segment.dst_port)
         self._ip.send(packet.src, IPProtocol.TCP, rst, src=packet.dst)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

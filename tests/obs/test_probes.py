@@ -1,0 +1,117 @@
+"""Unit tests for the probe bus (subscribe/unsubscribe, zero-cost idle,
+delivery order, trace mirroring)."""
+
+import pytest
+
+from repro.obs.bus import ProbeBus
+from repro.obs.registry import PROBES, UnknownProbeError
+from repro.sim.core import Simulator
+from repro.sim.trace import TraceLog
+
+
+def make_bus(with_trace=True):
+    sim = Simulator()
+    trace = TraceLog(lambda: sim.now) if with_trace else None
+    return sim, trace, ProbeBus(lambda: sim.now, trace)
+
+
+def test_fire_unregistered_probe_raises():
+    _sim, _trace, bus = make_bus()
+    with pytest.raises(UnknownProbeError):
+        bus.fire("tcp.no_such_probe", "x")
+
+
+def test_subscribe_unregistered_probe_raises():
+    _sim, _trace, bus = make_bus()
+    with pytest.raises(UnknownProbeError):
+        bus.subscribe("nope.nope", lambda ev: None)
+
+
+def test_idle_fire_builds_no_event():
+    """Zero overhead when unsubscribed: no event object is constructed."""
+    _sim, trace, bus = make_bus()
+    bus.fire("tcp.segment_tx", "conn", len=100)   # untraced probe
+    bus.fire("hb.send", "hb", "sent", seq=1)      # traced probe
+    assert bus.fired == 0
+    # The traced probe still produced exactly its legacy trace record.
+    assert len(trace) == 1
+    assert trace.records[0].category == "hb"
+
+
+def test_enabled_reflects_subscriptions():
+    _sim, _trace, bus = make_bus()
+    assert not bus.enabled("tcp.segment_tx")
+    cb = bus.subscribe("tcp.segment_tx", lambda ev: None)
+    assert bus.enabled("tcp.segment_tx")
+    assert not bus.enabled("tcp.segment_rx")
+    bus.unsubscribe(cb)
+    assert not bus.enabled("tcp.segment_tx")
+    bus.subscribe_all(lambda ev: None)
+    assert bus.enabled("tcp.segment_rx")  # wildcard enables everything
+
+
+def test_subscriber_receives_event_fields():
+    sim, _trace, bus = make_bus()
+    got = []
+    bus.subscribe("tcp.segment_tx", got.append)
+    sim.schedule(250, lambda: bus.fire("tcp.segment_tx", "client.tcp",
+                                       seq=7, len=1460))
+    sim.run()
+    assert len(got) == 1
+    ev = got[0]
+    assert ev.time == 250
+    assert ev.time_s == pytest.approx(250e-9)
+    assert ev.probe == "tcp.segment_tx"
+    assert ev.category == "tcp"
+    assert ev.source == "client.tcp"
+    assert ev.message == "segment_tx"  # defaults to the event-name part
+    assert ev.fields == {"seq": 7, "len": 1460}
+    assert bus.fired == 1
+
+
+def test_delivery_order_specific_before_wildcard_in_fire_order():
+    _sim, _trace, bus = make_bus()
+    order = []
+    bus.subscribe("hb.send", lambda ev: order.append(("specific", ev.probe)))
+    bus.subscribe_all(lambda ev: order.append(("wildcard", ev.probe)))
+    bus.fire("hb.send", "hb")
+    bus.fire("hb.recv", "hb")
+    assert order == [("specific", "hb.send"), ("wildcard", "hb.send"),
+                     ("wildcard", "hb.recv")]
+
+
+def test_unsubscribe_is_idempotent():
+    _sim, _trace, bus = make_bus()
+    got = []
+    bus.subscribe("hb.send", got.append)
+    bus.unsubscribe(got.append)
+    bus.unsubscribe(got.append)  # second time is a no-op
+    bus.fire("hb.send", "hb")
+    assert got == []
+
+
+def test_traced_probe_mirrors_exact_trace_record():
+    """A traced fire must equal the TraceLog.record call it replaced."""
+    _sim, trace, bus = make_bus()
+    bus.fire("hb.recv", "p.hb", "received", link="ip", seq=3)
+    rec = trace.records[0]
+    assert (rec.category, rec.source, rec.message) == \
+        ("hb", "p.hb", "received")
+    assert rec.fields == {"link": "ip", "seq": 3}
+
+
+def test_untraced_probe_never_reaches_trace():
+    _sim, trace, bus = make_bus()
+    bus.subscribe_all(lambda ev: None)
+    bus.fire("tcp.segment_tx", "conn", len=1)
+    assert len(trace) == 0
+    assert not PROBES["tcp.segment_tx"].traced
+
+
+def test_fire_without_trace_backend():
+    _sim, _trace, bus = make_bus(with_trace=False)
+    bus.fire("hb.send", "hb")  # must not blow up with trace=None
+    got = []
+    bus.subscribe("hb.send", got.append)
+    bus.fire("hb.send", "hb")
+    assert len(got) == 1

@@ -1,0 +1,87 @@
+"""The registry-drift guards.
+
+The probe registry (``repro.obs.registry``) is the single source of truth
+for instrumentation names.  These tests statically scan ``src/`` for the
+string literals components actually emit and fail when anything is
+missing from the registry — and when the registry itself is missing from
+``docs/observability.md``.
+"""
+
+import re
+from pathlib import Path
+
+from repro.obs.registry import CATEGORIES, PROBES
+from repro.scenarios.builder import DEFAULT_TRACE_CATEGORIES
+from repro.sttcp.events import EventKind
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src"
+DOCS = REPO / "docs"
+
+_RECORD_LITERAL = re.compile(r'\.record\(\s*\n?\s*"([a-z_]+)"')
+_FIRE_LITERAL = re.compile(r'probes\.fire\(\s*\n?\s*"([\w.-]+)"')
+
+
+def _scan(pattern):
+    hits = {}
+    for path in sorted(SRC.rglob("*.py")):
+        for name in pattern.findall(path.read_text(encoding="utf-8")):
+            hits.setdefault(name, []).append(path.relative_to(REPO))
+    return hits
+
+
+def test_every_emitted_trace_category_is_registered():
+    """Each literal ``trace.record("<cat>", ...)`` in src/ must use a
+    category declared in the registry."""
+    emitted = _scan(_RECORD_LITERAL)
+    assert emitted, "scan found no trace.record call sites — regex broken?"
+    unregistered = {cat: paths for cat, paths in emitted.items()
+                    if cat not in CATEGORIES}
+    assert not unregistered, (
+        f"trace categories emitted but missing from "
+        f"repro.obs.registry.CATEGORIES: {unregistered}")
+
+
+def test_every_fired_probe_literal_is_registered():
+    """Each literal ``probes.fire("<name>", ...)`` in src/ must be a
+    registered probe point."""
+    fired = _scan(_FIRE_LITERAL)
+    assert fired, "scan found no probes.fire call sites — regex broken?"
+    unregistered = {name: paths for name, paths in fired.items()
+                    if name not in PROBES}
+    assert not unregistered, (
+        f"probes fired but missing from repro.obs.registry.PROBES: "
+        f"{unregistered}")
+
+
+def test_every_engine_event_kind_has_a_probe():
+    """SttcpEngine.emit fires ``sttcp.<kind>`` via an f-string, which the
+    literal scan cannot see; require the registry to cover the whole
+    EventKind vocabulary instead."""
+    kinds = [v for k, v in vars(EventKind).items()
+             if isinstance(v, str) and not k.startswith("_")]
+    assert kinds, "EventKind introspection found nothing — API changed?"
+    missing = [k for k in kinds if f"sttcp.{k}" not in PROBES]
+    assert not missing, f"EventKind values with no sttcp.<kind> probe: " \
+                        f"{missing}"
+
+
+def test_default_trace_categories_are_registered():
+    assert set(DEFAULT_TRACE_CATEGORIES) <= set(CATEGORIES)
+
+
+def test_probe_categories_are_registered():
+    for spec in PROBES.values():
+        assert spec.category in CATEGORIES, spec.name
+
+
+def test_docs_list_every_probe_and_category():
+    """docs/observability.md renders the registry for humans; a probe or
+    category absent from the doc means the doc has drifted."""
+    doc = (DOCS / "observability.md").read_text(encoding="utf-8")
+    missing_probes = [name for name in PROBES if f"`{name}`" not in doc]
+    assert not missing_probes, (
+        f"probes missing from docs/observability.md: {missing_probes}")
+    missing_cats = [cat for cat in CATEGORIES if f"`{cat}`" not in doc]
+    assert not missing_cats, (
+        f"categories missing from docs/observability.md: {missing_cats}")

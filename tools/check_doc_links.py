@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Fail when docs reference files or modules that do not exist.
+
+Checks, across README.md and docs/**/*.md:
+
+* relative markdown links — ``[text](path)`` — must point at an existing
+  file or directory (anchors and external URLs are skipped);
+* source-path references — `` `src/.../file.py` `` or
+  ``src/.../file.py:123`` — must name an existing file;
+* dotted module references — `` `repro.x.y` `` (optionally with a
+  trailing ``.Symbol``) — must be importable as a module path under
+  ``src/``.
+
+Run from the repo root: ``python tools/check_doc_links.py``.
+Exit code 0 = clean, 1 = broken references (each printed).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = REPO / "src"
+
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(?:#[^)]*)?\)")
+SRC_PATH = re.compile(r"\b(src/[\w/.-]+\.py)(?::[\d-]+)?")
+MODULE_REF = re.compile(r"`(repro(?:\.\w+)+)`")
+
+
+def doc_files() -> list[Path]:
+    files = [REPO / "README.md"]
+    files += sorted((REPO / "docs").rglob("*.md"))
+    return [f for f in files if f.exists()]
+
+
+def module_exists(dotted: str) -> bool:
+    """True when ``dotted`` resolves to a module under src/, possibly
+    followed by up to two attribute parts (``module.Class.method``)."""
+    parts = dotted.split(".")
+    for cut in range(len(parts), 0, -1):
+        base = SRC.joinpath(*parts[:cut])
+        is_module = base.with_suffix(".py").exists()
+        is_package = (base / "__init__.py").exists()
+        if is_module or is_package:
+            trailing = len(parts) - cut
+            # A full match is always fine; attribute refs hang off a
+            # real .py module and are at most Class.method deep.
+            return trailing == 0 or (is_module and trailing <= 2)
+    return False
+
+
+def check(doc: Path) -> list[str]:
+    text = doc.read_text(encoding="utf-8")
+    rel = doc.relative_to(REPO)
+    problems = []
+    for match in MD_LINK.finditer(text):
+        target = match.group(1)
+        if "://" in target or target.startswith("mailto:"):
+            continue
+        if not (doc.parent / target).exists():
+            problems.append(f"{rel}: broken link -> {target}")
+    for match in SRC_PATH.finditer(text):
+        if not (REPO / match.group(1)).exists():
+            problems.append(f"{rel}: missing source file -> "
+                            f"{match.group(1)}")
+    for match in MODULE_REF.finditer(text):
+        if not module_exists(match.group(1)):
+            problems.append(f"{rel}: unknown module -> {match.group(1)}")
+    return problems
+
+
+def main() -> int:
+    problems = []
+    for doc in doc_files():
+        problems += check(doc)
+    for line in problems:
+        print(line, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} broken doc reference(s)", file=sys.stderr)
+        return 1
+    print(f"doc links OK ({len(doc_files())} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
