@@ -1,0 +1,14 @@
+"""repro.check — the runtime protocol-invariant oracle.
+
+Validates every scenario run against the TCP / ST-TCP invariants
+catalogued in :mod:`repro.check.invariants` (rendered in
+``docs/invariants.md``) by listening on the observability bus.
+"""
+
+from repro.check.invariants import INVARIANTS, LAYERS, Invariant
+from repro.check.oracle import (CheckTopology, CheckedRun, InvariantOracle,
+                                InvariantViolationError, Violation)
+
+__all__ = ["Invariant", "INVARIANTS", "LAYERS", "CheckTopology",
+           "CheckedRun", "InvariantOracle", "InvariantViolationError",
+           "Violation"]

@@ -1,0 +1,54 @@
+"""Opt-in, fleet-wide oracle attachment for test runs.
+
+``REPRO_CHECK=1 pytest`` makes the autouse fixture in ``tests/conftest.py``
+call :func:`patch_worlds` for every test: every :class:`~repro.sim.world.World`
+constructed during the test gets an :class:`~repro.check.oracle.InvariantOracle`
+attached at birth, and the fixture asserts at teardown that none of them
+recorded a violation.  Tests that deliberately produce hostile traffic mark
+themselves ``@pytest.mark.no_invariant_check``.
+
+No topology hints are available here (a bare ``World`` has no notion of
+which host is the backup), so the wire.backup-silent / wire.primary-silent
+checks are inert under the fixture — they run in :class:`CheckedRun` and
+under ``--check`` on the CLI demos, where a testbed provides the hints.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+from repro.check.oracle import InvariantOracle
+from repro.sim.world import World
+
+__all__ = ["env_enabled", "patch_worlds"]
+
+ENV_VAR = "REPRO_CHECK"
+
+
+def env_enabled() -> bool:
+    """True when the ``REPRO_CHECK`` environment opt-in is set."""
+    return os.environ.get(ENV_VAR, "") not in ("", "0")
+
+
+@contextmanager
+def patch_worlds():
+    """Attach an oracle to every ``World`` constructed inside the block.
+
+    Yields the list of attached oracles (one per World, in construction
+    order) so the caller can inspect violations after the block.
+    """
+    oracles: list[InvariantOracle] = []
+    original_init = World.__init__
+
+    def checked_init(self, *args, **kwargs):
+        original_init(self, *args, **kwargs)
+        oracles.append(InvariantOracle(self).attach())
+
+    World.__init__ = checked_init
+    try:
+        yield oracles
+    finally:
+        World.__init__ = original_init
+        for oracle in oracles:
+            oracle.detach()

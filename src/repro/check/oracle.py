@@ -1,0 +1,390 @@
+"""The runtime invariant oracle.
+
+:class:`InvariantOracle` subscribes to a :class:`~repro.sim.world.World`'s
+probe bus and checks every firing against the catalogue in
+:mod:`repro.check.invariants`.  It is pure observer: attaching it changes
+no timing and no behaviour (probe fields are built eagerly by the
+emitters), and detaching restores the zero-overhead idle path.
+
+Three front doors, all documented in ``docs/invariants.md``:
+
+* :class:`CheckedRun` — a context manager that attaches an oracle and
+  raises :class:`InvariantViolationError` on exit if anything tripped
+  (``scenarios/runner.py`` exposes it as ``check=True``);
+* ``--check`` on every CLI demo (``repro.cli``);
+* the autouse pytest fixture in ``tests/conftest.py`` (``REPRO_CHECK=1``),
+  via :mod:`repro.check.autocheck`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.check.invariants import INVARIANTS
+from repro.net.packet import IPPacket
+from repro.obs.bus import ProbeEvent
+from repro.sim.core import millis
+from repro.tcp.segment import TcpSegment
+from repro.tcp.seq import seq_add, seq_sub
+
+__all__ = ["CheckTopology", "Violation", "InvariantViolationError",
+           "InvariantOracle", "CheckedRun"]
+
+# Largest believable on-wire sequence jump within one flow direction:
+# far above any window (64 KiB + retain allowance), far below the random
+# ~2^31 distance a wrong-ISN takeover produces.
+_SEQ_BAND = 1 << 24
+
+# In-flight allowance for wire.primary-silent: frames the primary queued
+# on its cable before STONITH may still drain into the switch briefly.
+_TAKEOVER_GRACE_NS = millis(200)
+
+
+@dataclass(frozen=True)
+class CheckTopology:
+    """Wire-layer hints: who is who on the switch (Figure 2)."""
+
+    primary_mac: str
+    backup_mac: str
+    service_port: int = 80
+
+    @classmethod
+    def from_testbed(cls, tb) -> "CheckTopology":
+        """Derive the hints from a built scenario testbed."""
+        service_port = (tb.pair.config.service_port
+                        if tb.pair is not None else 80)
+        return cls(primary_mac=str(tb.addresses.primary_mac),
+                   backup_mac=str(tb.addresses.backup_mac),
+                   service_port=service_port)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, with everything needed to debug it."""
+
+    invariant: str        # id into repro.check.invariants.INVARIANTS
+    time: int             # virtual ns of the offending probe event
+    conn: str             # connection / flow / service identifier
+    detail: str           # human-readable specifics (observed vs expected)
+    event: Optional[ProbeEvent] = None   # the probe record itself
+
+    def __str__(self) -> str:
+        return (f"[{self.time / 1e9:12.6f}s] {self.invariant}: {self.conn}: "
+                f"{self.detail}")
+
+
+class InvariantViolationError(AssertionError):
+    """Raised by :class:`CheckedRun` when a run broke the catalogue."""
+
+    def __init__(self, violations: list[Violation]):
+        self.violations = violations
+        shown = "\n".join(f"  {v}" for v in violations[:20])
+        more = len(violations) - 20
+        super().__init__(
+            f"{len(violations)} invariant violation(s):\n{shown}"
+            + (f"\n  ... and {more} more" if more > 0 else ""))
+
+
+@dataclass
+class _EndpointState:
+    """Per-connection sender/receiver tracking (keyed by probe source)."""
+
+    una: int = 0
+    rcv_nxt: int = 0
+    deliver_next: int = 0
+
+
+@dataclass
+class _FlowDirState:
+    """Per (src_ip, sport, dst_ip, dport) wire-direction tracking."""
+
+    hi_seq: Optional[int] = None   # running max sequence number (mod 2^32)
+    hi_ack: Optional[int] = None   # running max ack number (mod 2^32)
+    max_end: Optional[int] = None  # highest seq end incl. SYN/FIN phantoms
+
+
+class InvariantOracle:
+    """Checks probe traffic against the invariant catalogue.
+
+    Violations are collected, not raised — callers decide (``CheckedRun``
+    raises at exit, the pytest fixture asserts at teardown).  ``checks``
+    counts evaluations per invariant so "ran clean" is distinguishable
+    from "never looked".
+    """
+
+    def __init__(self, world, topology: Optional[CheckTopology] = None,
+                 max_recorded: int = 200):
+        self.world = world
+        self.topology = topology
+        self.max_recorded = max_recorded
+        self.violations: list[Violation] = []
+        self.violation_count = 0           # keeps counting past the cap
+        self.checks: dict[str, int] = {inv: 0 for inv in INVARIANTS}
+        self._endpoints: dict[str, _EndpointState] = {}
+        self._flows: dict[tuple, _FlowDirState] = {}
+        self._hb_seq: dict[str, int] = {}
+        self._hb_progress: dict[tuple, tuple] = {}
+        self._takeover_at: Optional[int] = None
+        self._takeover_sources: set[str] = set()
+        self._nonft_sources: set[str] = set()
+        self._subs: list = []
+        self._attached = False
+
+    # ------------------------------------------------------------ plumbing
+
+    def attach(self) -> "InvariantOracle":
+        """Subscribe to the probes the catalogue needs (idempotent)."""
+        if self._attached:
+            return self
+        probes = self.world.probes
+        for name, handler in (("tcp.segment_tx", self._on_segment_tx),
+                              ("tcp.deliver", self._on_deliver),
+                              ("eth.frame", self._on_frame),
+                              ("hb.state", self._on_heartbeat),
+                              ("sttcp.takeover", self._on_takeover),
+                              ("sttcp.non-ft-mode", self._on_non_ft),
+                              ("sttcp.conn-replicated", self._on_replicated)):
+            self._subs.append(probes.subscribe(name, handler))
+        self._attached = True
+        return self
+
+    def detach(self) -> None:
+        """Stop observing (collected violations stay queryable)."""
+        for sub in self._subs:
+            self.world.probes.unsubscribe(sub)
+        self._subs.clear()
+        self._attached = False
+
+    def _fail(self, invariant: str, event: Optional[ProbeEvent], conn: str,
+              detail: str) -> None:
+        self.violation_count += 1
+        if len(self.violations) < self.max_recorded:
+            self.violations.append(Violation(
+                invariant, event.time if event else self.world.now,
+                conn, detail, event))
+
+    def _check(self, invariant: str, ok: bool, event: ProbeEvent, conn: str,
+               detail: str) -> None:
+        self.checks[invariant] += 1
+        if not ok:
+            self._fail(invariant, event, conn, detail)
+
+    def report(self) -> str:
+        """Human-readable summary: per-invariant check/violation counts."""
+        lines = [f"invariant oracle: {self.violation_count} violation(s)"]
+        for inv_id in INVARIANTS:
+            lines.append(f"  {inv_id:28s} checked {self.checks[inv_id]:>9d}")
+        for violation in self.violations:
+            lines.append(f"  VIOLATION {violation}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------- tcp-endpoint layer
+
+    def _on_segment_tx(self, ev: ProbeEvent) -> None:
+        f = ev.fields
+        una, nxt = f.get("una"), f.get("nxt")
+        if una is None or nxt is None:
+            return
+        flags = f.get("flags", "")
+        state = self._endpoints.get(ev.source)
+        if state is None or "SYN" in flags:
+            # First sighting, or a new incarnation reusing the name.
+            state = self._endpoints[ev.source] = _EndpointState(
+                una=una, rcv_nxt=f.get("rcv_nxt", 0))
+        self._check("tcp.snd-una-le-nxt", una <= nxt, ev, ev.source,
+                    f"snd_una={una} > snd_nxt={nxt}")
+        self._check("tcp.snd-una-monotone", una >= state.una, ev, ev.source,
+                    f"snd_una retreated {state.una} -> {una}")
+        state.una = max(state.una, una)
+        mss = f.get("mss")
+        if mss:
+            cwnd, ssthresh = f.get("cwnd"), f.get("ssthresh")
+            self._check("tcp.cwnd-floor", cwnd >= mss, ev, ev.source,
+                        f"cwnd={cwnd} < 1 MSS ({mss})")
+            self._check("tcp.ssthresh-floor", ssthresh >= 2 * mss, ev,
+                        ev.source, f"ssthresh={ssthresh} < 2 MSS ({2 * mss})")
+        off = f.get("off")
+        if off is not None and "SYN" not in flags and "RST" not in flags:
+            # (RSTs are exempt: a reset for a bogus handshake ack echoes
+            # the offender's ack field as its seq, per RFC 793.)
+            self._check("tcp.seq-in-window", una <= off <= nxt, ev,
+                        ev.source,
+                        f"segment offset {off} outside [una={una}, "
+                        f"nxt={nxt}]")
+        rcv_nxt = f.get("rcv_nxt")
+        if rcv_nxt is not None:
+            self._check("tcp.rcv-nxt-monotone", rcv_nxt >= state.rcv_nxt,
+                        ev, ev.source,
+                        f"rcv_next retreated {state.rcv_nxt} -> {rcv_nxt}")
+            state.rcv_nxt = max(state.rcv_nxt, rcv_nxt)
+
+    def _on_deliver(self, ev: ProbeEvent) -> None:
+        off, length = ev.fields.get("off"), ev.fields.get("len", 0)
+        if off is None:
+            return
+        state = self._endpoints.setdefault(ev.source, _EndpointState())
+        if off == 0 and state.deliver_next > 0:
+            state.deliver_next = 0   # new incarnation reusing the name
+        self._check("tcp.deliver-contiguous", off == state.deliver_next,
+                    ev, ev.source,
+                    f"delivery at offset {off}, expected "
+                    f"{state.deliver_next} (gap or re-delivery)")
+        state.deliver_next = off + length
+
+    # --------------------------------------------------------- wire layer
+
+    def _on_frame(self, ev: ProbeEvent) -> None:
+        frame = ev.fields.get("frame")
+        packet = getattr(frame, "payload", None)
+        if not isinstance(packet, IPPacket):
+            return
+        seg = packet.payload
+        if not isinstance(seg, TcpSegment):
+            return
+        fkey = (str(packet.src), seg.src_port, str(packet.dst), seg.dst_port)
+        flow = self._flows.get(fkey)
+        if flow is None or seg.syn:
+            # New flow direction, or a new incarnation (a SYN legitimately
+            # restarts the sequence space; ST-TCP takeover never SYNs).
+            flow = self._flows[fkey] = _FlowDirState()
+        conn = f"{fkey[0]}:{fkey[1]}->{fkey[2]}:{fkey[3]}"
+        self._check_topology(ev, frame, seg, conn)
+        end = seq_add(seg.seq, len(seg.payload)
+                      + (1 if seg.syn else 0) + (1 if seg.fin else 0))
+        if not seg.rst:
+            if flow.hi_seq is not None:
+                jump = seq_sub(seg.seq, flow.hi_seq)
+                self._check("wire.seq-continuity", abs(jump) < _SEQ_BAND,
+                            ev, conn,
+                            f"seq {seg.seq} is {jump:+d} from the running "
+                            f"max {flow.hi_seq} (discontinuous space)")
+            if flow.hi_seq is None or seq_sub(seg.seq, flow.hi_seq) > 0:
+                flow.hi_seq = seg.seq
+        if flow.max_end is None or seq_sub(end, flow.max_end) > 0:
+            flow.max_end = end
+        if seg.ack_flag and not seg.rst:
+            if flow.hi_ack is not None:
+                retreat = seq_sub(seg.ack, flow.hi_ack)
+                self._check("wire.ack-monotone", retreat >= 0, ev, conn,
+                            f"ack retreated {flow.hi_ack} -> {seg.ack} "
+                            f"({retreat:+d})")
+            if flow.hi_ack is None or seq_sub(seg.ack, flow.hi_ack) > 0:
+                flow.hi_ack = seg.ack
+            reverse = self._flows.get((fkey[2], fkey[3], fkey[0], fkey[1]))
+            if reverse is not None and reverse.max_end is not None:
+                beyond = seq_sub(seg.ack, reverse.max_end)
+                self._check("wire.ack-beyond-data", beyond <= 0, ev, conn,
+                            f"ack {seg.ack} is {beyond:+d} beyond the "
+                            f"peer's highest sent byte {reverse.max_end}")
+
+    def _check_topology(self, ev: ProbeEvent, frame, seg: TcpSegment,
+                        conn: str) -> None:
+        topo = self.topology
+        if topo is None:
+            return
+        if topo.service_port not in (seg.src_port, seg.dst_port):
+            return
+        src_mac = str(frame.src)
+        if src_mac == topo.backup_mac:
+            self._check("wire.backup-silent",
+                        self._takeover_at is not None
+                        and ev.time >= self._takeover_at,
+                        ev, conn,
+                        "backup emitted a service-flow frame before "
+                        "takeover (output suppression breached)")
+        elif src_mac == topo.primary_mac and self._takeover_at is not None:
+            self._check("wire.primary-silent",
+                        ev.time <= self._takeover_at + _TAKEOVER_GRACE_NS,
+                        ev, conn,
+                        f"primary emitted a service-flow frame "
+                        f"{(ev.time - self._takeover_at) / 1e6:.1f} ms "
+                        f"after takeover (dual active)")
+
+    # ---------------------------------------------------- heartbeat layer
+
+    def _on_heartbeat(self, ev: ProbeEvent) -> None:
+        hb = ev.fields.get("hb")
+        if hb is None:
+            return
+        prev_seq = self._hb_seq.get(ev.source)
+        if prev_seq is not None:
+            self._check("hb.seq-monotone", hb.seq > prev_seq, ev, ev.source,
+                        f"heartbeat seq {hb.seq} after {prev_seq}")
+        self._hb_seq[ev.source] = hb.seq
+        for progress in hb.connections:
+            key = (ev.source, progress.key)
+            counters = (progress.last_byte_received,
+                        progress.last_ack_received,
+                        progress.last_app_byte_written,
+                        progress.last_app_byte_read)
+            prev = self._hb_progress.get(key)
+            if prev is not None:
+                ok = all(now >= before for now, before
+                         in zip(counters, prev))
+                self._check("hb.progress-monotone", ok, ev,
+                            f"{ev.source}:{progress.key}",
+                            f"progress counters retreated {prev} -> "
+                            f"{counters}")
+            self._hb_progress[key] = counters
+
+    # -------------------------------------------------------- sttcp layer
+
+    def _on_takeover(self, ev: ProbeEvent) -> None:
+        if "key" in ev.fields:
+            return   # per-connection logger-recovery completion, not a
+                     # second engine-level takeover
+        if self._takeover_at is None:
+            self._takeover_at = ev.time
+        self.checks["sttcp.single-active"] += 1
+        if self._takeover_sources and ev.source not in self._takeover_sources:
+            self._fail("sttcp.single-active", ev, ev.source,
+                       f"second takeover (already taken over by "
+                       f"{sorted(self._takeover_sources)})")
+        if self._nonft_sources:
+            self._fail("sttcp.single-active", ev, ev.source,
+                       f"takeover after non-FT mode on "
+                       f"{sorted(self._nonft_sources)} (split brain)")
+        self._takeover_sources.add(ev.source)
+
+    def _on_non_ft(self, ev: ProbeEvent) -> None:
+        self.checks["sttcp.single-active"] += 1
+        if self._takeover_sources:
+            self._fail("sttcp.single-active", ev, ev.source,
+                       f"non-FT mode after takeover by "
+                       f"{sorted(self._takeover_sources)} (split brain)")
+        self._nonft_sources.add(ev.source)
+
+    def _on_replicated(self, ev: ProbeEvent) -> None:
+        key = ev.fields.get("key")
+        if key is None:
+            return
+        # A fresh replica announcement restarts the progress space for
+        # that connection key (e.g. a client port reused after close).
+        for tracked in [t for t in self._hb_progress if t[1] == key]:
+            del self._hb_progress[tracked]
+
+
+class CheckedRun:
+    """Attach an oracle for the duration of a ``with`` block and raise
+    :class:`InvariantViolationError` on exit if anything tripped.
+
+    ::
+
+        with CheckedRun(tb.world, CheckTopology.from_testbed(tb)):
+            tb.run_until(60)
+    """
+
+    def __init__(self, world, topology: Optional[CheckTopology] = None,
+                 raise_on_violation: bool = True):
+        self.oracle = InvariantOracle(world, topology)
+        self.raise_on_violation = raise_on_violation
+
+    def __enter__(self) -> InvariantOracle:
+        return self.oracle.attach()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.oracle.detach()
+        if (exc_type is None and self.raise_on_violation
+                and self.oracle.violations):
+            raise InvariantViolationError(self.oracle.violations)

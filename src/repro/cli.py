@@ -16,6 +16,10 @@ Every command accepts ``--obs-out DIR`` to export observability
 artifacts (counter snapshot, per-connection TCP timeline, pcap-style
 frame log — see ``docs/observability.md``) and ``--obs-level`` to pick
 how much is recorded.  Exports are deterministic per seed.
+
+Every command also accepts ``--check``: the run is validated against the
+protocol invariant oracle (``docs/invariants.md``) and the process exits
+2 if any invariant was breached.
 """
 
 from __future__ import annotations
@@ -29,8 +33,11 @@ from repro.obs.export import OBS_LEVELS
 
 
 def _obs_kwargs(args) -> dict:
-    """Runner kwargs to attach an ObsSession when --obs-out was given."""
-    return {"obs_level": args.obs_level} if args.obs_out else {}
+    """Runner kwargs for --obs-out (ObsSession) and --check (oracle)."""
+    kwargs = {"obs_level": args.obs_level} if args.obs_out else {}
+    if args.check:
+        kwargs["check"] = True
+    return kwargs
 
 
 def _export_obs(obs, args, subdir: str = "") -> None:
@@ -103,6 +110,8 @@ def _demo2(args) -> int:
 
 def _demo3(args) -> int:
     from repro.apps.filetransfer import FileClient, FileServer
+    from repro.check.oracle import (CheckTopology, InvariantOracle,
+                                    InvariantViolationError)
     from repro.obs.export import ObsSession
     from repro.scenarios.builder import build_testbed
 
@@ -112,6 +121,11 @@ def _demo3(args) -> int:
         tb = build_testbed(seed=args.seed, enable_sttcp=enabled)
         obs = (ObsSession(tb.world, level=args.obs_level)
                if args.obs_out else None)
+        # Demo 3 builds its testbed inline, so it attaches the oracle
+        # itself; wire-role hints only make sense with ST-TCP on.
+        oracle = (InvariantOracle(
+            tb.world, CheckTopology.from_testbed(tb) if enabled else None)
+            .attach() if args.check else None)
         FileServer(tb.primary, "fs-p", port=80).start()
         if enabled:
             FileServer(tb.backup, "fs-b", port=80).start()
@@ -126,6 +140,10 @@ def _demo3(args) -> int:
             obs.finalize()
             _export_obs(obs, args,
                         subdir="sttcp_on" if enabled else "sttcp_off")
+        if oracle is not None:
+            oracle.detach()
+            if oracle.violations:
+                raise InvariantViolationError(oracle.violations)
     overhead = (times[True] - times[False]) / times[False] * 100
     print(format_table(
         ["configuration", "transfer time"],
@@ -253,6 +271,10 @@ def main(argv=None) -> int:
         p.add_argument("--obs-level", choices=OBS_LEVELS, default="frames",
                        help="how much to record when --obs-out is given "
                             "(default: frames)")
+        p.add_argument("--check", action="store_true",
+                       help="validate the run against the protocol "
+                            "invariant oracle (docs/invariants.md); "
+                            "exit 2 on any violation")
         if name == "demo2":
             p.add_argument("--hb", type=int, nargs="+",
                            default=[200, 500, 1000],
@@ -266,6 +288,15 @@ def main(argv=None) -> int:
             print(f"  {name:8s} {help_text}")
         return 0
     handler, _help = _COMMANDS[args.command]
+    if args.check:
+        from repro.check.oracle import InvariantViolationError
+        try:
+            rc = handler(args)
+        except InvariantViolationError as exc:
+            print(f"\ninvariant check FAILED:\n{exc}", file=sys.stderr)
+            return 2
+        print("\ninvariant check: clean")
+        return rc
     return handler(args)
 
 

@@ -108,6 +108,9 @@ _ALL_PROBES = [
     _spec("tcp.retransmit", "a segment was retransmitted "
           "(kind: rto/fast/head/fin)",
           "repro.tcp.connection.TcpConnection", traced=False),
+    _spec("tcp.deliver", "in-order bytes became readable "
+          "(fields: off/len — the exactly-once delivery tap)",
+          "repro.tcp.connection.TcpConnection", traced=False),
     _spec("tcp.accept", "a listener accepted a new connection",
           "repro.tcp.stack.TcpStack._accept", traced=False),
     _spec("tcp.rst", "an RST was emitted for a segment matching no endpoint",
@@ -117,6 +120,9 @@ _ALL_PROBES = [
           "repro.sttcp.heartbeat.HeartbeatService._tick"),
     _spec("hb.recv", "a heartbeat arrived on one link",
           "repro.sttcp.heartbeat.HeartbeatService._receive"),
+    _spec("hb.state", "full heartbeat payload tap (fields: hb — the "
+          "Heartbeat object with its per-connection progress counters)",
+          "repro.sttcp.heartbeat.HeartbeatService._tick", traced=False),
     _spec("hb.miss", "a heartbeat link went stale (freshness transition)",
           "repro.sttcp.engine.SttcpEngine.check_links", traced=False),
     _spec("sttcp.suppress", "the backup generated-and-dropped one segment",

@@ -13,6 +13,8 @@ from typing import Callable, Optional
 
 from repro.sim.core import NS_PER_S, seconds
 from repro.apps.streaming import StreamClient, StreamServer
+from repro.check.oracle import (CheckTopology, InvariantOracle,
+                                InvariantViolationError)
 from repro.faults.faults import Fault
 from repro.metrics.monitor import ClientStreamMonitor
 from repro.metrics.timeline import FailoverTimeline, build_timeline
@@ -37,6 +39,9 @@ class FailoverResult:
     #: Attached when the experiment ran with ``obs_level`` set; call
     #: ``.write(out_dir)`` to export (see ``docs/observability.md``).
     obs: Optional[ObsSession] = None
+    #: Attached when the experiment ran with ``check=True``; zero
+    #: violations on a clean run (see ``docs/invariants.md``).
+    oracle: Optional[InvariantOracle] = None
 
     @property
     def stream_intact(self) -> bool:
@@ -64,15 +69,23 @@ def run_failover_experiment(
         config: Optional[SttcpConfig] = None,
         request_chunk: int = 0,
         obs_level: Optional[str] = None,
+        check: bool = False,
         **build_kwargs) -> FailoverResult:
     """The canonical Demo 1/2/4/5 shape: stream data, break something,
     verify the client never notices more than a glitch.
 
     ``obs_level`` (one of :data:`repro.obs.export.OBS_LEVELS`) attaches an
     :class:`~repro.obs.export.ObsSession` for the whole run and returns it
-    on the result, already finalized against the failover timeline."""
+    on the result, already finalized against the failover timeline.
+
+    ``check=True`` attaches the :class:`~repro.check.oracle.InvariantOracle`
+    (with full wire-topology hints) for the whole run and raises
+    :class:`~repro.check.oracle.InvariantViolationError` if any invariant
+    in ``docs/invariants.md`` is breached."""
     tb = build_testbed(seed=seed, config=config, **build_kwargs)
     obs = ObsSession(tb.world, level=obs_level) if obs_level else None
+    oracle = (InvariantOracle(tb.world, CheckTopology.from_testbed(tb))
+              .attach() if check else None)
     server_primary = StreamServer(tb.primary, "server-primary", port=80)
     server_backup = StreamServer(tb.backup, "server-backup", port=80)
     server_primary.start()
@@ -91,8 +104,12 @@ def run_failover_experiment(
                               tb.pair.primary.events, monitor)
     if obs is not None:
         obs.finalize(timeline=timeline)
+    if oracle is not None:
+        oracle.detach()
+        if oracle.violations:
+            raise InvariantViolationError(oracle.violations)
     return FailoverResult(tb, client, monitor, timeline, fault.description,
-                          obs=obs)
+                          obs=obs, oracle=oracle)
 
 
 @dataclass
@@ -104,6 +121,7 @@ class BaselineResult:
     monitor: ClientStreamMonitor
     fault_at: int
     obs: Optional[ObsSession] = None
+    oracle: Optional[InvariantOracle] = None
 
     @property
     def disruption_ns(self) -> Optional[int]:
@@ -118,16 +136,23 @@ def run_baseline_failover(total_bytes: int = 50_000_000,
                           seed: int = 3,
                           liveness_timeout_s: float = 2.0,
                           obs_level: Optional[str] = None,
+                          check: bool = False,
                           **build_kwargs) -> BaselineResult:
     """Demo 1's counterfactual: hot standby, no ST-TCP.
 
     The standby runs the same server app on its own address; the client
     must detect the outage itself (application timeout), reconnect, and
-    re-request.  The fault is a HW crash of the primary."""
+    re-request.  The fault is a HW crash of the primary.
+
+    ``check=True`` attaches the invariant oracle *without* topology
+    hints — in a plain hot-standby world the standby is entitled to
+    speak on the service port, so the ST-TCP wire-role invariants do
+    not apply."""
     from repro.faults.faults import HwCrash
 
     tb = build_testbed(seed=seed, enable_sttcp=False, **build_kwargs)
     obs = ObsSession(tb.world, level=obs_level) if obs_level else None
+    oracle = InvariantOracle(tb.world).attach() if check else None
     StreamServer(tb.primary, "server-primary", port=80).start()
     StreamServer(tb.backup, "server-backup", port=80).start()
     monitor = ClientStreamMonitor(tb.world)
@@ -143,4 +168,9 @@ def run_baseline_failover(total_bytes: int = 50_000_000,
     tb.run_until(run_until_s)
     if obs is not None:
         obs.finalize()
-    return BaselineResult(tb, client, monitor, fault_at, obs=obs)
+    if oracle is not None:
+        oracle.detach()
+        if oracle.violations:
+            raise InvariantViolationError(oracle.violations)
+    return BaselineResult(tb, client, monitor, fault_at, obs=obs,
+                          oracle=oracle)

@@ -100,6 +100,10 @@ class HeartbeatService:
             self.bytes_sent_serial += hb.size_bytes
         self._world.probes.fire("hb.send", self.name, "sent", seq=self._seq,
                                 extra=extra)
+        # Untraced payload tap: the invariant oracle reads the progress
+        # counters off the Heartbeat object (a reference, so this costs
+        # nothing to build).
+        self._world.probes.fire("hb.state", self.name, hb=hb)
 
     # -------------------------------------------------------------- receiving
 

@@ -37,9 +37,13 @@ class RenoCongestionControl:
         self.dupacks = 0
         if self.in_fast_recovery:
             if snd_una >= self._recovery_point:
-                # Full recovery: deflate to ssthresh.
+                # Full recovery: deflate to ssthresh.  CA credit from
+                # before the loss event is stale against the new, smaller
+                # cwnd — discard it (RFC 5681: growth restarts from the
+                # post-recovery window).
                 self.in_fast_recovery = False
                 self.cwnd = self.ssthresh
+                self._acked_accum = 0
             else:
                 # Partial ack: stay in recovery (NewReno-lite).
                 self.cwnd = max(self.ssthresh, self.cwnd - newly_acked + self.mss)

@@ -287,8 +287,11 @@ class TcpConnection:
         is suppressed anyway)."""
         before = self.recv_buffer.rcv_next
         newly = self.recv_buffer.receive(offset, data)
-        if newly and self.inorder_tap is not None:
-            self.inorder_tap(before, self.recv_buffer.peek_tail(newly))
+        if newly:
+            self.world.probes.fire("tcp.deliver", self.name,
+                                   off=before, len=newly)
+            if self.inorder_tap is not None:
+                self.inorder_tap(before, self.recv_buffer.peek_tail(newly))
         self._maybe_consume_peer_fin()
         if self.recv_buffer.readable:
             self.on_data_available()
@@ -446,6 +449,12 @@ class TcpConnection:
                 if self.cc.on_dupack(self.flight_size, self.snd_nxt_off):
                     self._trace("fast-retransmit", at=self.snd_una_off)
                     self._retransmit_head()
+                    # RFC 6298 (S5.3 discipline): the retransmission opens
+                    # a new loss-recovery epoch, so the RTO clock measures
+                    # from it.  Without this restart the timer armed at
+                    # the *last new ack* fires while the fast-retransmitted
+                    # head is still in flight, spuriously collapsing cwnd.
+                    self._restart_rtx()
         if ack_covers_fin and not self.fin_acked:
             self.fin_acked = True
             self._rtx_timer.stop()
@@ -498,8 +507,11 @@ class TcpConnection:
             return
         before = self.recv_buffer.rcv_next
         newly = self.recv_buffer.receive(off, segment.payload)
-        if newly and self.inorder_tap is not None:
-            self.inorder_tap(before, self.recv_buffer.peek_tail(newly))
+        if newly:
+            self.world.probes.fire("tcp.deliver", self.name,
+                                   off=before, len=newly)
+            if self.inorder_tap is not None:
+                self.inorder_tap(before, self.recv_buffer.peek_tail(newly))
         if newly == 0 and off > self.recv_buffer.rcv_next:
             # Out of order: immediate duplicate ack (triggers peer's
             # fast retransmit).
@@ -527,6 +539,17 @@ class TcpConnection:
         if self.peer_fin_off is None:
             self.peer_fin_off = off
             self._trace("peer-fin", off=off)
+            if not segment.payload and self.recv_buffer.rcv_next < off:
+                # Bare FIN beyond missing data: ack what we have now so
+                # the peer can fast-retransmit the gap (a bare FIN takes
+                # no _process_payload path, so nothing else acks it).
+                self._send_pure_ack()
+        elif self.peer_fin_consumed:
+            # Retransmitted FIN: our ack of it was lost.  Flush any
+            # pending delack and re-ack immediately, or the peer camps in
+            # LAST_ACK / FIN_WAIT_1 retransmitting its FIN until the
+            # give-up limit resets the connection.
+            self._send_pure_ack()
 
     def _maybe_consume_peer_fin(self) -> None:
         if (self.peer_fin_off is None or self.peer_fin_consumed
@@ -593,12 +616,21 @@ class TcpConnection:
     def _emit(self, segment: TcpSegment) -> None:
         self.segments_sent += 1
         self.bytes_sent += len(segment.payload)
+        # The extra sender-state fields (off/una/nxt/rcv_nxt/mss/ssthresh)
+        # feed the repro.check invariant oracle; see docs/invariants.md.
         self.world.probes.fire("tcp.segment_tx", self.name,
                                seq=segment.seq, ack=segment.ack,
                                flags=TcpFlags.describe(segment.flags),
                                len=len(segment.payload),
                                win=segment.window, cwnd=self.cc.cwnd,
-                               flight=self.flight_size)
+                               flight=self.flight_size,
+                               off=(seq_sub(segment.seq,
+                                            seq_add(self.iss, 1))
+                                    if self.iss is not None else None),
+                               una=self.snd_una_off, nxt=self.snd_nxt_off,
+                               rcv_nxt=self.recv_buffer.rcv_next,
+                               mss=self.config.mss,
+                               ssthresh=self.cc.ssthresh)
         self.transmit(segment)
 
     def _send_syn(self) -> None:
@@ -757,6 +789,9 @@ class TcpConnection:
         if self.snd_una_off < self.snd_nxt_off:
             length = min(self.config.mss, self.snd_nxt_off - self.snd_una_off)
             payload = self.send_buffer.get_range(self.snd_una_off, length)
+            if (self._timed_end is not None
+                    and self._timed_end <= self.snd_una_off + len(payload)):
+                self._timed_end = None  # Karn: the timed range was resent
             flags = TcpFlags.ACK
             if (self.fin_sent and self.snd_una_off + len(payload) == self.fin_off):
                 flags |= TcpFlags.FIN

@@ -1,14 +1,44 @@
-"""Shared fixtures: a bare world, a two-host LAN, and testbed factories."""
+"""Shared fixtures: a bare world, a two-host LAN, and testbed factories.
+
+Setting ``REPRO_CHECK=1`` in the environment additionally attaches the
+protocol invariant oracle (``docs/invariants.md``) to every ``World``
+any test constructs, and fails the test if a run breached an invariant.
+Tests that deliberately produce hostile or corrupted traffic opt out
+with ``@pytest.mark.no_invariant_check``.
+"""
 
 from __future__ import annotations
 
 import pytest
 
+from repro.check.autocheck import env_enabled, patch_worlds
 from repro.net.addresses import IPAddress
 from repro.net.cable import Cable
 from repro.net.switch import Switch
 from repro.sim.world import World
 from repro.host.host import Host
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "no_invariant_check: test produces deliberately invalid traffic; "
+        "skip the REPRO_CHECK=1 invariant oracle for it")
+
+
+@pytest.fixture(autouse=True)
+def _invariant_check(request):
+    """The ``REPRO_CHECK=1`` opt-in oracle (see module docstring)."""
+    if (not env_enabled()
+            or request.node.get_closest_marker("no_invariant_check")):
+        yield
+        return
+    with patch_worlds() as oracles:
+        yield
+    violations = [v for oracle in oracles for v in oracle.violations]
+    assert not violations, (
+        "invariant oracle tripped (REPRO_CHECK=1):\n"
+        + "\n".join(f"  {v}" for v in violations[:20]))
 
 
 @pytest.fixture

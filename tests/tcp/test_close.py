@@ -134,6 +134,38 @@ def test_fin_retransmitted_if_lost(world):
     assert "peer-closed" in pair.server.events   # retransmitted FIN arrived
 
 
+def test_retransmitted_fin_reacked_after_consumption(world):
+    """When the ack of a FIN is lost, the retransmitted FIN must be
+    re-acked even though the receiver already consumed the first copy —
+    otherwise the closer camps in FIN_WAIT_1 retransmitting its FIN
+    until the give-up limit resets the connection."""
+    from repro.tcp.segment import TcpSegment
+    lan = make_lan(world)
+    pair = TcpPair(lan)
+    pair.run(0.1)
+    server_conn = pair.accepted[0].connection
+    cable = lan.cables[1]          # client -> switch
+    original = cable.transmit
+    state = {"dropped": 0}
+
+    def drop_fin_ack(sender, frame):
+        segment = getattr(frame.payload, "payload", None)
+        if (isinstance(segment, TcpSegment) and not state["dropped"]
+                and server_conn.fin_sent and segment.ack_flag
+                and not segment.payload and not segment.fin):
+            state["dropped"] = 1
+            return
+        original(sender, frame)
+
+    cable.transmit = drop_fin_ack
+    pair.server_sock.close()       # server -> FIN_WAIT_1
+    pair.run(10)
+    assert state["dropped"] == 1
+    # One FIN retransmission, then the client's re-ack moved us on.
+    assert server_conn.state is TcpState.FIN_WAIT_2
+    assert server_conn.retransmissions == 1
+
+
 def test_time_wait_acks_retransmitted_fin(world):
     lan = make_lan(world)
     pair = TcpPair(lan)

@@ -63,6 +63,26 @@ def test_full_ack_exits_recovery_and_deflates():
     assert cc.cwnd == cc.ssthresh
 
 
+def test_recovery_exit_discards_stale_ca_credit():
+    """CA byte-count credit accumulated before a loss event must not
+    survive fast recovery: cwnd was re-derived from ssthresh, so old
+    credit would grow it a full MSS on the first trickle ack after."""
+    cc = make(iw=4)
+    cc.ssthresh = 4 * MSS  # congestion avoidance
+    for _ in range(3):     # accumulate 3*MSS of CA credit, no growth yet
+        cc.on_new_ack(MSS, snd_una=0)
+    assert cc.cwnd == 4 * MSS
+    flight = 8 * MSS
+    for _ in range(3):
+        cc.on_dupack(flight, snd_nxt=flight)
+    cc.on_new_ack(flight, snd_una=flight)  # full ack: exit recovery
+    assert not cc.in_fast_recovery
+    assert cc.cwnd == cc.ssthresh == 4 * MSS
+    # One small post-recovery ack must not instantly inflate cwnd.
+    cc.on_new_ack(MSS, snd_una=9 * MSS)
+    assert cc.cwnd == 4 * MSS
+
+
 def test_partial_ack_stays_in_recovery():
     cc = make(iw=10)
     flight = 8 * MSS

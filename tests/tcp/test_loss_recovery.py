@@ -108,6 +108,46 @@ def test_retransmission_limit_gives_up(world):
     assert any(e.startswith("reset") for e in pair.client.events)
 
 
+def test_fast_retransmit_restarts_rto_timer(world):
+    """RFC 6298 S5.3 discipline: a fast retransmit must restart the RTO
+    clock.  Direct-drive a connection against synthetic acks so the
+    timing is exact: with the timer left armed at the last *new* ack
+    (the old bug), the RTO fires at t=250ms while the fast-retransmitted
+    head is still in flight, spuriously collapsing the window."""
+    from repro.net.addresses import IPAddress
+    from repro.sim.core import millis
+    from repro.tcp.connection import TcpConnection
+    from repro.tcp.segment import TcpFlags
+    from repro.tcp.seq import seq_add
+
+    sent = []
+    conn = TcpConnection(world, "c", IPAddress("10.0.0.1"), 49152,
+                         IPAddress("10.0.0.2"), 80, transmit=sent.append)
+
+    def ack_at(ms, off):
+        seg = TcpSegment(80, 49152, seq=seq_add(5000, 1),
+                         ack=seq_add(1000, 1 + off),
+                         flags=TcpFlags.ACK, window=65535)
+        world.sim.schedule(millis(ms), lambda: conn.segment_arrived(seg))
+
+    conn.open_active(1000)
+    syn_ack = TcpSegment(80, 49152, seq=5000, ack=seq_add(1000, 1),
+                         flags=TcpFlags.SYN | TcpFlags.ACK, window=65535)
+    world.sim.schedule(millis(1), lambda: conn.segment_arrived(syn_ack))
+    # 5 segments at t=1.1ms; the 1ms handshake RTT clamps RTO to 200ms.
+    world.sim.schedule(millis(1) + 100_000, lambda: conn.write(b"x" * 7300))
+    ack_at(50, 1460)    # new ack: timer restarted, expiry t=250ms
+    ack_at(52, 1460)    # dupack 1
+    ack_at(54, 1460)    # dupack 2
+    ack_at(56, 1460)    # dupack 3 -> fast retransmit (re-arm: t=256ms)
+    ack_at(252, 7300)   # retransmitted head acked before the 256ms expiry
+    world.run(until=millis(300))
+    assert conn.cc.fast_retransmits == 1
+    assert conn.retransmissions == 1   # the fast retransmit, nothing else
+    assert conn.cc.timeouts == 0       # no spurious RTO at t=250ms
+    assert conn.snd_una_off == 7300
+
+
 def test_duplicate_segments_are_harmless(world):
     """A duplicating cable must not corrupt the stream (reassembly dedup)."""
     lan = make_lan(world)
