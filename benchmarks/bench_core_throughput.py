@@ -1,0 +1,119 @@
+"""Core simulator throughput on the 32-client workload.
+
+Measures the discrete-event kernel end to end — scheduler, NIC/cable
+frame handling, TCP, probe bus, pattern payloads — by timing the
+standard many-connection failover workload and reporting events/sec and
+wall-clock.  The committed ``BENCH_core_throughput.json`` at the repo
+root records the same machine's numbers before and after the hot-path
+optimization pass, so the perf trajectory is inspectable in review.
+
+Usage::
+
+    python benchmarks/bench_core_throughput.py                # measure
+    python benchmarks/bench_core_throughput.py --record after # + update json
+    python benchmarks/bench_core_throughput.py --quick        # CI smoke
+
+``--quick`` runs a scaled-down workload, writes its numbers to
+``benchmarks/results/BENCH_core_throughput_quick.json`` and exits
+non-zero if the run crashes or any connection loses its stream — the CI
+smoke leg.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+RESULT_JSON = REPO_ROOT / "BENCH_core_throughput.json"
+QUICK_JSON = pathlib.Path(__file__).parent / "results" / \
+    "BENCH_core_throughput_quick.json"
+
+# The canonical measurement workload: 32 clients, 32 streaming
+# connections with arrival churn, primary HW crash mid-run.
+FULL = dict(num_clients=32, connections=32, bytes_per_conn=500_000,
+            mean_interarrival_s=0.02, fault_at_s=1.0, run_until_s=45.0)
+QUICK = dict(num_clients=8, connections=8, bytes_per_conn=40_000,
+             mean_interarrival_s=0.02, fault_at_s=0.5, run_until_s=20.0)
+
+
+def run_workload(params: dict, seed: int = 3) -> dict:
+    """One timed run; returns the measurement record."""
+    from repro.scenarios.options import RunOptions
+    from repro.workloads import WorkloadSpec, run_workload_failover
+
+    spec = WorkloadSpec(kind="stream",
+                        connections=params["connections"],
+                        bytes_per_conn=params["bytes_per_conn"],
+                        mean_interarrival_s=params["mean_interarrival_s"])
+    start = time.perf_counter()
+    result = run_workload_failover(
+        spec, num_clients=params["num_clients"],
+        fault_at_s=params["fault_at_s"],
+        options=RunOptions(seed=seed, run_until_s=params["run_until_s"]))
+    wall_s = time.perf_counter() - start
+    sim = result.testbed.world.sim
+    return {
+        "events": sim.events_processed,
+        "wall_s": round(wall_s, 3),
+        "events_per_sec": round(sim.events_processed / wall_s),
+        "sim_seconds": round(sim.now / 1e9, 3),
+        "all_intact": result.all_intact,
+        "completed": result.engine.completed_count,
+        "connections": len(result.records),
+    }
+
+
+def measure(params: dict, repeats: int = 2) -> dict:
+    """Best-of-N timing (the kernel is deterministic; wall clock is not)."""
+    runs = [run_workload(params) for _ in range(repeats)]
+    return min(runs, key=lambda r: r["wall_s"])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="scaled-down CI smoke run")
+    parser.add_argument("--record", choices=("before", "after"),
+                        help="store this measurement in "
+                             "BENCH_core_throughput.json")
+    parser.add_argument("--repeats", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    params = QUICK if args.quick else FULL
+    record = measure(params, repeats=args.repeats)
+    print(json.dumps({"workload": params, "result": record}, indent=2))
+
+    if args.quick:
+        QUICK_JSON.parent.mkdir(exist_ok=True)
+        QUICK_JSON.write_text(json.dumps(
+            {"benchmark": "core_throughput_quick", "workload": params,
+             "result": record}, indent=2) + "\n")
+        print(f"\nquick results -> {QUICK_JSON}")
+        if not record["all_intact"]:
+            print("FAIL: not every connection kept its stream intact",
+                  file=sys.stderr)
+            return 1
+        return 0
+
+    if args.record:
+        data = (json.loads(RESULT_JSON.read_text())
+                if RESULT_JSON.exists() else
+                {"benchmark": "core_throughput", "workload": params})
+        data[args.record] = record
+        if "before" in data and "after" in data:
+            data["speedup_events_per_sec"] = round(
+                data["after"]["events_per_sec"]
+                / data["before"]["events_per_sec"], 2)
+        RESULT_JSON.write_text(json.dumps(data, indent=2) + "\n")
+        print(f"\nrecorded '{args.record}' -> {RESULT_JSON}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

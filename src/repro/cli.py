@@ -32,12 +32,14 @@ from repro.metrics.report import banner, format_duration, format_table
 from repro.obs.export import OBS_LEVELS
 
 
-def _obs_kwargs(args) -> dict:
-    """Runner kwargs for --obs-out (ObsSession) and --check (oracle)."""
-    kwargs = {"obs_level": args.obs_level} if args.obs_out else {}
-    if args.check:
-        kwargs["check"] = True
-    return kwargs
+def _run_options(args, run_until_s: float = 60.0):
+    """The shared RunOptions every demo hands its runner — one place maps
+    CLI flags (--seed/--obs-out/--obs-level/--check) onto the API."""
+    from repro.scenarios.options import RunOptions
+
+    return RunOptions(seed=args.seed, run_until_s=run_until_s,
+                      obs_level=args.obs_level if args.obs_out else None,
+                      check=args.check)
 
 
 def _export_obs(obs, args, subdir: str = "") -> None:
@@ -57,13 +59,13 @@ def _demo1(args) -> int:
                                         run_failover_experiment)
 
     print("Demo 1: 30 MB stream, primary HW crash at t=1s")
+    options = _run_options(args)
     sttcp = run_failover_experiment(
         lambda tb, sp, sb: HwCrash(tb.primary),
-        total_bytes=30_000_000, fault_at_s=1.0, run_until_s=60,
-        seed=args.seed, **_obs_kwargs(args))
+        total_bytes=30_000_000, fault_at_s=1.0, options=options)
     baseline = run_baseline_failover(
-        total_bytes=30_000_000, fault_at_s=1.0, run_until_s=60,
-        liveness_timeout_s=2.0, seed=args.seed, **_obs_kwargs(args))
+        total_bytes=30_000_000, fault_at_s=1.0,
+        liveness_timeout_s=2.0, options=options)
     rows = [
         ["ST-TCP", sttcp.client.reset_count, 0,
          format_duration(sttcp.glitch_ns),
@@ -93,10 +95,9 @@ def _demo2(args) -> int:
     for period_ms in args.hb:
         result = run_failover_experiment(
             lambda tb, sp, sb: HwCrash(tb.primary),
-            total_bytes=30_000_000, fault_at_s=2.0, run_until_s=60,
-            seed=args.seed,
+            total_bytes=30_000_000, fault_at_s=2.0,
             config=SttcpConfig(hb_period_ns=millis(period_ms)),
-            **_obs_kwargs(args))
+            options=_run_options(args))
         _export_obs(result.obs, args, subdir=f"hb_{period_ms}ms")
         timeline = result.timeline
         rows.append([f"{period_ms} ms",
@@ -118,7 +119,8 @@ def _demo3(args) -> int:
     print(f"Demo 3: {args.size / 1e6:.0f} MB transfer, ST-TCP on vs off")
     times = {}
     for enabled in (True, False):
-        tb = build_testbed(seed=args.seed, enable_sttcp=enabled)
+        tb = build_testbed(seed=args.seed,
+                           mode="sttcp" if enabled else "baseline")
         obs = (ObsSession(tb.world, level=args.obs_level)
                if args.obs_out else None)
         # Demo 3 builds its testbed inline, so it attaches the oracle
@@ -167,8 +169,8 @@ def _demo4(args) -> int:
             ("OS cleanup (FIN)", "app_crash_fin",
              lambda tb, sp, sb: AppCrashWithCleanup(sp))):
         result = run_failover_experiment(
-            fault, total_bytes=30_000_000, fault_at_s=1.0, run_until_s=60,
-            seed=args.seed, config=config, **_obs_kwargs(args))
+            fault, total_bytes=30_000_000, fault_at_s=1.0,
+            config=config, options=_run_options(args))
         _export_obs(result.obs, args, subdir=subdir)
         rows.append([label,
                      format_duration(result.timeline.detection_latency_ns),
@@ -191,8 +193,8 @@ def _demo5(args) -> int:
             ("backup NIC", lambda tb, sp, sb: NicFailure(tb.backup.nics[0]),
              "primary")):
         result = run_failover_experiment(
-            fault, total_bytes=30_000_000, fault_at_s=1.0, run_until_s=60,
-            seed=args.seed, **_obs_kwargs(args))
+            fault, total_bytes=30_000_000, fault_at_s=1.0,
+            options=_run_options(args))
         _export_obs(result.obs, args,
                     subdir=label.replace(" ", "_"))
         pair = result.testbed.pair
@@ -230,8 +232,8 @@ def _table1(args) -> int:
     rows = []
     for failure, location, fault in scenarios:
         result = run_failover_experiment(
-            fault, total_bytes=30_000_000, fault_at_s=1.0, run_until_s=60,
-            seed=args.seed, config=config, **_obs_kwargs(args))
+            fault, total_bytes=30_000_000, fault_at_s=1.0,
+            config=config, options=_run_options(args))
         slug = (failure.replace(" ", "_").replace("/", "-")
                 .replace("+", "-"))
         _export_obs(result.obs, args, subdir=f"{slug}_{location}")
@@ -245,6 +247,30 @@ def _table1(args) -> int:
     return 0
 
 
+def _workload(args) -> int:
+    from repro.workloads import WorkloadSpec, run_workload_failover
+
+    print(f"Workload: {args.connections} {args.kind} connections over "
+          f"{args.clients} clients, primary HW crash at t={args.fault_at}s")
+    spec = WorkloadSpec(kind=args.kind, connections=args.connections,
+                        bytes_per_conn=args.bytes,
+                        mean_interarrival_s=args.churn_ms / 1000.0)
+    result = run_workload_failover(
+        spec, num_clients=args.clients, fault_at_s=args.fault_at,
+        options=_run_options(args, run_until_s=args.run_until))
+    summary = result.summary()
+    print(format_table(
+        ["connections", "clients", "completed", "intact", "all intact"],
+        [[summary["connections"], summary["clients"], summary["completed"],
+          summary["intact"], "yes" if summary["all_intact"] else "NO"]]))
+    print("\ntimeline:", result.timeline.describe())
+    not_intact = [r for r in result.records if not r.stream_intact]
+    for record in not_intact[:10]:
+        print(f"  not intact: {record!r}")
+    _export_obs(result.obs, args)
+    return 0 if result.all_intact else 1
+
+
 _COMMANDS = {
     "demo1": (_demo1, "client-transparent seamless failover vs baseline"),
     "demo2": (_demo2, "failover time vs heartbeat frequency"),
@@ -252,6 +278,7 @@ _COMMANDS = {
     "demo4": (_demo4, "application crash failures"),
     "demo5": (_demo5, "NIC failures"),
     "table1": (_table1, "the full single-failure matrix"),
+    "workload": (_workload, "many-connection workload through a failover"),
 }
 
 
@@ -281,6 +308,18 @@ def main(argv=None) -> int:
                            help="heartbeat periods in ms")
         if name == "demo3":
             p.add_argument("--size", type=int, default=100_000_000)
+        if name == "workload":
+            p.add_argument("--kind", choices=("stream", "kv"),
+                           default="stream")
+            p.add_argument("--connections", type=int, default=32)
+            p.add_argument("--clients", type=int, default=32,
+                           help="client hosts on the switch")
+            p.add_argument("--bytes", type=int, default=100_000,
+                           help="payload bytes per stream connection")
+            p.add_argument("--churn-ms", type=float, default=20.0,
+                           help="mean interarrival gap between connections")
+            p.add_argument("--fault-at", type=float, default=1.0)
+            p.add_argument("--run-until", type=float, default=60.0)
     args = parser.parse_args(argv)
     if args.command in (None, "list"):
         print(banner("ST-TCP demonstrations"))

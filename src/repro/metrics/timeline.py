@@ -69,11 +69,15 @@ _DETECTION_KINDS = (EventKind.PEER_CRASH_DETECTED,
 
 
 def build_timeline(fault_at: Optional[int],
-                   backup_events: EngineEventLog,
+                   backup_events: Optional[EngineEventLog],
                    primary_events: Optional[EngineEventLog] = None,
                    monitor: Optional[ClientStreamMonitor] = None
                    ) -> FailoverTimeline:
-    """Collate a timeline from the experiment's observation points."""
+    """Collate a timeline from the experiment's observation points.
+
+    Every observation point is optional: a baseline run (no ST-TCP
+    engines) passes ``None`` for both event logs and still gets the fault
+    marker and the monitor-derived resumption instant."""
     timeline = FailoverTimeline(fault_at=fault_at)
     for log in (backup_events, primary_events):
         if log is None:
@@ -87,9 +91,10 @@ def build_timeline(fault_at: Optional[int],
         stonith = log.first(EventKind.STONITH)
         if stonith is not None and timeline.stonith_at is None:
             timeline.stonith_at = stonith.time
-    takeover = backup_events.first(EventKind.TAKEOVER)
-    if takeover is not None:
-        timeline.takeover_at = takeover.time
+    if backup_events is not None:
+        takeover = backup_events.first(EventKind.TAKEOVER)
+        if takeover is not None:
+            timeline.takeover_at = takeover.time
     if primary_events is not None:
         non_ft = primary_events.first(EventKind.NON_FT_MODE)
         if non_ft is not None:

@@ -35,6 +35,9 @@ class CableEndpoint(Protocol):
 class Cable:
     """A full-duplex link with bandwidth, latency, loss and cut semantics."""
 
+    # No __slots__: tests stub ``transmit`` on individual cable instances
+    # to model targeted frame drops.
+
     def __init__(self, world: World, a: CableEndpoint, b: CableEndpoint,
                  bandwidth_bps: int = 100_000_000,
                  propagation_delay_ns: int = 1_000,
@@ -45,6 +48,7 @@ class Cable:
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
         self._world = world
+        self._sim = world.sim
         self._ends = (a, b)
         self.bandwidth_bps = bandwidth_bps
         self.propagation_delay_ns = propagation_delay_ns
@@ -53,10 +57,11 @@ class Cable:
         self._rng = world.rng.stream(f"cable.{self.name}")
         self._cut = False
         # Per-direction time at which the transmitter becomes free again.
-        self._tx_free_at = {0: 0, 1: 0}
+        self._tx_free_at = [0, 0]
         self.frames_delivered = 0
         self.frames_lost = 0
         self.bytes_delivered = 0
+        self._deliver_label = f"{self.name}.deliver"
 
     # ------------------------------------------------------------- topology
 
@@ -104,9 +109,14 @@ class Cable:
         if self._cut:
             self.frames_lost += 1
             return
-        direction = self._direction(sender)
-        now = self._world.sim.now
-        start = max(now, self._tx_free_at[direction])
+        ends = self._ends
+        direction = 0 if sender is ends[0] else 1
+        if direction and sender is not ends[1]:
+            raise ValueError(f"{sender!r} is not attached to {self.name}")
+        sim = self._sim
+        now = sim.now
+        free_at = self._tx_free_at[direction]
+        start = now if now >= free_at else free_at
         tx_time = (frame.size_bytes * 8 * 1_000_000_000) // self.bandwidth_bps
         self._tx_free_at[direction] = start + tx_time
         arrival_delay = (start - now) + tx_time + self.propagation_delay_ns
@@ -115,9 +125,8 @@ class Cable:
             self._world.probes.fire("eth.frame_lost", self.name, "frame lost",
                                     size=frame.size_bytes)
             return
-        receiver = self.other_end(sender)
-        self._world.sim.schedule(arrival_delay, self._deliver, receiver, frame,
-                                 label=f"{self.name}.deliver")
+        sim.schedule(arrival_delay, self._deliver, ends[1 - direction], frame,
+                     label=self._deliver_label)
 
     def _deliver(self, receiver: CableEndpoint, frame: EthernetFrame) -> None:
         if self._cut:  # cut while the frame was in flight

@@ -38,7 +38,7 @@ class EtherType:
     ARP = "arp"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EthernetFrame:
     """An L2 frame: dst/src MAC, ethertype tag, structured payload."""
 
@@ -46,14 +46,17 @@ class EthernetFrame:
     src: MacAddress
     ethertype: str
     payload: Any = field(repr=False)
+    # On-wire size honouring the Ethernet minimum frame size; cached
+    # because cables and NICs read it several times per hop.
+    size_bytes: int = field(init=False, repr=False, compare=False)
 
-    @property
-    def size_bytes(self) -> int:
-        """On-wire size, honouring the Ethernet minimum frame size."""
+    def __post_init__(self) -> None:
         payload_size = getattr(self.payload, "size_bytes", None)
         if payload_size is None:
             payload_size = len(self.payload)
-        return max(ETHERNET_MIN_FRAME_BYTES, ETHERNET_HEADER_BYTES + payload_size)
+        object.__setattr__(
+            self, "size_bytes",
+            max(ETHERNET_MIN_FRAME_BYTES, ETHERNET_HEADER_BYTES + payload_size))
 
     def __str__(self) -> str:
         return (f"Frame[{self.src} -> {self.dst} {self.ethertype} "

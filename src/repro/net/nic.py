@@ -25,6 +25,11 @@ __all__ = ["Nic"]
 class Nic:
     """A single Ethernet interface attached to a host."""
 
+    __slots__ = ("_world", "name", "mac", "multicast_groups", "promiscuous",
+                 "_cable", "_failed", "power_gate", "_upper", "frames_sent",
+                 "frames_received", "bytes_sent", "bytes_received",
+                 "frames_filtered")
+
     def __init__(self, world: World, name: str, mac: MacAddress):
         self._world = world
         self.name = name
@@ -94,7 +99,9 @@ class Nic:
             return
         self.frames_sent += 1
         self.bytes_sent += frame.size_bytes
-        self._world.probes.fire("nic.tx", self.name, size=frame.size_bytes)
+        probes = self._world.probes
+        if probes.wants("nic.tx"):
+            probes.fire("nic.tx", self.name, size=frame.size_bytes)
         self._cable.transmit(self, frame)
 
     def receive_frame(self, frame: EthernetFrame) -> None:
@@ -106,7 +113,9 @@ class Nic:
             return
         self.frames_received += 1
         self.bytes_received += frame.size_bytes
-        self._world.probes.fire("nic.rx", self.name, size=frame.size_bytes)
+        probes = self._world.probes
+        if probes.wants("nic.rx"):
+            probes.fire("nic.rx", self.name, size=frame.size_bytes)
         if self._upper is not None:
             self._upper(frame)
 

@@ -20,7 +20,7 @@ class IPProtocol:
     ICMP = "icmp"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IPPacket:
     """An IPv4 packet with a structured transport payload.
 
@@ -33,14 +33,15 @@ class IPPacket:
     protocol: str
     payload: Any = field(repr=False)
     ttl: int = 64
+    # On-wire size (IP header + payload); cached because the link layer
+    # reads it several times per hop.
+    size_bytes: int = field(init=False, repr=False, compare=False)
 
-    @property
-    def size_bytes(self) -> int:
-        """On-wire packet size (IP header + payload)."""
+    def __post_init__(self) -> None:
         payload_size = getattr(self.payload, "size_bytes", None)
         if payload_size is None:
             payload_size = len(self.payload)
-        return IP_HEADER_BYTES + payload_size
+        object.__setattr__(self, "size_bytes", IP_HEADER_BYTES + payload_size)
 
     def decremented(self) -> "IPPacket":
         """Copy with TTL reduced by one (used when forwarding)."""

@@ -26,6 +26,8 @@ __all__ = ["Switch", "SwitchPort"]
 class SwitchPort:
     """One port of a switch — a cable endpoint that hands frames inward."""
 
+    __slots__ = ("switch", "index", "name", "cable")
+
     def __init__(self, switch: "Switch", index: int):
         self.switch = switch
         self.index = index
@@ -59,6 +61,7 @@ class Switch:
         self.frames_forwarded = 0
         self.frames_flooded = 0
         self.frames_mirrored = 0
+        self._fwd_label = f"{name}.fwd"
 
     def new_port(self) -> SwitchPort:
         """Allocate a fresh port (call before cabling a device to it)."""
@@ -80,19 +83,22 @@ class Switch:
         if not frame.src.is_multicast:
             self._mac_table[frame.src] = port
         self._world.sim.schedule(self.forwarding_delay_ns, self._forward,
-                                 port, frame, label=f"{self.name}.fwd")
+                                 port, frame, label=self._fwd_label)
 
     def _forward(self, ingress: SwitchPort, frame: EthernetFrame) -> None:
+        probes = self._world.probes
         # The pcap tap: every frame crossing the fabric, exactly once.
-        self._world.probes.fire("eth.frame", self.name, frame=frame,
-                                ingress=ingress.index)
+        if probes.wants("eth.frame"):
+            probes.fire("eth.frame", self.name, frame=frame,
+                        ingress=ingress.index)
         dst = frame.dst
         if not dst.is_multicast:
             learned = self._mac_table.get(dst)
             if learned is not None and learned is not ingress:
                 self.frames_forwarded += 1
-                self._world.probes.fire("eth.forward", self.name, "forward",
-                                        dst=str(dst), port=learned.index)
+                if probes.wants("eth.forward"):
+                    probes.fire("eth.forward", self.name, "forward",
+                                dst=str(dst), port=learned.index)
                 learned.transmit(frame)
                 if (self._mirror_port is not None
                         and self._mirror_port is not learned
@@ -104,7 +110,8 @@ class Switch:
                 return  # destination is on the ingress segment; drop
         # Multicast, broadcast, or unknown unicast: flood.
         self.frames_flooded += 1
-        self._world.probes.fire("eth.flood", self.name, "flood", dst=str(dst))
+        if probes.wants("eth.flood"):
+            probes.fire("eth.flood", self.name, "flood", dst=str(dst))
         for port in self.ports:
             if port is not ingress:
                 port.transmit(frame)

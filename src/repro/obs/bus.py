@@ -6,10 +6,12 @@ emit directly (same category, source, message and fields), so existing
 trace-based tests see identical output.  Non-traced probes (the
 high-volume packet taps) reach only bus subscribers.
 
-The design goal is zero overhead when nobody is listening: with no
-subscriber for a probe and no wildcard subscriber, :meth:`ProbeBus.fire`
-builds no event object — the only cost is two dict lookups (and, for
-traced probes, the ``TraceLog.record`` call that was already there).
+The design goal is zero overhead when nobody is listening.  Hot emitters
+ask :meth:`ProbeBus.wants` first — a single cached dict lookup — and skip
+building their field values entirely when a fire would reach no
+subscriber, no wildcard, and (for traced probes) no enabled trace
+category.  The cache is invalidated on every subscription change and
+whenever the trace log's category filter changes.
 """
 
 from __future__ import annotations
@@ -41,16 +43,29 @@ class ProbeEvent:
 
 Subscriber = Callable[[ProbeEvent], None]
 
+# (spec, default message) per probe name, shared by every bus instance —
+# the registry is immutable, so this is computed once at import.
+_PROBE_INFO: dict[str, tuple[ProbeSpec, str]] = {
+    name: (spec, name.split(".", 1)[1] if "." in name else name)
+    for name, spec in PROBES.items()}
+
 
 class ProbeBus:
     """Named probe points with per-probe and wildcard subscribers."""
+
+    __slots__ = ("_clock", "_trace", "_subs", "_all", "_wants", "fired")
 
     def __init__(self, clock: Callable[[], int], trace=None):
         self._clock = clock
         self._trace = trace
         self._subs: dict[str, list[Subscriber]] = {}
         self._all: list[Subscriber] = []
+        # probe -> "would a fire do any work"; lazily filled, cleared on
+        # any subscription or trace-filter change.
+        self._wants: dict[str, bool] = {}
         self.fired = 0  # probes that actually built an event for a subscriber
+        if trace is not None:
+            trace.on_filter_change(self._invalidate)
 
     # ---------------------------------------------------------- subscribing
 
@@ -58,11 +73,13 @@ class ProbeBus:
         """Attach ``callback`` to one probe point; returns the callback."""
         self._spec(probe)  # validate the name early
         self._subs.setdefault(probe, []).append(callback)
+        self._wants.clear()
         return callback
 
     def subscribe_all(self, callback: Subscriber) -> Subscriber:
         """Attach ``callback`` to every probe point."""
         self._all.append(callback)
+        self._wants.clear()
         return callback
 
     def unsubscribe(self, callback: Subscriber) -> None:
@@ -72,12 +89,34 @@ class ProbeBus:
                 subs.remove(callback)
         while callback in self._all:
             self._all.remove(callback)
+        self._wants.clear()
 
     def enabled(self, probe: str) -> bool:
         """True when a fire of ``probe`` would reach at least one
         subscriber — hot paths may use this to skip building expensive
         field values."""
         return bool(self._subs.get(probe)) or bool(self._all)
+
+    def wants(self, probe: str) -> bool:
+        """True when a fire of ``probe`` would do *any* work — reach a
+        subscriber, a wildcard, or (for traced probes) an enabled trace
+        category.  One cached dict lookup: hot emitters guard with this
+        and skip building field values entirely."""
+        cached = self._wants.get(probe)
+        if cached is not None:
+            return cached
+        return self._compute_wants(probe)
+
+    def _compute_wants(self, probe: str) -> bool:
+        spec = self._spec(probe)
+        value = bool(self._subs.get(probe)) or bool(self._all)
+        if not value and spec.traced and self._trace is not None:
+            value = self._trace.wants(spec.category)
+        self._wants[probe] = value
+        return value
+
+    def _invalidate(self) -> None:
+        self._wants.clear()
 
     # --------------------------------------------------------------- firing
 
@@ -90,13 +129,17 @@ class ProbeBus:
         :class:`~repro.obs.registry.UnknownProbeError` — the registry is
         the single source of truth, so drift fails fast.
         """
-        spec = self._spec(probe)
+        info = _PROBE_INFO.get(probe)
+        if info is None:
+            self._spec(probe)  # raises UnknownProbeError with the hint
+            raise AssertionError("unreachable")  # pragma: no cover
+        spec, default_message = info
         subs = self._subs.get(probe)
         if subs or self._all:
             self.fired += 1
             event = ProbeEvent(self._clock(), probe, spec.category, source,
                                message if message is not None
-                               else probe.split(".", 1)[1], fields)
+                               else default_message, fields)
             for callback in subs or ():
                 callback(event)
             for callback in self._all:
@@ -104,7 +147,7 @@ class ProbeBus:
         if spec.traced and self._trace is not None:
             self._trace.record(spec.category, source,
                                message if message is not None
-                               else probe.split(".", 1)[1], **fields)
+                               else default_message, **fields)
 
     # ----------------------------------------------------------------- misc
 

@@ -8,12 +8,18 @@
   frame to both servers;
 * a null-modem serial cable between the servers for the secondary HB link;
 * a shared power strip (STONITH) reaching both servers.
+
+``build_testbed(num_clients=N)`` generalizes the client side to N hosts —
+same switch, same servers, same serviceIP trick — for the many-connection
+workloads in :mod:`repro.workloads`.  Client 0 keeps the exact Figure-2
+addresses (and stays the gateway); extra clients get addresses from
+:meth:`Addresses.client_plan`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import NamedTuple, Optional, Union
 
 from repro.net.addresses import IPAddress, MacAddress
 from repro.net.cable import Cable
@@ -26,13 +32,33 @@ from repro.tcp.connection import TcpConfig
 from repro.host.host import Host
 from repro.host.power import PowerStrip
 from repro.faults.injector import FaultInjector
+from repro.scenarios.options import DEFAULT_TRACE_CATEGORIES
 from repro.sttcp.config import SttcpConfig
 from repro.sttcp.manager import SttcpPair
 
-__all__ = ["Testbed", "Addresses", "build_testbed", "DEFAULT_TRACE_CATEGORIES"]
+__all__ = ["Testbed", "Addresses", "LoggerAttachment", "build_testbed",
+           "DEFAULT_TRACE_CATEGORIES"]
 
-# Tight enough for long benchmarks, rich enough to debug failures.
-DEFAULT_TRACE_CATEGORIES = {"fault", "power", "detect", "sttcp", "app"}
+#: The two testbed modes (``build_testbed(mode=...)``).
+MODES = ("sttcp", "baseline")
+
+# Generated address plan for client hosts beyond the canonical Figure-2
+# client (client 0): 10.0.1.1, 10.0.1.2, ... with MACs counted up from a
+# locally-administered base.
+_EXTRA_CLIENT_IP_BASE = IPAddress("10.0.1.1").value
+_EXTRA_CLIENT_MAC_BASE = MacAddress("02:00:00:01:00:00").value
+
+
+def _resolve_mode(mode: "Union[str, bool, None]", enable_sttcp: bool) -> str:
+    """Normalize the mode parameter; bools are accepted for back compat."""
+    if mode is None:
+        mode = enable_sttcp
+    if isinstance(mode, bool):
+        return "sttcp" if mode else "baseline"
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES} (or a bool), "
+                         f"got {mode!r}")
+    return mode
 
 
 @dataclass(frozen=True)
@@ -55,12 +81,35 @@ class Addresses:
     multi_ea: MacAddress = field(
         default_factory=lambda: MacAddress("03:00:5e:00:00:64"))
 
+    def client_plan(self, index: int) -> tuple[IPAddress, MacAddress]:
+        """Generated (IP, MAC) for client host ``index`` (0-based).
+
+        Client 0 is the canonical Figure-2 client; extra clients land on
+        10.0.<1+>.<x> (inside the /16 the multi-client testbed routes as
+        one subnet) with locally-administered MACs counted up from
+        ``02:00:00:01:00:00``.
+        """
+        if index == 0:
+            return self.client_ip, self.client_mac
+        ip = IPAddress(_EXTRA_CLIENT_IP_BASE + (index - 1))
+        mac = MacAddress(_EXTRA_CLIENT_MAC_BASE + index)
+        return ip, mac
+
+
+class LoggerAttachment(NamedTuple):
+    """What :meth:`Testbed.add_logger` built (tuple-unpackable for old
+    call sites: ``host, logger = tb.add_logger()``).  The logger's cable
+    is registered as ``testbed.cables["logger"]``."""
+
+    host: Host
+    logger: "object"  # StreamLogger (imported lazily in add_logger)
+
 
 class Testbed:
     """Everything the experiments touch, by name."""
 
     def __init__(self, world: World, addresses: Addresses, switch: Switch,
-                 client: Host, primary: Host, backup: Host,
+                 clients: list[Host], primary: Host, backup: Host,
                  cables: dict[str, Cable],
                  serial_link: Optional[SerialLink],
                  power_strip: PowerStrip,
@@ -69,7 +118,8 @@ class Testbed:
         self.world = world
         self.addresses = addresses
         self.switch = switch
-        self.client = client
+        #: All client hosts; ``clients[0]`` is the Figure-2 client/gateway.
+        self.clients = clients
         self.primary = primary
         self.backup = backup
         self.cables = cables
@@ -79,6 +129,11 @@ class Testbed:
         self.inject = injector
 
     # Convenience aliases used throughout tests and benches.
+    @property
+    def client(self) -> Host:
+        """The canonical Figure-2 client (first of :attr:`clients`)."""
+        return self.clients[0]
+
     @property
     def service_ip(self) -> IPAddress:
         """The shared serviceIP clients connect to."""
@@ -100,11 +155,12 @@ class Testbed:
         return self.cables["backup"]
 
     def add_logger(self, ip: str = "10.0.0.4",
-                   mac: str = "02:00:00:00:00:04"):
+                   mac: str = "02:00:00:00:00:04") -> LoggerAttachment:
         """Attach the Sec. 4.3 stream logger: a fourth machine on the
         switch, subscribed to multiEA, passively recording the client
         byte stream and serving fetch fallbacks.  Also points the backup
-        engine at it.  Returns ``(host, StreamLogger)``."""
+        engine at it.  Returns a :class:`LoggerAttachment` (still
+        unpackable as the historical ``(host, logger)`` pair)."""
         from repro.sttcp.logger import LOGGER_UDP_PORT, StreamLogger
 
         host = Host(self.world, "logger")
@@ -121,7 +177,7 @@ class Testbed:
         logger = StreamLogger(host, self.addresses.service_ip, service_port)
         if self.pair is not None:
             self.pair.backup.use_logger(ip, LOGGER_UDP_PORT)
-        return host, logger
+        return LoggerAttachment(host, logger)
 
     def run_for(self, seconds: float) -> int:
         """Advance virtual time by ``seconds``."""
@@ -145,43 +201,63 @@ def _cable_to_switch(world: World, nic: Nic, switch: Switch,
 def build_testbed(seed: int = 0,
                   config: Optional[SttcpConfig] = None,
                   tcp_config: Optional[TcpConfig] = None,
+                  mode: "Union[str, bool, None]" = None,
+                  num_clients: int = 1,
                   enable_sttcp: bool = True,
                   bandwidth_bps: int = 100_000_000,
                   propagation_delay_ns: int = 1_000,
                   backup_frame_cost_ns: int = 0,
                   primary_frame_cost_ns: int = 0,
                   mirror_to_backup: bool = False,
-                  trace_categories: Optional[set[str]] = DEFAULT_TRACE_CATEGORIES,
+                  trace_categories: Optional[frozenset] = DEFAULT_TRACE_CATEGORIES,
                   addresses: Optional[Addresses] = None) -> Testbed:
     """Build Figure 2.  Apps and faults are added by the caller.
 
-    ``enable_sttcp=False`` produces the same physical topology without the
-    ST-TCP pair — the non-fault-tolerant baseline of Demo 1/3.
+    ``mode`` selects the server side: ``"sttcp"`` (the paper's pair) or
+    ``"baseline"`` (same physical topology, no ST-TCP — the
+    non-fault-tolerant baseline of Demo 1/3).  A bool is accepted for back
+    compat with the deprecated ``enable_sttcp`` flag, which remains as a
+    shim (prefer ``mode=``).
+
+    ``num_clients`` attaches that many client hosts to the switch; all get
+    the static serviceIP→multiEA ARP entry, client 0 keeps the canonical
+    addresses and stays the gateway for the servers.  With more than one
+    client every NIC uses a /16 so the generated 10.0.1.x addresses are
+    on-link for the servers.
+
     ``mirror_to_backup=True`` (old architecture, ablation A1) mirrors all
     forwarded unicast traffic to the backup's switch port and puts its NIC
     in promiscuous mode, so the backup also processes the primary→client
     stream; combine with ``backup_frame_cost_ns`` to reproduce the
     overload the paper describes in Sec. 3.
     """
+    if num_clients < 1:
+        raise ValueError(f"num_clients must be >= 1, got {num_clients}")
+    resolved_mode = _resolve_mode(mode, enable_sttcp)
     addrs = addresses or Addresses()
     world = World(seed=seed, trace_categories=trace_categories)
     switch = Switch(world)
     config = config or SttcpConfig()
+    prefix_len = 24 if num_clients == 1 else 16
 
-    client = Host(world, "client", tcp_config=tcp_config)
+    clients = [Host(world, "client" if i == 0 else f"client{i}",
+                    tcp_config=tcp_config) for i in range(num_clients)]
     primary = Host(world, "primary", tcp_config=tcp_config,
                    frame_processing_cost_ns=primary_frame_cost_ns)
     backup = Host(world, "backup", tcp_config=tcp_config,
                   frame_processing_cost_ns=backup_frame_cost_ns)
 
-    client_nic = client.add_nic(addrs.client_mac, [addrs.client_ip],
-                                addrs.network)
+    client_nics = []
+    for i, host in enumerate(clients):
+        ip, mac = addrs.client_plan(i)
+        client_nics.append(host.add_nic(mac, [ip], addrs.network,
+                                        prefix_len=prefix_len))
     primary_nic = primary.add_nic(addrs.primary_mac,
                                   [addrs.primary_ip, addrs.service_ip],
-                                  addrs.network)
+                                  addrs.network, prefix_len=prefix_len)
     backup_nic = backup.add_nic(addrs.backup_mac,
                                 [addrs.backup_ip, addrs.service_ip],
-                                addrs.network)
+                                addrs.network, prefix_len=prefix_len)
     # Both servers subscribe to the multicast Ethernet address so the
     # flooded client traffic reaches them both.
     primary_nic.join_multicast(addrs.multi_ea)
@@ -189,14 +265,18 @@ def build_testbed(seed: int = 0,
 
     cables: dict[str, Cable] = {}
     ports: dict[str, SwitchPort] = {}
-    for name, nic in (("client", client_nic), ("primary", primary_nic),
-                      ("backup", backup_nic)):
+    wiring = [("client" if i == 0 else f"client{i}", nic)
+              for i, nic in enumerate(client_nics)]
+    wiring += [("primary", primary_nic), ("backup", backup_nic)]
+    for name, nic in wiring:
         cables[name], ports[name] = _cable_to_switch(
             world, nic, switch, bandwidth_bps, propagation_delay_ns)
 
-    # The client is the gateway; its static ARP entry aims serviceIP at the
-    # multicast address (the heart of the Figure-2 trick).
-    client.interfaces[0].arp.add_static(addrs.service_ip, addrs.multi_ea)
+    # Every client is the gateway for its own traffic; its static ARP
+    # entry aims serviceIP at the multicast address (the heart of the
+    # Figure-2 trick).
+    for host in clients:
+        host.interfaces[0].arp.add_static(addrs.service_ip, addrs.multi_ea)
     for host in (primary, backup):
         host.set_default_gateway(addrs.client_ip)
 
@@ -205,12 +285,12 @@ def build_testbed(seed: int = 0,
         backup_nic.promiscuous = True
 
     power_strip = PowerStrip(world)
-    for host in (client, primary, backup):
+    for host in (*clients, primary, backup):
         power_strip.register(host)
 
     serial_link: Optional[SerialLink] = None
     pair: Optional[SttcpPair] = None
-    if enable_sttcp:
+    if resolved_mode == "sttcp":
         primary_serial = primary.add_serial_port()
         backup_serial = backup.add_serial_port()
         if config.use_serial_hb:
@@ -226,5 +306,5 @@ def build_testbed(seed: int = 0,
                          backup_serial=backup_serial)
 
     injector = FaultInjector(world)
-    return Testbed(world, addrs, switch, client, primary, backup, cables,
+    return Testbed(world, addrs, switch, clients, primary, backup, cables,
                    serial_link, power_strip, pair, injector)

@@ -1,0 +1,85 @@
+"""One options surface for every experiment runner.
+
+Before this module each runner (and each CLI demo) grew its own ad-hoc
+keyword set — ``seed=...``, ``obs_level=...``, ``check=...``,
+``run_until_s=...`` — repeated and occasionally drifting.  A single
+:class:`RunOptions` value now travels through
+:func:`repro.scenarios.runner.run_failover_experiment`,
+:func:`repro.scenarios.runner.run_baseline_failover`,
+:func:`repro.workloads.runner.run_workload_failover` and the CLI, so an
+experiment's "how to run" is one composable object instead of a keyword
+cloud.
+
+The old per-runner keywords still work: each runner accepts them as thin
+back-compat shims (deprecated — prefer ``options=RunOptions(...)``) and
+folds explicitly-passed values over the supplied options via
+:func:`resolve_run_options`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.obs.export import OBS_LEVELS
+
+__all__ = ["RunOptions", "resolve_run_options", "DEFAULT_TRACE_CATEGORIES"]
+
+# Tight enough for long benchmarks, rich enough to debug failures.  The
+# canonical definition lives here; ``repro.scenarios.builder`` re-exports
+# it for back compatibility.
+DEFAULT_TRACE_CATEGORIES = frozenset(
+    {"fault", "power", "detect", "sttcp", "app"})
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """How to run an experiment — everything that is not *what* to run.
+
+    ``seed``
+        World RNG seed; equal seeds give byte-identical runs.
+    ``run_until_s``
+        Absolute virtual time to run the world to.
+    ``obs_level``
+        ``None`` (no observability session) or one of
+        :data:`repro.obs.export.OBS_LEVELS`; when set, the runner attaches
+        an :class:`~repro.obs.export.ObsSession` and returns it finalized.
+    ``check``
+        Attach the :class:`~repro.check.oracle.InvariantOracle` for the
+        whole run and raise on any violation.
+    ``trace_categories``
+        Trace-log category filter handed to the testbed builder
+        (``None`` records everything).
+    """
+
+    seed: int = 3
+    run_until_s: float = 60.0
+    obs_level: Optional[str] = None
+    check: bool = False
+    trace_categories: Optional[frozenset] = field(
+        default_factory=lambda: DEFAULT_TRACE_CATEGORIES)
+
+    def __post_init__(self) -> None:
+        if self.obs_level is not None and self.obs_level not in OBS_LEVELS:
+            raise ValueError(
+                f"obs_level must be None or one of {OBS_LEVELS}, "
+                f"got {self.obs_level!r}")
+
+    def with_(self, **changes) -> "RunOptions":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+def resolve_run_options(options: Optional[RunOptions] = None,
+                        **legacy) -> RunOptions:
+    """Merge deprecated per-runner keywords over an options object.
+
+    ``legacy`` holds the runner's old keyword arguments with ``None``
+    meaning "not passed"; any non-``None`` value overrides the
+    corresponding :class:`RunOptions` field, so old call sites keep their
+    exact behaviour while new ones pass ``options=`` alone.
+    """
+    opts = options if options is not None else RunOptions()
+    overrides = {key: value for key, value in legacy.items()
+                 if value is not None}
+    return replace(opts, **overrides) if overrides else opts

@@ -21,6 +21,7 @@ from repro.metrics.timeline import FailoverTimeline, build_timeline
 from repro.obs.export import ObsSession
 from repro.scenarios.baselines import ReconnectingStreamClient
 from repro.scenarios.builder import Testbed, build_testbed
+from repro.scenarios.options import RunOptions, resolve_run_options
 from repro.sttcp.config import SttcpConfig
 
 __all__ = ["FailoverResult", "run_failover_experiment",
@@ -64,28 +65,39 @@ def run_failover_experiment(
         make_fault: Callable[[Testbed, StreamServer, StreamServer], Fault],
         total_bytes: int = 50_000_000,
         fault_at_s: float = 2.0,
-        run_until_s: float = 60.0,
-        seed: int = 3,
+        run_until_s: Optional[float] = None,
+        seed: Optional[int] = None,
         config: Optional[SttcpConfig] = None,
         request_chunk: int = 0,
         obs_level: Optional[str] = None,
-        check: bool = False,
+        check: Optional[bool] = None,
+        options: Optional[RunOptions] = None,
         **build_kwargs) -> FailoverResult:
     """The canonical Demo 1/2/4/5 shape: stream data, break something,
     verify the client never notices more than a glitch.
 
-    ``obs_level`` (one of :data:`repro.obs.export.OBS_LEVELS`) attaches an
-    :class:`~repro.obs.export.ObsSession` for the whole run and returns it
-    on the result, already finalized against the failover timeline.
+    ``options`` (:class:`~repro.scenarios.options.RunOptions`) is the one
+    shared knob surface for seed / run length / observability / checking.
+    ``run_until_s``, ``seed``, ``obs_level`` and ``check`` remain as
+    deprecated per-keyword shims: when passed they override the
+    corresponding options field (prefer ``options=``).
+
+    With ``obs_level`` set (one of :data:`repro.obs.export.OBS_LEVELS`)
+    an :class:`~repro.obs.export.ObsSession` is attached for the whole run
+    and returned on the result, already finalized against the failover
+    timeline.
 
     ``check=True`` attaches the :class:`~repro.check.oracle.InvariantOracle`
     (with full wire-topology hints) for the whole run and raises
     :class:`~repro.check.oracle.InvariantViolationError` if any invariant
     in ``docs/invariants.md`` is breached."""
-    tb = build_testbed(seed=seed, config=config, **build_kwargs)
-    obs = ObsSession(tb.world, level=obs_level) if obs_level else None
+    opts = resolve_run_options(options, seed=seed, run_until_s=run_until_s,
+                               obs_level=obs_level, check=check)
+    build_kwargs.setdefault("trace_categories", opts.trace_categories)
+    tb = build_testbed(seed=opts.seed, config=config, **build_kwargs)
+    obs = ObsSession(tb.world, level=opts.obs_level) if opts.obs_level else None
     oracle = (InvariantOracle(tb.world, CheckTopology.from_testbed(tb))
-              .attach() if check else None)
+              .attach() if opts.check else None)
     server_primary = StreamServer(tb.primary, "server-primary", port=80)
     server_backup = StreamServer(tb.backup, "server-backup", port=80)
     server_primary.start()
@@ -99,7 +111,7 @@ def run_failover_experiment(
     fault = make_fault(tb, server_primary, server_backup)
     fault_at = seconds(fault_at_s)
     tb.inject.at(fault_at, fault)
-    tb.run_until(run_until_s)
+    tb.run_until(opts.run_until_s)
     timeline = build_timeline(fault_at, tb.pair.backup.events,
                               tb.pair.primary.events, monitor)
     if obs is not None:
@@ -122,6 +134,9 @@ class BaselineResult:
     fault_at: int
     obs: Optional[ObsSession] = None
     oracle: Optional[InvariantOracle] = None
+    #: Fault marker + monitor-derived resumption (no engine events in a
+    #: baseline world); what the ObsSession was finalized against.
+    timeline: Optional[FailoverTimeline] = None
 
     @property
     def disruption_ns(self) -> Optional[int]:
@@ -132,11 +147,12 @@ class BaselineResult:
 
 def run_baseline_failover(total_bytes: int = 50_000_000,
                           fault_at_s: float = 2.0,
-                          run_until_s: float = 60.0,
-                          seed: int = 3,
+                          run_until_s: Optional[float] = None,
+                          seed: Optional[int] = None,
                           liveness_timeout_s: float = 2.0,
                           obs_level: Optional[str] = None,
-                          check: bool = False,
+                          check: Optional[bool] = None,
+                          options: Optional[RunOptions] = None,
                           **build_kwargs) -> BaselineResult:
     """Demo 1's counterfactual: hot standby, no ST-TCP.
 
@@ -144,15 +160,22 @@ def run_baseline_failover(total_bytes: int = 50_000_000,
     must detect the outage itself (application timeout), reconnect, and
     re-request.  The fault is a HW crash of the primary.
 
+    ``options`` is the shared :class:`~repro.scenarios.options.RunOptions`
+    surface; ``run_until_s`` / ``seed`` / ``obs_level`` / ``check`` are
+    deprecated shims that override it when passed.
+
     ``check=True`` attaches the invariant oracle *without* topology
     hints — in a plain hot-standby world the standby is entitled to
     speak on the service port, so the ST-TCP wire-role invariants do
     not apply."""
     from repro.faults.faults import HwCrash
 
-    tb = build_testbed(seed=seed, enable_sttcp=False, **build_kwargs)
-    obs = ObsSession(tb.world, level=obs_level) if obs_level else None
-    oracle = InvariantOracle(tb.world).attach() if check else None
+    opts = resolve_run_options(options, seed=seed, run_until_s=run_until_s,
+                               obs_level=obs_level, check=check)
+    build_kwargs.setdefault("trace_categories", opts.trace_categories)
+    tb = build_testbed(seed=opts.seed, mode="baseline", **build_kwargs)
+    obs = ObsSession(tb.world, level=opts.obs_level) if opts.obs_level else None
+    oracle = InvariantOracle(tb.world).attach() if opts.check else None
     StreamServer(tb.primary, "server-primary", port=80).start()
     StreamServer(tb.backup, "server-backup", port=80).start()
     monitor = ClientStreamMonitor(tb.world)
@@ -165,12 +188,16 @@ def run_baseline_failover(total_bytes: int = 50_000_000,
     client.start()
     fault_at = seconds(fault_at_s)
     tb.inject.at(fault_at, HwCrash(tb.primary))
-    tb.run_until(run_until_s)
+    tb.run_until(opts.run_until_s)
+    # The baseline has no ST-TCP engine events, but its export must still
+    # carry the fault marker (and the stall-derived resumption) so ST-TCP
+    # and baseline artifacts line up side by side.
+    timeline = build_timeline(fault_at, None, None, monitor)
     if obs is not None:
-        obs.finalize()
+        obs.finalize(timeline=timeline)
     if oracle is not None:
         oracle.detach()
         if oracle.violations:
             raise InvariantViolationError(oracle.violations)
     return BaselineResult(tb, client, monitor, fault_at, obs=obs,
-                          oracle=oracle)
+                          oracle=oracle, timeline=timeline)

@@ -115,6 +115,9 @@ class Simulator:
     and :mod:`repro.sim.rng`.
     """
 
+    __slots__ = ("_now", "_queue", "_sequence", "_running",
+                 "_events_processed")
+
     def __init__(self) -> None:
         self._now: int = 0
         self._queue: list[tuple[int, int, EventHandle]] = []
@@ -190,23 +193,25 @@ class Simulator:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
         executed = 0
+        queue = self._queue
+        heappop = heapq.heappop
         try:
-            while self._queue:
-                time, _seq, handle = self._queue[0]
+            while queue:
+                time, _seq, handle = queue[0]
                 if until is not None and time > until:
                     break
-                heapq.heappop(self._queue)
+                heappop(queue)
                 if handle._cancelled:
                     continue
                 self._now = time
                 handle._fired = True
                 handle.callback(*handle.args)
                 executed += 1
-                self._events_processed += 1
                 if max_events is not None and executed >= max_events:
                     break
         finally:
             self._running = False
+            self._events_processed += executed
         if until is not None and self._now < until:
             self._now = until
         return executed

@@ -58,6 +58,7 @@ class TraceLog:
         self._records: list[TraceRecord] = []
         self._enabled = enabled_categories
         self._subscribers: list[Callable[[TraceRecord], None]] = []
+        self._filter_listeners: list[Callable[[], None]] = []
 
     # ------------------------------------------------------------- recording
 
@@ -71,13 +72,24 @@ class TraceLog:
         for sub in self._subscribers:
             sub(rec)
 
+    def wants(self, category: str) -> bool:
+        """True when a record in ``category`` would be kept."""
+        return self._enabled is None or category in self._enabled
+
     def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
         """Register a live callback invoked for every recorded event."""
         self._subscribers.append(callback)
 
+    def on_filter_change(self, callback: Callable[[], None]) -> None:
+        """Register a callback fired whenever the category filter changes
+        (the probe bus invalidates its fire-would-do-work cache on it)."""
+        self._filter_listeners.append(callback)
+
     def set_enabled_categories(self, categories: Optional[set[str]]) -> None:
         """Change the recording filter (None = record everything)."""
         self._enabled = categories
+        for listener in self._filter_listeners:
+            listener()
 
     # --------------------------------------------------------------- queries
 

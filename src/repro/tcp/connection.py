@@ -288,8 +288,9 @@ class TcpConnection:
         before = self.recv_buffer.rcv_next
         newly = self.recv_buffer.receive(offset, data)
         if newly:
-            self.world.probes.fire("tcp.deliver", self.name,
-                                   off=before, len=newly)
+            probes = self.world.probes
+            if probes.wants("tcp.deliver"):
+                probes.fire("tcp.deliver", self.name, off=before, len=newly)
             if self.inorder_tap is not None:
                 self.inorder_tap(before, self.recv_buffer.peek_tail(newly))
         self._maybe_consume_peer_fin()
@@ -312,8 +313,10 @@ class TcpConnection:
     def segment_arrived(self, segment: TcpSegment) -> None:
         """Demultiplexed entry point for one inbound segment."""
         self.segments_received += 1
-        self.world.probes.fire("tcp.segment_rx", self.name,
-                               len=len(segment.payload), flags=segment.flags)
+        probes = self.world.probes
+        if probes.wants("tcp.segment_rx"):
+            probes.fire("tcp.segment_rx", self.name,
+                        len=len(segment.payload), flags=segment.flags)
         if self.state is TcpState.CLOSED:
             return
         if segment.rst:
@@ -508,8 +511,9 @@ class TcpConnection:
         before = self.recv_buffer.rcv_next
         newly = self.recv_buffer.receive(off, segment.payload)
         if newly:
-            self.world.probes.fire("tcp.deliver", self.name,
-                                   off=before, len=newly)
+            probes = self.world.probes
+            if probes.wants("tcp.deliver"):
+                probes.fire("tcp.deliver", self.name, off=before, len=newly)
             if self.inorder_tap is not None:
                 self.inorder_tap(before, self.recv_buffer.peek_tail(newly))
         if newly == 0 and off > self.recv_buffer.rcv_next:
@@ -618,19 +622,23 @@ class TcpConnection:
         self.bytes_sent += len(segment.payload)
         # The extra sender-state fields (off/una/nxt/rcv_nxt/mss/ssthresh)
         # feed the repro.check invariant oracle; see docs/invariants.md.
-        self.world.probes.fire("tcp.segment_tx", self.name,
-                               seq=segment.seq, ack=segment.ack,
-                               flags=TcpFlags.describe(segment.flags),
-                               len=len(segment.payload),
-                               win=segment.window, cwnd=self.cc.cwnd,
-                               flight=self.flight_size,
-                               off=(seq_sub(segment.seq,
-                                            seq_add(self.iss, 1))
-                                    if self.iss is not None else None),
-                               una=self.snd_una_off, nxt=self.snd_nxt_off,
-                               rcv_nxt=self.recv_buffer.rcv_next,
-                               mss=self.config.mss,
-                               ssthresh=self.cc.ssthresh)
+        # Building them (flag rendering included) costs more than the
+        # fire itself, so skip the whole block when nobody listens.
+        probes = self.world.probes
+        if probes.wants("tcp.segment_tx"):
+            probes.fire("tcp.segment_tx", self.name,
+                        seq=segment.seq, ack=segment.ack,
+                        flags=TcpFlags.describe(segment.flags),
+                        len=len(segment.payload),
+                        win=segment.window, cwnd=self.cc.cwnd,
+                        flight=self.flight_size,
+                        off=(seq_sub(segment.seq,
+                                     seq_add(self.iss, 1))
+                             if self.iss is not None else None),
+                        una=self.snd_una_off, nxt=self.snd_nxt_off,
+                        rcv_nxt=self.recv_buffer.rcv_next,
+                        mss=self.config.mss,
+                        ssthresh=self.cc.ssthresh)
         self.transmit(segment)
 
     def _send_syn(self) -> None:

@@ -30,7 +30,7 @@ class TcpFlags:
         return "|".join(names) if names else "-"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TcpSegment:
     """One TCP segment.
 
@@ -47,11 +47,13 @@ class TcpSegment:
     flags: int
     window: int
     payload: bytes = field(default=b"", repr=False)
+    # On-wire segment size (header + payload); cached because the link
+    # layer reads it several times per hop.
+    size_bytes: int = field(init=False, repr=False, compare=False)
 
-    @property
-    def size_bytes(self) -> int:
-        """On-wire segment size (header + payload)."""
-        return TCP_HEADER_BYTES + len(self.payload)
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "size_bytes",
+                           TCP_HEADER_BYTES + len(self.payload))
 
     @property
     def syn(self) -> bool:

@@ -1,0 +1,18 @@
+"""Many-connection workloads over the ST-TCP testbed.
+
+The paper's demos drive one client and one TCP connection; the ROADMAP
+north star is a service under production-scale load.  This package is the
+bridge: a :class:`~repro.workloads.engine.WorkloadEngine` opens many
+concurrent connections (streaming or key-value) from N client hosts with
+configurable arrival churn, and
+:func:`~repro.workloads.runner.run_workload_failover` runs such a
+workload through a mid-run primary failover with per-connection
+intactness accounting.
+"""
+
+from repro.workloads.engine import (ConnectionRecord, WorkloadEngine,
+                                    WorkloadSpec)
+from repro.workloads.runner import WorkloadResult, run_workload_failover
+
+__all__ = ["ConnectionRecord", "WorkloadEngine", "WorkloadSpec",
+           "WorkloadResult", "run_workload_failover"]

@@ -1,0 +1,137 @@
+"""The unified RunOptions surface and the redesigned builder parameters.
+
+These pin the API contract of the redesign: ``options=RunOptions(...)``
+is the one knob surface, the old per-runner keywords still override it
+(back-compat shims), ``build_testbed(mode=...)`` replaces the boolean
+``enable_sttcp``, and multi-client testbeds get a generated address plan.
+"""
+
+import pytest
+
+from repro.faults.faults import HwCrash
+from repro.scenarios import (DEFAULT_TRACE_CATEGORIES, LoggerAttachment,
+                             RunOptions, build_testbed, resolve_run_options,
+                             run_baseline_failover, run_failover_experiment)
+
+
+# ------------------------------------------------------------- RunOptions
+
+def test_run_options_defaults():
+    opts = RunOptions()
+    assert opts.seed == 3
+    assert opts.run_until_s == 60.0
+    assert opts.obs_level is None
+    assert opts.check is False
+    assert opts.trace_categories == DEFAULT_TRACE_CATEGORIES
+
+
+def test_run_options_rejects_bad_obs_level():
+    with pytest.raises(ValueError):
+        RunOptions(obs_level="everything")
+
+
+def test_with_copies_and_replaces():
+    opts = RunOptions(seed=1)
+    changed = opts.with_(seed=9, check=True)
+    assert (changed.seed, changed.check) == (9, True)
+    assert (opts.seed, opts.check) == (1, False)  # original untouched
+
+
+def test_resolve_legacy_keywords_override_options():
+    opts = RunOptions(seed=1, run_until_s=10.0)
+    merged = resolve_run_options(opts, seed=7, run_until_s=None,
+                                 obs_level="counters", check=None)
+    assert merged.seed == 7                 # explicitly passed -> wins
+    assert merged.run_until_s == 10.0       # not passed -> options kept
+    assert merged.obs_level == "counters"
+    assert merged.check is False
+
+
+def test_resolve_without_options_uses_defaults():
+    merged = resolve_run_options(None, seed=None, check=True)
+    assert merged.seed == RunOptions().seed
+    assert merged.check is True
+
+
+def test_runner_accepts_options_object():
+    result = run_failover_experiment(
+        lambda tb, sp, sb: HwCrash(tb.primary),
+        total_bytes=100_000, fault_at_s=0.5,
+        options=RunOptions(seed=5, run_until_s=5.0))
+    assert result.stream_intact
+    assert result.testbed.world.sim.now == 5_000_000_000
+
+
+# ----------------------------------------------------------------- mode
+
+def test_mode_baseline_matches_enable_sttcp_false():
+    via_mode = build_testbed(seed=1, mode="baseline")
+    via_bool = build_testbed(seed=1, enable_sttcp=False)
+    assert via_mode.pair is None and via_bool.pair is None
+    assert via_mode.serial_link is None
+
+
+def test_mode_accepts_bool_for_back_compat():
+    assert build_testbed(seed=1, mode=True).pair is not None
+    assert build_testbed(seed=1, mode=False).pair is None
+
+
+def test_mode_rejects_unknown_string():
+    with pytest.raises(ValueError):
+        build_testbed(seed=1, mode="turbo")
+
+
+# --------------------------------------------------------- multi-client
+
+def test_num_clients_builds_distinct_hosts():
+    tb = build_testbed(seed=1, num_clients=4)
+    assert len(tb.clients) == 4
+    assert tb.client is tb.clients[0]
+    names = [h.name for h in tb.clients]
+    assert names == ["client", "client1", "client2", "client3"]
+    ips = [h.interfaces[0].addresses[0] for h in tb.clients]
+    assert len(set(ips)) == 4
+    macs = [h.nics[0].mac for h in tb.clients]
+    assert len(set(macs)) == 4
+
+
+def test_every_client_has_static_service_arp():
+    tb = build_testbed(seed=1, num_clients=3)
+    for host in tb.clients:
+        mac = host.interfaces[0].arp.lookup(tb.service_ip)
+        assert mac == tb.addresses.multi_ea
+
+
+def test_single_client_testbed_unchanged():
+    """num_clients=1 must be the exact Figure-2 testbed (prefix /24)."""
+    tb = build_testbed(seed=1)
+    assert len(tb.clients) == 1
+    assert tb.clients[0].name == "client"
+    assert "client" in tb.cables
+
+
+# ---------------------------------------------------- LoggerAttachment
+
+def test_add_logger_returns_named_result():
+    tb = build_testbed(seed=1)
+    attachment = tb.add_logger()
+    assert isinstance(attachment, LoggerAttachment)
+    assert attachment.host.name == "logger"
+    assert attachment.logger is not None
+    host, logger = attachment  # historical tuple unpack still works
+    assert host is attachment.host and logger is attachment.logger
+    assert "logger" in tb.cables
+
+
+# --------------------------------------------------- baseline timeline
+
+def test_baseline_export_carries_fault_marker():
+    """Regression: the baseline runner used to finalize its ObsSession
+    without a timeline, so baseline exports lacked the fault instant."""
+    result = run_baseline_failover(total_bytes=100_000, fault_at_s=0.5,
+                                   run_until_s=8, seed=4,
+                                   obs_level="counters")
+    assert result.timeline is not None
+    assert result.timeline.fault_at == 500_000_000
+    gauges = result.obs.metrics.snapshot()["gauges"]
+    assert gauges["sttcp.fault_at_ns"] == 500_000_000

@@ -1,0 +1,95 @@
+"""Workload engine: many-connection failover runs and their determinism.
+
+Covers the two acceptance properties of the workload subsystem:
+
+* **Determinism** — the same seed yields a byte-identical observability
+  export (the same guarantee ``tests/obs/test_export_determinism.py``
+  asserts for the single-connection runner); different seeds yield
+  different connection interleavings.
+* **Intactness at scale** — a 32-client fleet survives a mid-run primary
+  crash with every connection's stream intact and zero protocol-invariant
+  violations (the oracle is attached for the whole run).
+"""
+
+from repro.workloads import WorkloadSpec, run_workload_failover
+
+
+def run_small(seed, kind="stream", obs_level=None, check=False,
+              connections=8, num_clients=4):
+    spec = WorkloadSpec(kind=kind, connections=connections,
+                        bytes_per_conn=30_000, kv_ops=5,
+                        mean_interarrival_s=0.01)
+    return run_workload_failover(spec, num_clients=num_clients,
+                                 fault_at_s=0.5, seed=seed, run_until_s=10,
+                                 obs_level=obs_level, check=check)
+
+
+# ------------------------------------------------------------- determinism
+
+def test_same_seed_exports_byte_identical(tmp_path):
+    paths_a = run_small(11, obs_level="counters").obs.write(tmp_path / "a")
+    paths_b = run_small(11, obs_level="counters").obs.write(tmp_path / "b")
+    assert sorted(paths_a) == sorted(paths_b)
+    for name in paths_a:
+        bytes_a = open(paths_a[name], "rb").read()
+        bytes_b = open(paths_b[name], "rb").read()
+        assert bytes_a == bytes_b, f"{name} differs between identical runs"
+
+
+def test_same_seed_same_connection_schedule():
+    opened_a = [r.opened_at_ns for r in run_small(5).records]
+    opened_b = [r.opened_at_ns for r in run_small(5).records]
+    assert opened_a == opened_b
+
+
+def test_different_seeds_interleave_differently():
+    opened_a = [r.opened_at_ns for r in run_small(1).records]
+    opened_b = [r.opened_at_ns for r in run_small(2).records]
+    assert opened_a != opened_b, "arrival process ignored the seed"
+
+
+# ----------------------------------------------------------- failover scale
+
+def test_32_clients_survive_failover_with_oracle():
+    """The acceptance scenario: 32 concurrent connections across 32 client
+    hosts, primary crashes mid-run, every stream intact, oracle clean."""
+    result = run_small(3, connections=32, num_clients=32, check=True)
+    assert len(result.records) == 32
+    assert result.engine.completed_count == 32
+    assert result.all_intact
+    assert result.oracle is not None and not result.oracle.violations
+    assert result.timeline.takeover_at is not None
+    assert result.timeline.takeover_at > result.timeline.fault_at
+
+
+def test_kv_workload_replies_survive_failover():
+    result = run_small(9, kind="kv", connections=6, num_clients=3)
+    assert result.all_intact
+    for record in result.records:
+        assert record.kind == "kv"
+        assert record.app.replies == record.expected_replies
+
+
+def test_connections_round_robin_over_clients():
+    result = run_small(4, connections=8, num_clients=4)
+    hosts = {r.host_name for r in result.records}
+    assert len(hosts) == 4, f"expected all 4 clients used, got {hosts}"
+
+
+def test_obs_export_carries_workload_gauges(tmp_path):
+    result = run_small(6, obs_level="counters")
+    gauges = result.obs.metrics.snapshot()["gauges"]
+    assert gauges["workload.connections"] == 8
+    assert gauges["workload.clients"] == 4
+    assert gauges["workload.completed"] == 8
+    assert gauges["workload.intact"] == 8
+    assert gauges["sttcp.fault_at_ns"] == 500_000_000
+
+
+def test_summary_scorecard_shape():
+    summary = run_small(8).summary()
+    assert summary["connections"] == 8
+    assert summary["completed"] == 8
+    assert summary["intact"] == 8
+    assert summary["all_intact"] is True
+    assert summary["fault_at_ns"] == 500_000_000
