@@ -1,0 +1,157 @@
+"""Campaign-engine scale-out: trials/sec at jobs=1/2/4/8.
+
+The single-process hot path (``BENCH_core_throughput.json``) is one
+rung of the perf ladder; this benchmark measures the next one —
+fan-out across cores via :func:`repro.campaign.run_campaign`.  Every
+jobs level runs the *same* campaign (same seed, same grid), and the
+script also asserts the canonical aggregates are byte-identical across
+levels, so the scaling numbers can never come from trials quietly
+diverging.
+
+Usage::
+
+    python benchmarks/bench_campaign_scaling.py                # measure
+    python benchmarks/bench_campaign_scaling.py --record       # + update json
+    python benchmarks/bench_campaign_scaling.py --quick        # CI smoke
+
+The committed ``BENCH_campaign_scaling.json`` at the repo root records
+one machine's numbers with its ``cpus`` count — scaling is physically
+bounded by the cores actually available, so always read the speedups
+against that field (a 1-CPU container shows ~1x at every jobs level no
+matter how well the engine scales; the 4-core CI runner class is where
+the >=3x-at-jobs=4 target is meaningful).  ``--quick`` runs a smaller
+grid at jobs=1/2 only, writes
+``benchmarks/results/BENCH_campaign_scaling_quick.json``, and exits
+non-zero on any failed trial or any cross-jobs output divergence — the
+CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+RESULT_JSON = REPO_ROOT / "BENCH_campaign_scaling.json"
+QUICK_JSON = pathlib.Path(__file__).parent / "results" / \
+    "BENCH_campaign_scaling_quick.json"
+
+# Each trial: a 2 MB stream through a primary HW crash at t=0.1s —
+# large enough that the stream spans the fault (failover time is real),
+# small enough that one trial is ~0.3 s of wall clock.
+FULL = dict(grid_hb_period_ms=(100, 200, 500), trials=8,
+            total_bytes=2_000_000, fault_at_s=0.1, run_until_s=6.0,
+            jobs_levels=(1, 2, 4, 8))
+QUICK = dict(grid_hb_period_ms=(100, 200), trials=2,
+             total_bytes=2_000_000, fault_at_s=0.1, run_until_s=6.0,
+             jobs_levels=(1, 2))
+
+
+def build_spec(params: dict, seed: int = 3):
+    from repro.campaign import CampaignSpec
+    from repro.scenarios.options import RunOptions
+
+    return CampaignSpec(
+        scenario="failover",
+        base={"total_bytes": params["total_bytes"],
+              "fault_at_s": params["fault_at_s"]},
+        grid={"hb_period_ms": list(params["grid_hb_period_ms"])},
+        trials=params["trials"], seed=seed,
+        options=RunOptions(run_until_s=params["run_until_s"]),
+        timeout_s=300.0)
+
+
+def measure(params: dict, seed: int = 3) -> dict:
+    """Run the campaign at every jobs level; returns the measurement."""
+    from repro.campaign import run_campaign
+
+    spec = build_spec(params, seed=seed)
+    levels = {}
+    aggregates = set()
+    failed = 0
+    for jobs in params["jobs_levels"]:
+        result = run_campaign(spec, jobs=jobs)
+        aggregates.add(result.to_json())
+        failed += len(result.failed)
+        levels[str(jobs)] = {
+            "wall_s": round(result.wall_s, 3),
+            "trials_per_sec": round(result.trials_per_sec, 3),
+        }
+        print(f"  jobs={jobs}: {result.wall_s:.2f}s wall, "
+              f"{result.trials_per_sec:.2f} trials/sec", flush=True)
+    base = levels[str(params["jobs_levels"][0])]["trials_per_sec"]
+    for jobs, entry in levels.items():
+        entry["speedup"] = round(entry["trials_per_sec"] / base, 2)
+    record = {
+        "date": datetime.date.today().isoformat(),
+        "cpus": os.cpu_count(),
+        "trials": len(build_trials(spec)),
+        "failed_trials": failed,
+        "jobs_invariant_output": len(aggregates) == 1,
+        "jobs": levels,
+    }
+    if "4" in levels:
+        record["speedup_at_jobs4"] = levels["4"]["speedup"]
+    return record
+
+
+def build_trials(spec):
+    from repro.campaign import expand
+
+    return expand(spec)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="scaled-down CI smoke run (jobs=1/2)")
+    parser.add_argument("--record", action="store_true",
+                        help="store this measurement in "
+                             "BENCH_campaign_scaling.json")
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    params = QUICK if args.quick else FULL
+    print(f"campaign scaling ({os.cpu_count()} CPU(s) visible):")
+    record = measure(params, seed=args.seed)
+    print(json.dumps({"workload": {k: list(v) if isinstance(v, tuple) else v
+                                   for k, v in params.items()},
+                      "result": record}, indent=2))
+
+    ok = record["failed_trials"] == 0 and record["jobs_invariant_output"]
+    if not record["jobs_invariant_output"]:
+        print("FAIL: aggregated output differed across jobs levels",
+              file=sys.stderr)
+    if record["failed_trials"]:
+        print(f"FAIL: {record['failed_trials']} trial(s) failed",
+              file=sys.stderr)
+
+    if args.quick:
+        QUICK_JSON.parent.mkdir(exist_ok=True)
+        QUICK_JSON.write_text(json.dumps(
+            {"benchmark": "campaign_scaling_quick", "result": record},
+            indent=2) + "\n")
+        print(f"\nquick results -> {QUICK_JSON}")
+        return 0 if ok else 1
+
+    if args.record:
+        data = (json.loads(RESULT_JSON.read_text())
+                if RESULT_JSON.exists() else
+                {"benchmark": "campaign_scaling",
+                 "workload": {k: list(v) if isinstance(v, tuple) else v
+                              for k, v in FULL.items()},
+                 "trajectory": []})
+        data.setdefault("trajectory", []).append(record)
+        RESULT_JSON.write_text(json.dumps(data, indent=2) + "\n")
+        print(f"\nrecorded -> {RESULT_JSON}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,14 +4,17 @@ Measures the discrete-event kernel end to end — scheduler, NIC/cable
 frame handling, TCP, probe bus, pattern payloads — by timing the
 standard many-connection failover workload and reporting events/sec and
 wall-clock.  The committed ``BENCH_core_throughput.json`` at the repo
-root records the same machine's numbers before and after the hot-path
-optimization pass, so the perf trajectory is inspectable in review.
+root keeps a dated ``trajectory`` list — one appended entry per
+recorded measurement — so the perf history across changes stays
+queryable instead of each record overwriting the last.  (The original
+``before``/``after`` pair from the hot-path optimization pass is kept
+verbatim and also seeds the first two trajectory entries.)
 
 Usage::
 
-    python benchmarks/bench_core_throughput.py                # measure
-    python benchmarks/bench_core_throughput.py --record after # + update json
-    python benchmarks/bench_core_throughput.py --quick        # CI smoke
+    python benchmarks/bench_core_throughput.py                  # measure
+    python benchmarks/bench_core_throughput.py --record <label> # + append json
+    python benchmarks/bench_core_throughput.py --quick          # CI smoke
 
 ``--quick`` runs a scaled-down workload, writes its numbers to
 ``benchmarks/results/BENCH_core_throughput_quick.json`` and exits
@@ -22,7 +25,9 @@ smoke leg.
 from __future__ import annotations
 
 import argparse
+import datetime
 import json
+import os
 import pathlib
 import sys
 import time
@@ -75,13 +80,23 @@ def measure(params: dict, repeats: int = 2) -> dict:
     return min(runs, key=lambda r: r["wall_s"])
 
 
+def seed_trajectory(data: dict) -> list:
+    """The trajectory list, seeded from the legacy before/after pair."""
+    if "trajectory" not in data:
+        data["trajectory"] = [
+            dict(label=label, **data[label])
+            for label in ("before", "after") if label in data
+        ]
+    return data["trajectory"]
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="scaled-down CI smoke run")
-    parser.add_argument("--record", choices=("before", "after"),
-                        help="store this measurement in "
-                             "BENCH_core_throughput.json")
+    parser.add_argument("--record", metavar="LABEL",
+                        help="append this measurement (dated, labelled) to "
+                             "the trajectory in BENCH_core_throughput.json")
     parser.add_argument("--repeats", type=int, default=2)
     args = parser.parse_args(argv)
 
@@ -105,13 +120,14 @@ def main(argv=None) -> int:
         data = (json.loads(RESULT_JSON.read_text())
                 if RESULT_JSON.exists() else
                 {"benchmark": "core_throughput", "workload": params})
-        data[args.record] = record
-        if "before" in data and "after" in data:
-            data["speedup_events_per_sec"] = round(
-                data["after"]["events_per_sec"]
-                / data["before"]["events_per_sec"], 2)
+        trajectory = seed_trajectory(data)
+        trajectory.append(dict(
+            label=args.record,
+            date=datetime.date.today().isoformat(),
+            cpus=os.cpu_count(), **record))
         RESULT_JSON.write_text(json.dumps(data, indent=2) + "\n")
-        print(f"\nrecorded '{args.record}' -> {RESULT_JSON}")
+        print(f"\nrecorded '{args.record}' -> {RESULT_JSON} "
+              f"({len(trajectory)} trajectory entries)")
     return 0
 
 

@@ -3,46 +3,61 @@
 The paper tries HB periods of 200 ms, 500 ms and 1 s and measures failover
 time, noting it decomposes into failure-detection time plus the residual
 wait for the next (exponentially backed-off) retransmission.
+
+The sweep runs on the campaign engine (:mod:`repro.campaign`): one grid
+axis, per-trial seeds derived from the campaign seed, trials fanned out
+over ``REPRO_CAMPAIGN_JOBS`` workers (default: the visible cores, capped
+at 4) — the rendered table is identical at any jobs setting.
 """
 
-from repro.faults.faults import HwCrash
+import os
+
+from repro.campaign import CampaignSpec, run_campaign
 from repro.metrics.figures import bar_chart
 from repro.metrics.report import banner, format_duration, format_table
-from repro.scenarios.runner import run_failover_experiment
-from repro.sim.core import millis
-from repro.sttcp.config import SttcpConfig
+from repro.scenarios.options import RunOptions
 
 from _util import emit, once
 
 PERIODS_MS = (200, 500, 1000)
 
 
+def campaign_jobs() -> int:
+    """Worker count for benchmark campaigns (env-overridable)."""
+    return int(os.environ.get("REPRO_CAMPAIGN_JOBS",
+                              min(4, os.cpu_count() or 1)))
+
+
+SPEC = CampaignSpec(
+    scenario="failover",
+    base={"fault": "hw_crash_primary", "total_bytes": 30_000_000,
+          "fault_at_s": 2.0},
+    grid={"hb_period_ms": list(PERIODS_MS)},
+    trials=1, seed=3,
+    options=RunOptions(run_until_s=60.0))
+
+
 def run_sweep():
-    results = {}
-    for period_ms in PERIODS_MS:
-        results[period_ms] = run_failover_experiment(
-            lambda tb, sp, sb: HwCrash(tb.primary),
-            total_bytes=30_000_000, fault_at_s=2.0, run_until_s=60, seed=3,
-            config=SttcpConfig(hb_period_ns=millis(period_ms)))
-    return results
+    result = run_campaign(SPEC, jobs=campaign_jobs())
+    return {r["params"]["hb_period_ms"]: r for r in result.records}
 
 
-def render(results) -> str:
+def render(records) -> str:
     rows = []
     for period_ms in PERIODS_MS:
-        timeline = results[period_ms].timeline
+        record = records[period_ms]
         rows.append([
             f"{period_ms} ms",
-            format_duration(timeline.detection_latency_ns),
-            format_duration(timeline.backoff_residue_ns),
-            format_duration(timeline.failover_time_ns),
-            "yes" if results[period_ms].stream_intact else "NO",
+            format_duration(record["detection_ns"]),
+            format_duration(record["backoff_residue_ns"]),
+            format_duration(record["failover_time_ns"]),
+            "yes" if record["stream_intact"] else "NO",
         ])
     table = format_table(
         ["HB period", "detection time", "retransmission residue",
          "failover time", "stream intact"], rows)
     chart = bar_chart([f"{p} ms" for p in PERIODS_MS],
-                      [results[p].timeline.failover_time_ns / 1e9
+                      [records[p]["failover_time_ns"] / 1e9
                        for p in PERIODS_MS], unit="s")
     return "\n".join([
         banner("Demo 2: failover time vs heartbeat frequency"),
@@ -53,8 +68,8 @@ def render(results) -> str:
 
 
 def test_demo2_hb_frequency(benchmark):
-    results = once(benchmark, run_sweep)
-    emit("demo2_hb_frequency", render(results))
-    times = [results[p].timeline.failover_time_ns for p in PERIODS_MS]
+    records = once(benchmark, run_sweep)
+    emit("demo2_hb_frequency", render(records))
+    times = [records[p]["failover_time_ns"] for p in PERIODS_MS]
     assert times[0] < times[1] < times[2]     # the paper's shape
-    assert all(results[p].stream_intact for p in PERIODS_MS)
+    assert all(records[p]["stream_intact"] for p in PERIODS_MS)

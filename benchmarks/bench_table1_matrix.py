@@ -2,77 +2,64 @@
 
 Regenerates the paper's table: failure, location, observed symptom, and
 recovery action taken, for every row and both locations.
+
+The eight scenarios run as one campaign (:mod:`repro.campaign`) with
+the fault name as the grid axis, fanned out over worker processes (see
+``bench_demo2_hb_frequency.campaign_jobs``); each trial record carries
+the detection kind and takeover/non-FT instants the table is rendered
+from, so the output is identical at any jobs setting.
 """
 
-from repro.faults.faults import (AppCrashWithCleanup, AppHang, HwCrash,
-                                 NicFailure)
+from repro.campaign import CampaignSpec, run_campaign
 from repro.metrics.report import banner, format_table
-from repro.scenarios.runner import run_failover_experiment
-from repro.sim.core import seconds
-from repro.sttcp.config import SttcpConfig
-from repro.sttcp.events import EventKind
+from repro.scenarios.options import RunOptions
 
 from _util import emit, once
+from bench_demo2_hb_frequency import campaign_jobs
 
-CONFIG = SttcpConfig(max_delay_fin_ns=seconds(5))
+# (paper row, failure label, location) per fault registry name.
+ROWS = {
+    "hw_crash_primary": ("1", "HW/OS crash", "Primary"),
+    "hw_crash_backup": ("1", "HW/OS crash", "Backup"),
+    "app_hang_primary": ("2", "App failure (no FIN)", "Primary"),
+    "app_hang_backup": ("2", "App failure (no FIN)", "Backup"),
+    "app_crash_fin_primary": ("3", "App failure (FIN)", "Primary"),
+    "app_crash_fin_backup": ("3", "App failure (FIN)", "Backup"),
+    "nic_failure_primary": ("4", "NIC failure", "Primary"),
+    "nic_failure_backup": ("4", "NIC failure", "Backup"),
+}
 
-SCENARIOS = [
-    ("1", "HW/OS crash", "Primary", lambda tb, sp, sb: HwCrash(tb.primary)),
-    ("1", "HW/OS crash", "Backup", lambda tb, sp, sb: HwCrash(tb.backup)),
-    ("2", "App failure (no FIN)", "Primary", lambda tb, sp, sb: AppHang(sp)),
-    ("2", "App failure (no FIN)", "Backup", lambda tb, sp, sb: AppHang(sb)),
-    ("3", "App failure (FIN)", "Primary",
-     lambda tb, sp, sb: AppCrashWithCleanup(sp)),
-    ("3", "App failure (FIN)", "Backup",
-     lambda tb, sp, sb: AppCrashWithCleanup(sb)),
-    ("4", "NIC failure", "Primary",
-     lambda tb, sp, sb: NicFailure(tb.primary.nics[0])),
-    ("4", "NIC failure", "Backup",
-     lambda tb, sp, sb: NicFailure(tb.backup.nics[0])),
-]
-
-_DETECTIONS = (EventKind.PEER_CRASH_DETECTED,
-               EventKind.APP_FAILURE_DETECTED,
-               EventKind.NIC_FAILURE_DETECTED)
+SPEC = CampaignSpec(
+    scenario="failover",
+    base={"total_bytes": 30_000_000, "fault_at_s": 1.0,
+          "max_delay_fin_s": 5.0},
+    grid={"fault": list(ROWS)},
+    trials=1, seed=3,
+    options=RunOptions(run_until_s=60.0))
 
 
 def run_matrix():
-    results = []
-    for row, failure, location, fault in SCENARIOS:
-        result = run_failover_experiment(
-            fault, total_bytes=30_000_000, fault_at_s=1.0, run_until_s=60,
-            seed=3, config=CONFIG)
-        results.append((row, failure, location, result))
-    return results
+    result = run_campaign(SPEC, jobs=campaign_jobs())
+    return result.records
 
 
-def _observed_symptom(result):
-    for log in (result.testbed.pair.backup.events,
-                result.testbed.pair.primary.events):
-        for kind in _DETECTIONS:
-            event = log.first(kind)
-            if event is not None:
-                return kind
-    return "-"
-
-
-def _recovery_action(result):
-    pair = result.testbed.pair
-    if pair.backup.takeover_at is not None:
+def _recovery_action(record):
+    if record["takeover_at_ns"] is not None:
         return "backup takes over; primary shut down"
-    if pair.primary.mode == "non-fault-tolerant":
+    if record["non_ft_at_ns"] is not None:
         return "primary non-FT; backup shut down"
     return "-"
 
 
-def render(results) -> str:
+def render(records) -> str:
     rows = []
-    for row, failure, location, result in results:
+    for record in records:
+        row, failure, location = ROWS[record["params"]["fault"]]
         rows.append([
             row, failure, location,
-            _observed_symptom(result),
-            _recovery_action(result),
-            "yes" if result.stream_intact else "NO",
+            record["detection_kind"] or "-",
+            _recovery_action(record),
+            "yes" if record["stream_intact"] else "NO",
         ])
     table = format_table(
         ["#", "failure", "location", "observed symptom",
@@ -81,7 +68,9 @@ def render(results) -> str:
 
 
 def test_table1_matrix(benchmark):
-    results = once(benchmark, run_matrix)
-    emit("table1_matrix", render(results))
-    for _row, failure, location, result in results:
-        assert result.stream_intact, f"{failure}@{location}"
+    records = once(benchmark, run_matrix)
+    emit("table1_matrix", render(records))
+    for record in records:
+        fault = record["params"]["fault"]
+        assert record["status"] == "ok", (fault, record["error"])
+        assert record["stream_intact"], fault

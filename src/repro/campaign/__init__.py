@@ -1,0 +1,31 @@
+"""Deterministic multiprocess campaigns: sweeps and Monte Carlo studies.
+
+The paper's results are all *campaigns* — the same scenario re-run over
+a parameter grid and many seeds.  This package scales those out across
+cores without giving up reproducibility:
+
+* :mod:`repro.campaign.spec` — :class:`CampaignSpec` /
+  :class:`TrialSpec` and the :func:`derive_seed` scheme;
+* :mod:`repro.campaign.scenarios` — the named scenario/fault registry a
+  worker resolves trials against;
+* :mod:`repro.campaign.engine` — :func:`run_campaign`: the worker pool
+  with chunked dispatch, per-trial timeout/retry, and streaming
+  aggregation into a :class:`CampaignResult`;
+* :mod:`repro.campaign.cli` — ``python -m repro sweep``.
+
+See ``docs/performance.md`` for the architecture and the determinism
+contract (aggregated output is byte-identical across worker counts).
+"""
+
+from repro.campaign.engine import CampaignResult, run_campaign
+from repro.campaign.scenarios import (FAULTS, execute_trial, get_scenario,
+                                      register_scenario, scenario_names)
+from repro.campaign.spec import (CampaignSpec, TrialSpec, derive_seed,
+                                 expand)
+
+__all__ = [
+    "CampaignSpec", "TrialSpec", "derive_seed", "expand",
+    "CampaignResult", "run_campaign",
+    "register_scenario", "get_scenario", "scenario_names",
+    "FAULTS", "execute_trial",
+]

@@ -1,0 +1,157 @@
+"""``python -m repro sweep`` — run a campaign from the shell.
+
+::
+
+    python -m repro sweep --grid hb_period_ms=5,10,20 --trials 30 --jobs 4
+    python -m repro sweep --scenario failover --fault nic_failure_primary \\
+        --set total_bytes=2000000 --set fault_at_s=0.1 --run-until 6 \\
+        --grid hb_miss_threshold=2,3,5 --trials 10 --jobs 2 \\
+        --out sweep.json --jsonl trials.jsonl
+
+``--grid name=v1,v2,...`` (repeatable) sweeps the cartesian product;
+``--set name=value`` (repeatable) fixes a parameter for every trial;
+``--trials N`` repeats each grid point under N derived seeds.  The
+``--out`` JSON aggregate is canonical: byte-identical for the same
+campaign seed regardless of ``--jobs``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.campaign.spec import (CampaignSpec, parse_grid_arg, parse_set_arg)
+
+__all__ = ["add_sweep_args", "run_sweep"]
+
+
+def add_sweep_args(parser) -> None:
+    """Attach the sweep options to an argparse (sub)parser."""
+    from repro.campaign.scenarios import FAULTS, scenario_names
+
+    parser.add_argument("--scenario", choices=scenario_names(),
+                        default="failover",
+                        help="what each trial runs (default: failover)")
+    parser.add_argument("--fault", choices=sorted(FAULTS), default=None,
+                        help="fault injected mid-trial "
+                             "(default: hw_crash_primary)")
+    parser.add_argument("--grid", action="append", default=[],
+                        metavar="NAME=V1,V2,...",
+                        help="sweep a parameter over values (repeatable; "
+                             "cartesian product across --grid flags)")
+    parser.add_argument("--set", action="append", default=[], dest="fixed",
+                        metavar="NAME=VALUE",
+                        help="fix a parameter for every trial (repeatable)")
+    parser.add_argument("--trials", type=int, default=1,
+                        help="repetitions per grid point, each under its "
+                             "own derived seed (default: 1)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (default: 1 = in-process)")
+    parser.add_argument("--seed", type=int, default=3,
+                        help="campaign seed; trial seeds are derived from "
+                             "it (default: 3)")
+    parser.add_argument("--run-until", type=float, default=60.0,
+                        help="virtual seconds each trial runs (default: 60)")
+    parser.add_argument("--timeout", type=float, default=300.0,
+                        help="wall-clock budget per trial in seconds; "
+                             "0 disables (default: 300)")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="re-dispatches of a timed-out/crashed trial "
+                             "before it is recorded failed (default: 1)")
+    parser.add_argument("--check", action="store_true",
+                        help="run every trial under the invariant oracle "
+                             "and record the verdict per trial")
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="write the canonical JSON aggregate here")
+    parser.add_argument("--jsonl", metavar="FILE", default=None,
+                        help="write one JSON line per trial record here")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-trial progress lines")
+
+
+def _build_spec(args) -> CampaignSpec:
+    from repro.scenarios.options import RunOptions
+
+    base = {}
+    for arg in args.fixed:
+        name, value = parse_set_arg(arg)
+        base[name] = value
+    if args.fault is not None:
+        base["fault"] = args.fault
+    grid = {}
+    for arg in args.grid:
+        name, values = parse_grid_arg(arg)
+        grid[name] = values
+    return CampaignSpec(
+        scenario=args.scenario, base=base, grid=grid,
+        trials=args.trials, seed=args.seed,
+        options=RunOptions(run_until_s=args.run_until, check=args.check),
+        timeout_s=args.timeout if args.timeout > 0 else None,
+        retries=args.retries)
+
+
+def run_sweep(args) -> int:
+    """The ``sweep`` command body; returns a process exit code (0 = every
+    trial ok, 1 = at least one failed/violated trial)."""
+    from repro.campaign.engine import run_campaign
+    from repro.metrics.report import format_table
+
+    spec = _build_spec(args)
+
+    def progress(record: dict) -> None:
+        mark = "ok" if record["status"] == "ok" else record["status"].upper()
+        print(f"  trial {record['index']:4d} {mark:9s} "
+              f"seed={record['seed']}", flush=True)
+
+    result = run_campaign(spec, jobs=args.jobs,
+                          progress=None if args.quiet else progress)
+
+    summary = result.summary()
+    print(f"\ncampaign: {len(result.records)} trial(s), "
+          f"{summary['ok']} ok, {summary['failed']} failed, "
+          f"jobs={result.jobs}, {result.wall_s:.2f}s wall "
+          f"({result.trials_per_sec:.2f} trials/sec)")
+    for line in result.dispatch_log:
+        print(f"  dispatch: {line}")
+
+    rows = []
+    for point in summary["by_point"]:
+        failover = point["failover_time_ns"] or {}
+        rows.append([
+            ", ".join(f"{k}={v}" for k, v in point["point"].items()),
+            point["trials"], point["ok"], point["intact"],
+            _fmt_ns(failover.get("p50")), _fmt_ns(failover.get("p90")),
+        ])
+    if rows:
+        print()
+        print(format_table(
+            ["grid point", "trials", "ok", "intact",
+             "failover p50", "failover p90"], rows))
+    overall = summary["failover_time_ns"]
+    if overall:
+        print(f"\nfailover time: p50={_fmt_ns(overall['p50'])} "
+              f"p90={_fmt_ns(overall['p90'])} p99={_fmt_ns(overall['p99'])} "
+              f"(n={overall['n']})")
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(result.to_json())
+        print(f"\naggregate -> {args.out}")
+    if args.jsonl:
+        with open(args.jsonl, "w", encoding="utf-8") as fh:
+            fh.write(result.to_jsonl())
+        print(f"trial records -> {args.jsonl}")
+    return 0 if not result.failed else 1
+
+
+def _fmt_ns(ns) -> str:
+    if ns is None:
+        return "-"
+    return f"{ns / 1e6:.1f} ms"
+
+
+if __name__ == "__main__":  # pragma: no cover - debugging entry point
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_sweep_args(parser)
+    sys.exit(run_sweep(parser.parse_args()))

@@ -1,0 +1,203 @@
+"""Campaign and trial specifications, and the seed-derivation scheme.
+
+A *campaign* is the same scenario re-run across a parameter grid and a
+set of seeds — the shape of every result in the paper (Table 1 rows,
+the heartbeat-frequency sweep, the overhead study) and of any Monte
+Carlo failover study.  :class:`CampaignSpec` describes the whole study;
+:func:`expand` flattens it into an ordered list of :class:`TrialSpec`
+values, one per (grid point, repetition).
+
+Determinism contract
+--------------------
+Aggregated campaign output must be byte-identical regardless of worker
+count or scheduling order.  Three rules make that hold:
+
+* every trial's seed is :func:`derive_seed`\\ ``(campaign_seed,
+  trial_index)`` — a stable SHA-256 hash, never Python's process-salted
+  ``hash()`` and never "worker id + counter";
+* trial indexes are assigned by :func:`expand` before any dispatch, so
+  a record is identified by *what* it ran, not *where*;
+* trial records carry virtual-time measurements only — wall-clock
+  timing lives next to the aggregate, never inside it.
+
+Everything here is picklable with plain data (strings, numbers, dicts,
+:class:`~repro.scenarios.options.RunOptions`), so specs cross process
+boundaries cheaply.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.scenarios.options import RunOptions
+
+__all__ = ["TrialSpec", "CampaignSpec", "derive_seed", "expand",
+           "parse_scalar", "parse_grid_arg", "parse_set_arg"]
+
+
+def derive_seed(campaign_seed: int, trial_index: int) -> int:
+    """The trial's world seed: a stable 63-bit hash of (campaign seed,
+    trial index).
+
+    SHA-256 over a tagged string, truncated to 8 bytes with the sign
+    bit cleared: stable across processes, Python versions and platforms
+    (unlike ``hash()``), and uncorrelated between neighbouring indexes
+    (unlike ``campaign_seed + trial_index``).
+    """
+    tag = f"repro.campaign:{campaign_seed}:{trial_index}".encode("ascii")
+    digest = hashlib.sha256(tag).digest()
+    return int.from_bytes(digest[:8], "big") & 0x7FFF_FFFF_FFFF_FFFF
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One fully-resolved trial: scenario kind, parameters, seed.
+
+    ``scenario``
+        A name registered in :mod:`repro.campaign.scenarios`
+        (``"failover"``, ``"baseline"``, ``"workload"``, or a custom
+        registration).
+    ``params``
+        Scenario parameters — the merged base + grid-point dict.  Plain
+        JSON-able scalars only, so records round-trip losslessly.
+    ``options``
+        The :class:`~repro.scenarios.options.RunOptions` the trial runs
+        under; its ``seed`` field is overridden by ``seed`` below.
+    ``seed`` / ``index``
+        The derived world seed and the campaign-wide trial index.
+    """
+
+    scenario: str = "failover"
+    params: dict = field(default_factory=dict)
+    options: RunOptions = field(default_factory=RunOptions)
+    seed: int = 0
+    index: int = 0
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """The whole study: scenario, fixed params, grid, repetitions.
+
+    ``base``
+        Parameters shared by every trial.
+    ``grid``
+        Mapping of parameter name to the list of values to sweep; the
+        cartesian product of all entries gives the grid points, in the
+        mapping's insertion order (first key varies slowest).
+    ``trials``
+        Repetitions per grid point, each with its own derived seed —
+        the Monte Carlo knob.
+    ``seed``
+        The campaign seed every trial seed is derived from.
+    ``options``
+        Shared :class:`~repro.scenarios.options.RunOptions`.  Campaign
+        workers always run with observability *off* and ship back
+        compact summary records, so ``obs_level`` must be ``None``
+        (export single interesting runs via the demo CLIs instead).
+    ``timeout_s`` / ``retries``
+        Wall-clock budget per trial and how many times a timed-out or
+        crashed trial is re-dispatched before being recorded as
+        ``failed``.  ``timeout_s=None`` disables the deadline (worker
+        crashes are still handled).
+    """
+
+    scenario: str = "failover"
+    base: dict = field(default_factory=dict)
+    grid: dict = field(default_factory=dict)
+    trials: int = 1
+    seed: int = 3
+    options: RunOptions = field(default_factory=RunOptions)
+    timeout_s: Optional[float] = 300.0
+    retries: int = 1
+
+    def __post_init__(self) -> None:
+        if self.trials < 1:
+            raise ValueError(f"trials must be >= 1, got {self.trials}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.options.obs_level is not None:
+            raise ValueError(
+                "campaign trials run with observability off (workers ship "
+                "back compact summaries, not probe streams); re-run single "
+                "interesting trials with --obs-out via the demo CLIs")
+        for name, values in self.grid.items():
+            if not isinstance(values, (list, tuple)) or not values:
+                raise ValueError(
+                    f"grid entry {name!r} must be a non-empty list of values")
+
+    def describe(self) -> dict:
+        """JSON-able form recorded alongside the results."""
+        return {
+            "scenario": self.scenario,
+            "base": dict(self.base),
+            "grid": {k: list(v) for k, v in self.grid.items()},
+            "trials": self.trials,
+            "seed": self.seed,
+            "run_until_s": self.options.run_until_s,
+            "check": self.options.check,
+        }
+
+
+def grid_points(spec: CampaignSpec) -> list[dict]:
+    """The grid's cartesian product, insertion-ordered, as param dicts."""
+    if not spec.grid:
+        return [{}]
+    names = list(spec.grid)
+    return [dict(zip(names, combo))
+            for combo in itertools.product(*(spec.grid[n] for n in names))]
+
+
+def expand(spec: CampaignSpec) -> list[TrialSpec]:
+    """Flatten a campaign into its ordered trial list.
+
+    Trial indexes (and therefore seeds) depend only on the spec — never
+    on worker count or dispatch order — which is what makes aggregated
+    output byte-identical across ``jobs`` settings.
+    """
+    out: list[TrialSpec] = []
+    index = 0
+    for point in grid_points(spec):
+        for _rep in range(spec.trials):
+            out.append(TrialSpec(
+                scenario=spec.scenario,
+                params={**spec.base, **point},
+                options=spec.options,
+                seed=derive_seed(spec.seed, index),
+                index=index))
+            index += 1
+    return out
+
+
+# --------------------------------------------------------------- CLI parsing
+
+def parse_scalar(text: str) -> Any:
+    """``"5"`` → 5, ``"0.25"`` → 0.25, ``"true"`` → True, else the string."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def parse_grid_arg(arg: str) -> tuple[str, list]:
+    """``"hb_period_ms=5,10,20"`` → ``("hb_period_ms", [5, 10, 20])``."""
+    name, sep, values = arg.partition("=")
+    if not sep or not name or not values:
+        raise ValueError(
+            f"bad --grid argument {arg!r}; expected name=v1,v2,...")
+    return name, [parse_scalar(v) for v in values.split(",")]
+
+
+def parse_set_arg(arg: str) -> tuple[str, Any]:
+    """``"total_bytes=2000000"`` → ``("total_bytes", 2000000)``."""
+    name, sep, value = arg.partition("=")
+    if not sep or not name:
+        raise ValueError(f"bad --set argument {arg!r}; expected name=value")
+    return name, parse_scalar(value)

@@ -11,6 +11,8 @@
     python -m repro table1
     python -m repro demo1 --seed 7       # every command takes --seed
     python -m repro demo1 --obs-out out/ --obs-level frames
+    python -m repro sweep --grid hb_period_ms=200,500,1000 --trials 30 \
+        --jobs 4 --out sweep.json       # parallel campaign engine
 
 Every command accepts ``--obs-out DIR`` to export observability
 artifacts (counter snapshot, per-connection TCP timeline, pcap-style
@@ -271,6 +273,12 @@ def _workload(args) -> int:
     return 0 if result.all_intact else 1
 
 
+def _sweep(args) -> int:
+    from repro.campaign.cli import run_sweep
+
+    return run_sweep(args)
+
+
 _COMMANDS = {
     "demo1": (_demo1, "client-transparent seamless failover vs baseline"),
     "demo2": (_demo2, "failover time vs heartbeat frequency"),
@@ -279,6 +287,7 @@ _COMMANDS = {
     "demo5": (_demo5, "NIC failures"),
     "table1": (_table1, "the full single-failure matrix"),
     "workload": (_workload, "many-connection workload through a failover"),
+    "sweep": (_sweep, "parallel campaign: grid sweep / Monte Carlo trials"),
 }
 
 
@@ -291,6 +300,13 @@ def main(argv=None) -> int:
     sub.add_parser("list", help="list available demonstrations")
     for name, (_fn, help_text) in _COMMANDS.items():
         p = sub.add_parser(name, help=help_text)
+        if name == "sweep":
+            # The campaign engine has its own knob surface (grid, jobs,
+            # timeout, ...); workers always run with observability off.
+            from repro.campaign.cli import add_sweep_args
+
+            add_sweep_args(p)
+            continue
         p.add_argument("--seed", type=int, default=3)
         p.add_argument("--obs-out", metavar="DIR", default=None,
                        help="export observability artifacts into DIR "
@@ -327,7 +343,7 @@ def main(argv=None) -> int:
             print(f"  {name:8s} {help_text}")
         return 0
     handler, _help = _COMMANDS[args.command]
-    if args.check:
+    if args.check and args.command != "sweep":
         from repro.check.oracle import InvariantViolationError
         try:
             rc = handler(args)

@@ -11,7 +11,10 @@ Design notes
   and :data:`NS_PER_S` (plus :func:`seconds`, :func:`millis`, :func:`micros`)
   convert human units without floating-point drift.
 * :meth:`Simulator.schedule` returns an :class:`EventHandle` that can be
-  cancelled; cancellation is O(1) (lazy deletion from the heap).
+  cancelled; cancellation is O(1) (lazy deletion from the heap).  Dead
+  entries are compacted away once they outnumber live ones in a
+  non-trivial queue, so arm/cancel churn (timer restarts) cannot grow the
+  heap without bound.
 * The kernel never catches exceptions raised by callbacks: a bug in a
   protocol implementation should fail the test loudly, not be swallowed.
 """
@@ -64,20 +67,27 @@ class EventHandle:
     handle is a harmless no-op.
     """
 
-    __slots__ = ("time", "callback", "args", "_cancelled", "_fired", "label")
+    __slots__ = ("time", "callback", "args", "_cancelled", "_fired", "label",
+                 "_owner")
 
     def __init__(self, time: int, callback: Callable[..., Any],
-                 args: tuple, label: str = ""):
+                 args: tuple, label: str = "",
+                 owner: "Optional[Simulator]" = None):
         self.time = time
         self.callback = callback
         self.args = args
         self.label = label
         self._cancelled = False
         self._fired = False
+        self._owner = owner
 
     def cancel(self) -> None:
         """Prevent the callback from running.  Idempotent."""
+        if self._cancelled or self._fired:
+            return
         self._cancelled = True
+        if self._owner is not None:
+            self._owner._note_cancelled()
 
     @property
     def cancelled(self) -> bool:
@@ -116,7 +126,11 @@ class Simulator:
     """
 
     __slots__ = ("_now", "_queue", "_sequence", "_running",
-                 "_events_processed")
+                 "_events_processed", "_cancelled_in_queue")
+
+    #: Queues smaller than this are never compacted — rebuilding a tiny
+    #: heap costs more than carrying its tombstones to the pop.
+    COMPACT_MIN_QUEUE = 64
 
     def __init__(self) -> None:
         self._now: int = 0
@@ -124,6 +138,7 @@ class Simulator:
         self._sequence = itertools.count()
         self._running = False
         self._events_processed = 0
+        self._cancelled_in_queue = 0
 
     # ------------------------------------------------------------------ time
 
@@ -169,9 +184,24 @@ class Simulator:
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule in the past (time={time} < now={self._now})")
-        handle = EventHandle(time, callback, args, label=label)
+        handle = EventHandle(time, callback, args, label=label, owner=self)
         heapq.heappush(self._queue, (time, next(self._sequence), handle))
         return handle
+
+    def _note_cancelled(self) -> None:
+        """A queued handle was cancelled; compact once tombstones dominate."""
+        self._cancelled_in_queue += 1
+        if (self._cancelled_in_queue * 2 > len(self._queue)
+                and len(self._queue) >= self.COMPACT_MIN_QUEUE):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, in place so an active
+        ``run()`` loop keeps seeing the same list object."""
+        self._queue[:] = [entry for entry in self._queue
+                          if not entry[2]._cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_in_queue = 0
 
     def call_soon(self, callback: Callable[..., Any], *args: Any,
                   label: str = "") -> EventHandle:
@@ -202,6 +232,7 @@ class Simulator:
                     break
                 heappop(queue)
                 if handle._cancelled:
+                    self._cancelled_in_queue -= 1
                     continue
                 self._now = time
                 handle._fired = True
@@ -224,12 +255,13 @@ class Simulator:
         """Virtual time of the next pending event, or None if queue is empty."""
         while self._queue and self._queue[0][2]._cancelled:
             heapq.heappop(self._queue)
+            self._cancelled_in_queue -= 1
         return self._queue[0][0] if self._queue else None
 
     @property
     def pending_events(self) -> int:
         """Number of queued, not-yet-cancelled events."""
-        return sum(1 for _, _, h in self._queue if not h._cancelled)
+        return len(self._queue) - self._cancelled_in_queue
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Simulator t={self.now_s:.6f}s pending={self.pending_events} "

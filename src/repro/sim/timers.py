@@ -62,8 +62,10 @@ class PeriodicTimer:
     """A timer that fires every ``period`` ns until stopped.
 
     Used for heartbeat transmission and application pacing.  The period can
-    be changed on the fly with :meth:`reschedule`; the new period takes
-    effect from the next tick.
+    be changed on the fly with :meth:`reschedule`; by default the new
+    period takes effect from the next tick, while ``immediate=True``
+    re-arms the pending deadline as well (heartbeat-frequency sweeps
+    change the period mid-run and must not wait out a stale long period).
     """
 
     def __init__(self, sim: Simulator, callback: Callable[[], Any],
@@ -98,11 +100,24 @@ class PeriodicTimer:
             self._handle.cancel()
             self._handle = None
 
-    def reschedule(self, period: int) -> None:
-        """Change the period; applies from the next tick onward."""
+    def reschedule(self, period: int, immediate: bool = False) -> None:
+        """Change the period.
+
+        By default the pending tick keeps its old deadline and the new
+        period applies from the *next* tick onward.  With
+        ``immediate=True`` the pending deadline itself is re-armed to
+        ``now + period`` (and ticking continues at the new period), so a
+        mid-run period change takes effect without waiting out the old
+        interval.  On a stopped timer ``immediate`` is a no-op beyond
+        storing the period for the next :meth:`start`.
+        """
         if period <= 0:
             raise ValueError(f"period must be positive, got {period}")
         self._period = period
+        if immediate and self.running:
+            self._handle.cancel()
+            self._handle = self._sim.schedule(period, self._tick,
+                                              label=self._label)
 
     def _tick(self) -> None:
         self._handle = self._sim.schedule(self._period, self._tick,

@@ -1,0 +1,67 @@
+"""``python -m repro sweep``: grid syntax, outputs, jobs-invariance."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+# Tiny but fault-spanning trials (~0.3 s each): see tests/campaign/
+# test_engine.py for the sizing rationale.
+BASE_ARGS = ["sweep", "--set", "total_bytes=2000000",
+             "--set", "fault_at_s=0.1", "--run-until", "6",
+             "--seed", "7", "--quiet"]
+
+
+def test_sweep_writes_canonical_aggregate_and_jsonl(tmp_path, capsys):
+    out = tmp_path / "sweep.json"
+    jsonl = tmp_path / "trials.jsonl"
+    rc = main(BASE_ARGS + ["--grid", "hb_period_ms=100,200",
+                           "--trials", "1",
+                           "--out", str(out), "--jsonl", str(jsonl)])
+    assert rc == 0
+    printed = capsys.readouterr().out
+    assert "2 ok, 0 failed" in printed
+    assert "hb_period_ms=100" in printed
+
+    aggregate = json.loads(out.read_text())
+    assert aggregate["campaign"]["grid"] == {"hb_period_ms": [100, 200]}
+    assert aggregate["campaign"]["base"]["total_bytes"] == 2_000_000
+    assert aggregate["summary"]["ok"] == 2
+    assert [r["params"]["hb_period_ms"] for r in aggregate["trials"]] == \
+        [100, 200]
+
+    lines = [json.loads(line) for line in jsonl.read_text().splitlines()]
+    assert [r["index"] for r in lines] == [0, 1]
+    assert lines == aggregate["trials"]
+
+
+def test_sweep_output_is_jobs_invariant(tmp_path):
+    # The CI smoke leg's contract, held as a test too: the --out file is
+    # byte-identical whatever --jobs is.
+    args = BASE_ARGS + ["--grid", "hb_period_ms=100", "--trials", "2"]
+    out1, out2 = tmp_path / "j1.json", tmp_path / "j2.json"
+    assert main(args + ["--jobs", "1", "--out", str(out1)]) == 0
+    assert main(args + ["--jobs", "2", "--out", str(out2)]) == 0
+    assert out1.read_bytes() == out2.read_bytes()
+
+
+def test_sweep_named_fault_and_monte_carlo(capsys):
+    rc = main(BASE_ARGS + ["--fault", "nic_failure_primary",
+                           "--trials", "2"])
+    assert rc == 0
+    assert "2 ok" in capsys.readouterr().out
+
+
+def test_sweep_rejects_bad_grid():
+    try:
+        main(BASE_ARGS + ["--grid", "hb_period_ms"])
+    except ValueError as exc:
+        assert "bad --grid" in str(exc)
+    else:  # pragma: no cover
+        raise AssertionError("bad grid syntax was accepted")
+
+
+def test_sweep_listed_in_cli(capsys):
+    assert main(["list"]) == 0
+    assert "sweep" in capsys.readouterr().out

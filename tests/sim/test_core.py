@@ -193,3 +193,58 @@ def test_exceptions_propagate():
     sim.schedule(1, boom)
     with pytest.raises(RuntimeError):
         sim.run()
+
+
+def test_cancel_churn_compacts_queue_tombstones():
+    # Arm/cancel churn (a restarted retransmission timer) must not grow
+    # the heap without bound: cancelled entries are compacted away once
+    # they outnumber live ones in a non-trivial queue.
+    sim = Simulator()
+    live = sim.schedule(10_000_000, lambda: None)
+    handle = None
+    for _ in range(10_000):
+        if handle is not None:
+            handle.cancel()
+        handle = sim.schedule(1_000_000, lambda: None)
+    assert len(sim._queue) <= 2 * Simulator.COMPACT_MIN_QUEUE
+    assert sim.pending_events == 2
+    assert live.pending and handle.pending
+
+
+def test_compaction_preserves_order_and_fires_live_events():
+    sim = Simulator()
+    fired = []
+    # Interleave live events with churned-and-cancelled ones so the
+    # rebuilt heap must keep (time, insertion-order) ordering intact.
+    for i in range(200):
+        sim.schedule(1000 + i, fired.append, i)
+        sim.schedule(500, lambda: None).cancel()
+    sim.run()
+    assert fired == list(range(200))
+    assert sim._cancelled_in_queue == 0
+
+
+def test_cancel_after_fire_does_not_corrupt_tombstone_count():
+    sim = Simulator()
+    handle = sim.schedule(10, lambda: None)
+    sim.run(until=20)
+    assert handle.fired
+    handle.cancel()                      # no-op: already fired
+    assert not handle.cancelled
+    assert sim._cancelled_in_queue == 0
+    handle2 = sim.schedule(30, lambda: None)
+    handle2.cancel()
+    handle2.cancel()                     # idempotent: counted once
+    assert sim._cancelled_in_queue == 1
+    sim.run(until=60)                    # pops the tombstone at t=50
+    assert sim._cancelled_in_queue == 0
+
+
+def test_small_queues_are_not_compacted():
+    # Below COMPACT_MIN_QUEUE lazy deletion is cheaper than rebuilding.
+    sim = Simulator()
+    handles = [sim.schedule(100 + i, lambda: None) for i in range(10)]
+    for h in handles:
+        h.cancel()
+    assert len(sim._queue) == 10
+    assert sim.pending_events == 0

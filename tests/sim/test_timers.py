@@ -135,3 +135,33 @@ def test_periodic_restart_resets_phase():
     sim.run(until=400)
     timer.stop()
     assert ticks == [100, 250, 350]
+
+
+def test_periodic_reschedule_immediate_rearms_pending_deadline():
+    sim = Simulator()
+    ticks = []
+    timer = PeriodicTimer(sim, lambda: ticks.append(sim.now), period=1000)
+    timer.start()                        # first tick would land at t=1000
+
+    def change():
+        timer.reschedule(200, immediate=True)
+
+    sim.schedule(100, change)
+    sim.run(until=800)
+    timer.stop()
+    # Re-armed at t=100: ticks at 300, 500, 700 — the stale 1000 ns
+    # deadline never fires.
+    assert ticks == [300, 500, 700]
+    assert timer.period == 200
+
+
+def test_periodic_reschedule_immediate_on_stopped_timer():
+    sim = Simulator()
+    ticks = []
+    timer = PeriodicTimer(sim, lambda: ticks.append(sim.now), period=1000)
+    timer.reschedule(250, immediate=True)    # not running: just store it
+    assert not timer.running
+    timer.start()
+    sim.run(until=600)
+    timer.stop()
+    assert ticks == [250, 500]
