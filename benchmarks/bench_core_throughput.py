@@ -40,11 +40,31 @@ QUICK_JSON = pathlib.Path(__file__).parent / "results" / \
     "BENCH_core_throughput_quick.json"
 
 # The canonical measurement workload: 32 clients, 32 streaming
-# connections with arrival churn, primary HW crash mid-run.
+# connections with arrival churn, primary HW crash mid-run.  Runs on the
+# faithful broadcast network (egress filtering off) so its events/sec is
+# directly comparable with every older trajectory entry.
 FULL = dict(num_clients=32, connections=32, bytes_per_conn=500_000,
-            mean_interarrival_s=0.02, fault_at_s=1.0, run_until_s=45.0)
+            mean_interarrival_s=0.02, fault_at_s=1.0, run_until_s=45.0,
+            egress_filtering=False)
 QUICK = dict(num_clients=8, connections=8, bytes_per_conn=40_000,
-             mean_interarrival_s=0.02, fault_at_s=0.5, run_until_s=20.0)
+             mean_interarrival_s=0.02, fault_at_s=0.5, run_until_s=20.0,
+             egress_filtering=False)
+
+# The fleet scaling curve (docs/performance.md).  32 clients stays on the
+# faithful broadcast network; the 256/1024 points enable the switch's
+# egress filtering (the IGMP-snooping analogue), without which flood
+# fan-out work grows quadratically with the fleet.  Each point is
+# labelled with its configuration — events/sec is only comparable
+# between entries with the same num_clients + egress_filtering.
+SCALING = [
+    dict(FULL),
+    dict(num_clients=256, connections=256, bytes_per_conn=60_000,
+         mean_interarrival_s=0.005, fault_at_s=1.0, run_until_s=30.0,
+         egress_filtering=True),
+    dict(num_clients=1024, connections=1024, bytes_per_conn=15_000,
+         mean_interarrival_s=0.002, fault_at_s=1.0, run_until_s=30.0,
+         egress_filtering=True),
+]
 
 
 def run_workload(params: dict, seed: int = 3) -> dict:
@@ -60,7 +80,8 @@ def run_workload(params: dict, seed: int = 3) -> dict:
     result = run_workload_failover(
         spec, num_clients=params["num_clients"],
         fault_at_s=params["fault_at_s"],
-        options=RunOptions(seed=seed, run_until_s=params["run_until_s"]))
+        options=RunOptions(seed=seed, run_until_s=params["run_until_s"]),
+        egress_filtering=params.get("egress_filtering", False))
     wall_s = time.perf_counter() - start
     sim = result.testbed.world.sim
     return {
@@ -71,6 +92,8 @@ def run_workload(params: dict, seed: int = 3) -> dict:
         "all_intact": result.all_intact,
         "completed": result.engine.completed_count,
         "connections": len(result.records),
+        "num_clients": params["num_clients"],
+        "egress_filtering": params.get("egress_filtering", False),
     }
 
 
@@ -94,22 +117,42 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="scaled-down CI smoke run")
+    parser.add_argument("--clients", type=int, metavar="N",
+                        help="override the client count (with --quick: a "
+                             "fleet-sized smoke run with egress filtering)")
+    parser.add_argument("--scaling", action="store_true",
+                        help="run the 32/256/1024 fleet scaling curve "
+                             "(with --record: append one entry per point)")
     parser.add_argument("--record", metavar="LABEL",
                         help="append this measurement (dated, labelled) to "
                              "the trajectory in BENCH_core_throughput.json")
     parser.add_argument("--repeats", type=int, default=2)
     args = parser.parse_args(argv)
 
-    params = QUICK if args.quick else FULL
+    if args.scaling:
+        return run_scaling(args)
+
+    params = dict(QUICK if args.quick else FULL)
+    if args.clients:
+        # Fleet-sized variant: scale the load with the fleet and turn on
+        # the switch's egress filtering (the fleet configuration).
+        params.update(num_clients=args.clients, connections=args.clients,
+                      bytes_per_conn=20_000, mean_interarrival_s=0.005,
+                      fault_at_s=0.5, run_until_s=20.0,
+                      egress_filtering=True)
     record = measure(params, repeats=args.repeats)
     print(json.dumps({"workload": params, "result": record}, indent=2))
 
     if args.quick:
-        QUICK_JSON.parent.mkdir(exist_ok=True)
-        QUICK_JSON.write_text(json.dumps(
+        out = QUICK_JSON
+        if args.clients:  # fleet smoke: keep the default smoke's file
+            out = out.with_name(
+                f"BENCH_core_throughput_quick_{args.clients}c.json")
+        out.parent.mkdir(exist_ok=True)
+        out.write_text(json.dumps(
             {"benchmark": "core_throughput_quick", "workload": params,
              "result": record}, indent=2) + "\n")
-        print(f"\nquick results -> {QUICK_JSON}")
+        print(f"\nquick results -> {out}")
         if not record["all_intact"]:
             print("FAIL: not every connection kept its stream intact",
                   file=sys.stderr)
@@ -117,17 +160,40 @@ def main(argv=None) -> int:
         return 0
 
     if args.record:
-        data = (json.loads(RESULT_JSON.read_text())
-                if RESULT_JSON.exists() else
-                {"benchmark": "core_throughput", "workload": params})
-        trajectory = seed_trajectory(data)
-        trajectory.append(dict(
-            label=args.record,
-            date=datetime.date.today().isoformat(),
-            cpus=os.cpu_count(), **record))
-        RESULT_JSON.write_text(json.dumps(data, indent=2) + "\n")
-        print(f"\nrecorded '{args.record}' -> {RESULT_JSON} "
-              f"({len(trajectory)} trajectory entries)")
+        append_trajectory(args.record, params, record)
+    return 0
+
+
+def append_trajectory(label: str, params: dict, record: dict) -> None:
+    data = (json.loads(RESULT_JSON.read_text())
+            if RESULT_JSON.exists() else
+            {"benchmark": "core_throughput", "workload": params})
+    trajectory = seed_trajectory(data)
+    trajectory.append(dict(
+        label=label,
+        date=datetime.date.today().isoformat(),
+        cpus=os.cpu_count(), **record))
+    RESULT_JSON.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"\nrecorded '{label}' -> {RESULT_JSON} "
+          f"({len(trajectory)} trajectory entries)")
+
+
+def run_scaling(args) -> int:
+    """Measure every point of the fleet scaling curve."""
+    failed = False
+    for params in SCALING:
+        record = measure(params, repeats=args.repeats)
+        print(json.dumps({"workload": params, "result": record}, indent=2))
+        failed = failed or not record["all_intact"]
+        if args.record:
+            suffix = "bcast" if not params["egress_filtering"] else "fleet"
+            append_trajectory(
+                f"{args.record}@{params['num_clients']}c-{suffix}",
+                params, record)
+    if failed:
+        print("FAIL: not every connection kept its stream intact",
+              file=sys.stderr)
+        return 1
     return 0
 
 

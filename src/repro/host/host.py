@@ -69,7 +69,7 @@ class Host:
         address; the rest are aliases, e.g. the shared serviceIP)."""
         nic = Nic(self.world, f"{self.name}.nic{len(self.nics)}",
                   MacAddress(mac))
-        nic.power_gate = lambda: self.is_up
+        nic.power_gate = self._power_gate
         ips = [IPAddress(a) for a in addresses]
         iface = self.ip.add_interface(nic, ips, IPAddress(network), prefix_len)
         nic.set_upper(lambda frame, i=iface: self._frame_up(frame, i))
@@ -114,6 +114,11 @@ class Host:
     @property
     def is_up(self) -> bool:
         """True while powered on and the OS has not crashed."""
+        return self.powered_on and not self.os.crashed
+
+    def _power_gate(self) -> bool:
+        # Installed on NICs; a bound method is measurably cheaper than a
+        # lambda chaining through the is_up property on the frame hot path.
         return self.powered_on and not self.os.crashed
 
     def power_off(self, reason: str = "power off") -> None:

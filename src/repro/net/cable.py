@@ -128,6 +128,47 @@ class Cable:
         sim.schedule(arrival_delay, self._deliver, ends[1 - direction], frame,
                      label=self._deliver_label)
 
+    def plan_transmit(self, sender: CableEndpoint,
+                      frame: EthernetFrame) -> "tuple[int, CableEndpoint] | None":
+        """Like :meth:`transmit`, but return the delivery plan instead of
+        scheduling it.
+
+        Returns ``(arrival_delay_ns, receiver)`` when the frame will arrive,
+        or ``None`` when it is dropped (cut or random loss).  All side
+        effects of :meth:`transmit` except the scheduling happen here —
+        FIFO serialization state, loss counters, the per-cable RNG draw —
+        in exactly the same order, so a caller that batches several planned
+        deliveries into one event (see ``Switch._forward``) produces the
+        same wire-level behaviour as per-frame ``transmit`` calls.  The
+        caller must invoke :meth:`deliver_planned` at ``now +
+        arrival_delay_ns``.
+        """
+        if self._cut:
+            self.frames_lost += 1
+            return None
+        ends = self._ends
+        direction = 0 if sender is ends[0] else 1
+        if direction and sender is not ends[1]:
+            raise ValueError(f"{sender!r} is not attached to {self.name}")
+        now = self._sim._now  # slot access: this runs once per flooded port
+        free_at = self._tx_free_at[direction]
+        start = now if now >= free_at else free_at
+        tx_time = (frame.size_bytes * 8 * 1_000_000_000) // self.bandwidth_bps
+        self._tx_free_at[direction] = start + tx_time
+        arrival_delay = (start - now) + tx_time + self.propagation_delay_ns
+        if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
+            self.frames_lost += 1
+            self._world.probes.fire("eth.frame_lost", self.name, "frame lost",
+                                    size=frame.size_bytes)
+            return None
+        return arrival_delay, ends[1 - direction]
+
+    def deliver_planned(self, receiver: CableEndpoint,
+                        frame: EthernetFrame) -> None:
+        """Complete a delivery planned by :meth:`plan_transmit` (re-checks
+        the cut state, as a cut may have happened while in flight)."""
+        self._deliver(receiver, frame)
+
     def _deliver(self, receiver: CableEndpoint, frame: EthernetFrame) -> None:
         if self._cut:  # cut while the frame was in flight
             self.frames_lost += 1

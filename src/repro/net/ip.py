@@ -30,6 +30,9 @@ class Interface:
         self.network = network
         self.prefix_len = prefix_len
         self.addresses: list[IPAddress] = []
+        # Raw values of `addresses`, kept in lockstep — owns() checks run
+        # once per delivered packet, so membership must be one int-set hit.
+        self.addr_values: set[int] = set()
         self.arp = ArpTable(world, nic, lambda: self.addresses,
                             name=f"{nic.name}.arp")
 
@@ -45,11 +48,13 @@ class Interface:
         rest are aliases (the paper's VNICs created via IP aliasing)."""
         if ip not in self.addresses:
             self.addresses.append(ip)
+            self.addr_values.add(ip.value)
 
     def remove_address(self, ip: IPAddress) -> None:
         """Drop an address/alias from the interface."""
         if ip in self.addresses:
             self.addresses.remove(ip)
+            self.addr_values.discard(ip.value)
 
     def on_link(self, ip: IPAddress) -> bool:
         """True if ``ip`` falls inside this interface's subnet."""
@@ -110,7 +115,11 @@ class IpStack:
 
     def owns(self, ip: IPAddress) -> bool:
         """True if any interface carries ``ip`` (including aliases)."""
-        return any(ip in iface.addresses for iface in self.interfaces)
+        value = ip._value
+        for iface in self.interfaces:
+            if value in iface.addr_values:
+                return True
+        return False
 
     # ---------------------------------------------------------------- send
 

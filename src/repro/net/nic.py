@@ -25,17 +25,22 @@ __all__ = ["Nic"]
 class Nic:
     """A single Ethernet interface attached to a host."""
 
-    __slots__ = ("_world", "name", "mac", "multicast_groups", "promiscuous",
+    __slots__ = ("_world", "name", "mac", "multicast_groups", "_promiscuous",
                  "_cable", "_failed", "power_gate", "_upper", "frames_sent",
                  "frames_received", "bytes_sent", "bytes_received",
-                 "frames_filtered")
+                 "frames_filtered", "_accept_values")
 
     def __init__(self, world: World, name: str, mac: MacAddress):
         self._world = world
         self.name = name
         self.mac = mac
         self.multicast_groups: set[MacAddress] = set()
-        self.promiscuous = False
+        self._promiscuous = False
+        # Raw address values this NIC accepts (own MAC, broadcast, joined
+        # groups) — an int set so the per-frame filter decision is one
+        # C-level lookup.  At fleet scale most flooded frames are filtered,
+        # making this the single hottest branch in the simulator.
+        self._accept_values: set[int] = {mac.value, (1 << 48) - 1}
         self._cable: Optional[Cable] = None
         self._failed = False
         # Host power gate: a powered-off machine neither sends nor
@@ -66,10 +71,25 @@ class Nic:
         if not group.is_multicast:
             raise ValueError(f"{group} is not a multicast MAC address")
         self.multicast_groups.add(group)
+        self._accept_values.add(group.value)
+        self._world.net_epoch += 1
 
     def leave_multicast(self, group: MacAddress) -> None:
         """Unsubscribe from a multicast group."""
         self.multicast_groups.discard(group)
+        self._accept_values.discard(group.value)
+        self._world.net_epoch += 1
+
+    @property
+    def promiscuous(self) -> bool:
+        """Accept every frame regardless of destination address."""
+        return self._promiscuous
+
+    @promiscuous.setter
+    def promiscuous(self, value: bool) -> None:
+        self._promiscuous = value
+        # Address-filter change: invalidate any cached flood target lists.
+        self._world.net_epoch += 1
 
     # ------------------------------------------------------------- failure
 
@@ -108,7 +128,8 @@ class Nic:
         """Cable-side entry point (CableEndpoint protocol)."""
         if self._failed or not self.power_gate():
             return
-        if not self._accepts(frame.dst):
+        if (frame.dst._value not in self._accept_values
+                and not self._promiscuous):
             self.frames_filtered += 1
             return
         self.frames_received += 1
@@ -120,11 +141,15 @@ class Nic:
             self._upper(frame)
 
     def _accepts(self, dst: MacAddress) -> bool:
-        if self.promiscuous:
-            return True
-        if dst == self.mac or dst.is_broadcast:
-            return True
-        return dst in self.multicast_groups
+        return self._promiscuous or dst._value in self._accept_values
+
+    def accepts(self, dst: MacAddress) -> bool:
+        """Address-filter predicate, exposed for switch egress filtering
+        (the IGMP-snooping analogue).  Purely address-based: a failed or
+        powered-off host still *receives* frames on the wire — they are
+        dropped at :meth:`receive_frame` — just as a snooping switch does
+        not know about host power state."""
+        return self._accepts(dst)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "FAILED" if self._failed else "up"

@@ -26,13 +26,23 @@ __all__ = ["Switch", "SwitchPort"]
 class SwitchPort:
     """One port of a switch — a cable endpoint that hands frames inward."""
 
-    __slots__ = ("switch", "index", "name", "cable")
+    __slots__ = ("switch", "index", "name", "_cable")
 
     def __init__(self, switch: "Switch", index: int):
         self.switch = switch
         self.index = index
         self.name = f"{switch.name}.p{index}"
-        self.cable: Optional[Cable] = None
+        self._cable: Optional[Cable] = None
+
+    @property
+    def cable(self) -> Optional[Cable]:
+        """The cable plugged into this port (assignable)."""
+        return self._cable
+
+    @cable.setter
+    def cable(self, cable: Optional[Cable]) -> None:
+        self._cable = cable
+        self.switch._flood_cache.clear()
 
     def receive_frame(self, frame: EthernetFrame) -> None:
         """Cable-side entry: hand the frame to the switch fabric."""
@@ -40,18 +50,38 @@ class SwitchPort:
 
     def transmit(self, frame: EthernetFrame) -> None:
         """Send a frame out of this port's cable."""
-        if self.cable is not None:
-            self.cable.transmit(self, frame)
+        if self._cable is not None:
+            self._cable.transmit(self, frame)
 
 
 class Switch:
-    """A store-and-forward learning switch with a fixed forwarding latency."""
+    """A store-and-forward learning switch with a fixed forwarding latency.
+
+    Floods are *batched*: instead of scheduling one delivery event per
+    egress port, the switch plans every egress cable's arrival time
+    (:meth:`Cable.plan_transmit`), groups ports whose frame arrives at the
+    same instant, and schedules one event per group.  Per-frame timing,
+    loss draws and counters are identical to per-port scheduling — only
+    the event count drops (the merged micro-events are credited via
+    ``sim.credit_events`` so throughput metrics stay comparable).
+
+    ``egress_filtering`` (opt-in, default off) is the IGMP-snooping
+    analogue for fleet-scale testbeds: a flooded frame is not sent down a
+    cable whose far-end NIC would filter it anyway (wrong unicast MAC, not
+    a subscribed multicast group, not promiscuous).  This skips the
+    quadratic deliver-then-discard work of large client fleets.  It is off
+    by default because it changes per-cable loss-RNG consumption and NIC
+    filter counters, i.e. it is a different (documented) configuration,
+    not a transparent optimisation; see docs/scheduler.md.
+    """
 
     def __init__(self, world: World, name: str = "switch",
-                 forwarding_delay_ns: int = 2_000):
+                 forwarding_delay_ns: int = 2_000,
+                 egress_filtering: bool = False):
         self._world = world
         self.name = name
         self.forwarding_delay_ns = forwarding_delay_ns
+        self.egress_filtering = egress_filtering
         self.ports: list[SwitchPort] = []
         self._mac_table: dict[MacAddress, SwitchPort] = {}
         # SPAN/mirror port: receives a copy of every forwarded unicast
@@ -61,12 +91,21 @@ class Switch:
         self.frames_forwarded = 0
         self.frames_flooded = 0
         self.frames_mirrored = 0
+        self.frames_egress_filtered = 0
         self._fwd_label = f"{name}.fwd"
+        self._flood_label = f"{name}.flood"
+        # Flood target lists, cached per (ingress port, destination):
+        # (targets, egress_filtered_count).  Invalidated on topology
+        # changes (new port, cable swap) and — when filtering — on NIC
+        # address-filter changes (tracked by World.net_epoch).
+        self._flood_cache: dict = {}
+        self._cache_net_epoch = -1
 
     def new_port(self) -> SwitchPort:
         """Allocate a fresh port (call before cabling a device to it)."""
         port = SwitchPort(self, len(self.ports))
         self.ports.append(port)
+        self._flood_cache.clear()
         return port
 
     @property
@@ -108,13 +147,101 @@ class Switch:
                 return
             if learned is ingress:
                 return  # destination is on the ingress segment; drop
-        # Multicast, broadcast, or unknown unicast: flood.
+        # Multicast, broadcast, or unknown unicast: flood (batched).
         self.frames_flooded += 1
         if probes.wants("eth.flood"):
             probes.fire("eth.flood", self.name, "flood", dst=str(dst))
+        if self.egress_filtering:
+            epoch = self._world.net_epoch
+            if epoch != self._cache_net_epoch:
+                self._flood_cache.clear()
+                self._cache_net_epoch = epoch
+            key = (ingress.index, dst._value)
+        else:
+            key = ingress.index
+        cached = self._flood_cache.get(key)
+        if cached is None:
+            cached = self._flood_cache[key] = \
+                self._build_flood_targets(ingress, dst)
+        targets, filtered = cached
+        self.frames_egress_filtered += filtered
+        # The per-target transmission plan below is Cable.plan_transmit
+        # inlined (keep the two in sync) — at fleet scale this loop is the
+        # hottest code in the network layer, so it pays to hoist `now` and
+        # the wire size out and skip a function call per port.
+        sim = self._world.sim
+        now = sim._now
+        size_bits_scaled = frame.size_bytes * 8 * 1_000_000_000
+        groups: dict[int, list] = {}
+        for port, cable, direction, receiver in targets:
+            if "transmit" in cable.__dict__:
+                # Tests stub transmit on individual cable instances to
+                # model targeted drops; honour the stub per-frame.
+                cable.transmit(port, frame)
+                continue
+            if cable._cut:
+                cable.frames_lost += 1
+                continue
+            free_at = cable._tx_free_at
+            free = free_at[direction]
+            start = now if now >= free else free
+            tx_time = size_bits_scaled // cable.bandwidth_bps
+            free_at[direction] = start + tx_time
+            delay = start - now + tx_time + cable.propagation_delay_ns
+            if cable.loss_rate > 0.0 and cable._rng.random() < cable.loss_rate:
+                cable.frames_lost += 1
+                probes.fire("eth.frame_lost", cable.name, "frame lost",
+                            size=frame.size_bytes)
+                continue
+            group = groups.get(delay)
+            if group is None:
+                groups[delay] = group = []
+            group.append((cable, receiver))
+        for delay, group in groups.items():
+            sim.schedule(delay, self._deliver_flood, group, frame,
+                         label=self._flood_label)
+
+    def _build_flood_targets(self, ingress: SwitchPort,
+                             dst: MacAddress) -> tuple[list, int]:
+        """Resolve the egress set for a flood from ``ingress``: every other
+        cabled port as (port, cable, direction, far endpoint), minus —
+        when :attr:`egress_filtering` is on — ports whose far-end NIC
+        would discard ``dst`` anyway.  Cached by ``_forward``; the
+        filtered count rides along so the counter stays per-frame."""
+        targets = []
+        filtered = 0
         for port in self.ports:
-            if port is not ingress:
-                port.transmit(frame)
+            if port is ingress:
+                continue
+            cable = port._cable
+            if cable is None:
+                continue
+            direction = cable._direction(port)
+            receiver = cable._ends[1 - direction]
+            if self.egress_filtering:
+                accepts = getattr(receiver, "accepts", None)
+                if accepts is not None and not accepts(dst):
+                    filtered += 1
+                    continue
+            targets.append((port, cable, direction, receiver))
+        return targets, filtered
+
+    def _deliver_flood(self, group: list, frame: EthernetFrame) -> None:
+        """Deliver one arrival-time group of a flooded frame.  One
+        scheduled event stands in for ``len(group)`` per-port deliveries;
+        the merged ones are credited so ``events_processed`` still counts
+        logical deliveries.  The body of ``Cable._deliver`` is inlined —
+        at fleet scale this loop runs once per (flood, port) pair."""
+        if len(group) > 1:
+            self._world.sim.credit_events(len(group) - 1)
+        size = frame.size_bytes
+        for cable, receiver in group:
+            if cable._cut:  # cut while the frame was in flight
+                cable.frames_lost += 1
+                continue
+            cable.frames_delivered += 1
+            cable.bytes_delivered += size
+            receiver.receive_frame(frame)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Switch {self.name} ports={len(self.ports)}>"

@@ -209,6 +209,7 @@ def build_testbed(seed: int = 0,
                   backup_frame_cost_ns: int = 0,
                   primary_frame_cost_ns: int = 0,
                   mirror_to_backup: bool = False,
+                  egress_filtering: bool = False,
                   trace_categories: Optional[frozenset] = DEFAULT_TRACE_CATEGORIES,
                   addresses: Optional[Addresses] = None) -> Testbed:
     """Build Figure 2.  Apps and faults are added by the caller.
@@ -230,13 +231,20 @@ def build_testbed(seed: int = 0,
     in promiscuous mode, so the backup also processes the primary→client
     stream; combine with ``backup_frame_cost_ns`` to reproduce the
     overload the paper describes in Sec. 3.
+
+    ``egress_filtering=True`` turns on the switch's IGMP-snooping
+    analogue: flooded frames are not sent down cables whose far-end NIC
+    would discard them anyway.  Use it for fleet-scale testbeds (hundreds
+    of clients), where flood fan-out is quadratic; it is off by default
+    because it changes cable occupancy and NIC filter counters relative
+    to the faithful Figure-2 broadcast network (see docs/scheduler.md).
     """
     if num_clients < 1:
         raise ValueError(f"num_clients must be >= 1, got {num_clients}")
     resolved_mode = _resolve_mode(mode, enable_sttcp)
     addrs = addresses or Addresses()
     world = World(seed=seed, trace_categories=trace_categories)
-    switch = Switch(world)
+    switch = Switch(world, egress_filtering=egress_filtering)
     config = config or SttcpConfig()
     prefix_len = 24 if num_clients == 1 else 16
 

@@ -5,24 +5,37 @@ with an integer-nanosecond virtual clock.  Components schedule callbacks;
 the kernel executes them in (time, insertion-order) order, so two runs with
 the same seed produce byte-identical traces.
 
+Since the fleet-scale event-core pass the ready queue is no longer a single
+binary heap: near-future deadlines live in a two-level hierarchical timer
+wheel (O(1) insert/cancel) and only far-future events fall back to a heap
+overflow tier.  The full design — wheel geometry, overflow handling,
+tombstone interaction and the determinism argument — is documented in
+``docs/scheduler.md``; the geometry constants below are mirrored there and
+kept in sync by ``tests/check/test_scheduler_doc.py``.
+
 Design notes
 ------------
 * Time is ``int`` nanoseconds.  Helpers :data:`NS_PER_US`, :data:`NS_PER_MS`
   and :data:`NS_PER_S` (plus :func:`seconds`, :func:`millis`, :func:`micros`)
   convert human units without floating-point drift.
 * :meth:`Simulator.schedule` returns an :class:`EventHandle` that can be
-  cancelled; cancellation is O(1) (lazy deletion from the heap).  Dead
-  entries are compacted away once they outnumber live ones in a
-  non-trivial queue, so arm/cancel churn (timer restarts) cannot grow the
-  heap without bound.
+  cancelled; cancellation is O(1) (lazy deletion from the wheel bucket or
+  overflow heap).  Dead entries are compacted away once they outnumber live
+  ones in a non-trivial queue, so arm/cancel churn (timer restarts) cannot
+  grow the queue without bound.
+* Event ordering is the global sort order of ``(time, sequence)`` — the
+  exact order the old single-heap kernel produced.  Buckets hold unsorted
+  ``(time, seq, handle)`` entries and are sorted once when the cursor
+  reaches them; cross-tier ties are merged before firing (see
+  ``docs/scheduler.md`` for the proof sketch).
 * The kernel never catches exceptions raised by callbacks: a bug in a
   protocol implementation should fail the test loudly, not be swallowed.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
+from bisect import insort
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
@@ -41,6 +54,8 @@ __all__ = [
 NS_PER_US = 1_000
 NS_PER_MS = 1_000_000
 NS_PER_S = 1_000_000_000
+
+_INF = float("inf")
 
 
 def seconds(value: float) -> int:
@@ -120,25 +135,75 @@ class Simulator:
         sim.schedule(millis(10), my_callback, arg1, arg2)
         sim.run(until=seconds(5))
 
+    The ready queue is a hierarchical timer wheel with a heap overflow
+    tier (``docs/scheduler.md``): level 0 buckets 4.096 us of virtual time
+    each and spans ~4.19 ms, level 1 buckets ~4.19 ms each and spans
+    ~4.29 s, and anything beyond the level-1 horizon waits in a binary
+    heap until the cursor approaches.  Insert and cancel are O(1) for the
+    wheel tiers; firing order is byte-identical to a single global heap.
+
     The simulator is also the root object from which scenario builders hang
     shared services (trace log, RNG registry); see :mod:`repro.sim.trace`
     and :mod:`repro.sim.rng`.
     """
 
-    __slots__ = ("_now", "_queue", "_sequence", "_running",
-                 "_events_processed", "_cancelled_in_queue")
+    __slots__ = ("_now", "_seq", "_running", "_events_processed",
+                 "_cancelled_in_queue", "_size", "_cur0", "_l1_start",
+                 "_wheel0", "_wheel1", "_l0_slots", "_l1_slots",
+                 "_overflow", "_active", "_active_idx", "_active_slot",
+                 "_far_min")
+
+    #: log2 of the level-0 bucket width: 4096 ns per slot.
+    L0_GRAIN_BITS = 12
+    #: log2 of the slot count per wheel level (1024 slots).
+    WHEEL_BITS = 10
+    #: Slots per wheel level.
+    WHEEL_SLOTS = 1 << WHEEL_BITS
+    #: log2 of the level-1 bucket width: one level-0 revolution (~4.19 ms).
+    L1_GRAIN_BITS = L0_GRAIN_BITS + WHEEL_BITS
+    #: Virtual time covered by level 0 (~4.19 ms).
+    L0_HORIZON_NS = WHEEL_SLOTS << L0_GRAIN_BITS
+    #: Virtual time covered by levels 0+1 (~4.29 s); beyond this events
+    #: wait in the overflow heap.
+    L1_HORIZON_NS = WHEEL_SLOTS << L1_GRAIN_BITS
 
     #: Queues smaller than this are never compacted — rebuilding a tiny
-    #: heap costs more than carrying its tombstones to the pop.
+    #: queue costs more than carrying its tombstones to the pop.
     COMPACT_MIN_QUEUE = 64
 
     def __init__(self) -> None:
         self._now: int = 0
-        self._queue: list[tuple[int, int, EventHandle]] = []
-        self._sequence = itertools.count()
+        self._seq = 0
         self._running = False
         self._events_processed = 0
+        # Entries (incl. tombstones) across all tiers, and tombstone count.
+        self._size = 0
         self._cancelled_in_queue = 0
+        # Wheel cursor state: _cur0 is the absolute level-0 slot the kernel
+        # has advanced to; level 0 covers absolute slots
+        # [_cur0, _cur0 + WHEEL_SLOTS).  _l1_start is the absolute level-1
+        # slot of the cursor; level 1 covers (_l1_start, + WHEEL_SLOTS).
+        self._cur0 = 0
+        self._l1_start = 0
+        self._wheel0: list[list] = [[] for _ in range(self.WHEEL_SLOTS)]
+        self._wheel1: list[list] = [[] for _ in range(self.WHEEL_SLOTS)]
+        # Min-heaps of occupied absolute slot indices per level (lazily
+        # purged; a stale index whose bucket is empty is skipped on pop).
+        self._l0_slots: list[int] = []
+        self._l1_slots: list[int] = []
+        # Far-future events: a (time, seq, handle) binary heap.
+        self._overflow: list[tuple] = []
+        # The bucket currently being fired: a sorted list consumed by
+        # index (cheaper than a heap pop per event).  Same-instant
+        # insertions targeting the active slot are insort-ed behind the
+        # consumption point.
+        self._active: list[tuple] = []
+        self._active_idx = 0
+        self._active_slot = 0
+        # Lower bound on the earliest event resident in L1/overflow; -1
+        # means unknown (forces a full cross-tier peek).  Lets the hot
+        # loop activate L0 buckets without touching the outer tiers.
+        self._far_min: "int | float" = _INF
 
     # ------------------------------------------------------------------ time
 
@@ -154,8 +219,20 @@ class Simulator:
 
     @property
     def events_processed(self) -> int:
-        """Total callbacks executed so far (useful for perf reporting)."""
+        """Total logical events executed so far (useful for perf
+        reporting).  Batched deliveries credit their merged micro-events
+        via :meth:`credit_events`, so the counter stays comparable across
+        kernel versions that merge differently."""
         return self._events_processed
+
+    def credit_events(self, extra: int) -> None:
+        """Credit ``extra`` merged micro-events executed inside the current
+        callback.  Batching layers (e.g. the switch's flood delivery) fold
+        several logical events into one scheduled callback; crediting keeps
+        :attr:`events_processed` meaning *logical events executed* rather
+        than *queue pops*, so throughput trajectories stay apples-to-apples
+        across kernel versions."""
+        self._events_processed += extra
 
     # ------------------------------------------------------------ scheduling
 
@@ -173,7 +250,25 @@ class Simulator:
                 f"use seconds()/millis()/micros() helpers")
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, *args, label=label)
+        time = self._now + delay
+        handle = EventHandle(time, callback, args, label=label, owner=self)
+        # Routing inlined from _route: this is the hottest call in the
+        # simulator (once per scheduled event).
+        self._seq += 1
+        entry = (time, self._seq, handle)
+        s0 = time >> 12               # == L0_GRAIN_BITS
+        if s0 - self._cur0 < 1024:    # == WHEEL_SLOTS
+            if s0 != self._active_slot:
+                bucket = self._wheel0[s0 & 1023]
+                if not bucket:
+                    heappush(self._l0_slots, s0)
+                bucket.append(entry)
+            else:
+                insort(self._active, entry, self._active_idx)
+        else:
+            self._route_far(entry, time)
+        self._size += 1
+        return handle
 
     def schedule_at(self, time: int, callback: Callable[..., Any],
                     *args: Any, label: str = "") -> EventHandle:
@@ -185,28 +280,217 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule in the past (time={time} < now={self._now})")
         handle = EventHandle(time, callback, args, label=label, owner=self)
-        heapq.heappush(self._queue, (time, next(self._sequence), handle))
+        self._seq += 1
+        self._route((time, self._seq, handle))
+        self._size += 1
         return handle
+
+    def _route(self, entry: tuple) -> None:
+        """Place an existing (time, seq, handle) entry into the right tier.
+
+        Used for absolute-time inserts and for migrating entries inward
+        when the cursor advances (L1 bucket cascade, overflow refill) —
+        migrated entries keep their original sequence number, which is what
+        preserves the global (time, seq) firing order.
+        """
+        time = entry[0]
+        s0 = time >> 12
+        if s0 - self._cur0 < 1024:
+            if s0 != self._active_slot:
+                bucket = self._wheel0[s0 & 1023]
+                if not bucket:
+                    heappush(self._l0_slots, s0)
+                bucket.append(entry)
+            else:
+                insort(self._active, entry, self._active_idx)
+        else:
+            self._route_far(entry, time)
+
+    def _route_far(self, entry: tuple, time: int) -> None:
+        """Route an entry beyond the level-0 window: level 1 or overflow."""
+        s1 = time >> 22               # == L1_GRAIN_BITS
+        if s1 - self._l1_start < 1024:
+            bucket = self._wheel1[s1 & 1023]
+            if not bucket:
+                heappush(self._l1_slots, s1)
+            bucket.append(entry)
+        else:
+            heappush(self._overflow, entry)
+        if time < self._far_min:
+            self._far_min = time
 
     def _note_cancelled(self) -> None:
         """A queued handle was cancelled; compact once tombstones dominate."""
         self._cancelled_in_queue += 1
-        if (self._cancelled_in_queue * 2 > len(self._queue)
-                and len(self._queue) >= self.COMPACT_MIN_QUEUE):
+        if (self._cancelled_in_queue * 2 > self._size
+                and self._size >= self.COMPACT_MIN_QUEUE):
             self._compact()
 
     def _compact(self) -> None:
-        """Drop cancelled entries and re-heapify, in place so an active
-        ``run()`` loop keeps seeing the same list object."""
-        self._queue[:] = [entry for entry in self._queue
-                          if not entry[2]._cancelled]
-        heapq.heapify(self._queue)
+        """Drop cancelled entries from every tier."""
+        live = [e for e in self._active[self._active_idx:]
+                if not e[2]._cancelled]
+        self._active = live            # was sorted; filtering keeps order
+        self._active_idx = 0
+        for wheel in (self._wheel0, self._wheel1):
+            for bucket in wheel:
+                if bucket:
+                    bucket[:] = [e for e in bucket if not e[2]._cancelled]
+        self._overflow = [e for e in self._overflow if not e[2]._cancelled]
+        heapify(self._overflow)
+        # Stale slot indices (their bucket is now empty) are skipped
+        # lazily by the search loops.
+        self._size = (len(self._active) + len(self._overflow)
+                      + sum(len(b) for b in self._wheel0 if b)
+                      + sum(len(b) for b in self._wheel1 if b))
         self._cancelled_in_queue = 0
+        self._far_min = -1  # unknown; next activation does a full peek
 
     def call_soon(self, callback: Callable[..., Any], *args: Any,
                   label: str = "") -> EventHandle:
         """Schedule ``callback`` at the current instant (after pending events)."""
         return self.schedule(0, callback, *args, label=label)
+
+    # ------------------------------------------------- cursor / tier search
+
+    def _purge_slot_heap(self, slots: list, wheel: list) -> Optional[int]:
+        """Drop stale slot indices; return the first occupied slot's index
+        after sorting its bucket and purging dead entries from the head,
+        or None when the level is empty."""
+        while slots:
+            s = slots[0]
+            bucket = wheel[s & 1023]
+            if not bucket:
+                heappop(slots)
+                continue
+            if len(bucket) > 1:
+                bucket.sort()
+            dead = 0
+            n = len(bucket)
+            while dead < n and bucket[dead][2]._cancelled:
+                dead += 1
+            if dead:
+                del bucket[:dead]
+                self._cancelled_in_queue -= dead
+                self._size -= dead
+                if not bucket:
+                    heappop(slots)
+                    continue
+            return s
+        return None
+
+    def _purge_overflow(self) -> None:
+        ov = self._overflow
+        while ov and ov[0][2]._cancelled:
+            heappop(ov)
+            self._cancelled_in_queue -= 1
+            self._size -= 1
+
+    def _move_cursor(self, time: int) -> None:
+        s0 = time >> 12
+        if s0 > self._cur0:
+            self._cur0 = s0
+            s1 = time >> 22
+            if s1 > self._l1_start:
+                self._l1_start = s1
+
+    def _activate_l0(self, s0: int) -> None:
+        """Make level-0 slot ``s0`` (already sorted/purged) the active
+        bucket and advance the cursor to it."""
+        heappop(self._l0_slots)
+        bucket = self._wheel0[s0 & 1023]
+        self._wheel0[s0 & 1023] = []
+        self._move_cursor(bucket[0][0])
+        self._active_slot = s0
+        self._active = bucket          # sorted by (time, seq)
+        self._active_idx = 0
+
+    def _advance(self, until: Optional[int]) -> bool:
+        """Activate the bucket holding the next live event.
+
+        Returns True when ``self._active`` holds the next live event (its
+        time is <= ``until`` when given); False when the queue is drained
+        or the next event lies beyond ``until``.  Migrates entries inward
+        (overflow -> L1 -> L0) as the cursor advances; migration preserves
+        original (time, seq) entries, so order is unaffected.
+        """
+        while True:
+            if self._active_idx < len(self._active):
+                # A cross-tier migration can land entries directly in the
+                # active bucket (same slot as the cursor).
+                if (until is not None
+                        and self._active[self._active_idx][0] > until):
+                    return False
+                return True
+            s0 = self._purge_slot_heap(self._l0_slots, self._wheel0)
+            t0 = self._wheel0[s0 & 1023][0][0] if s0 is not None else None
+            # Fast path: nothing in the outer tiers can precede the L0
+            # candidate, so activate it without touching them.
+            if t0 is not None and t0 < self._far_min:
+                if until is not None and t0 > until:
+                    return False
+                self._activate_l0(s0)
+                return True
+            # Full cross-tier peek.
+            s1 = self._purge_slot_heap(self._l1_slots, self._wheel1)
+            t1 = self._wheel1[s1 & 1023][0][0] if s1 is not None else None
+            self._purge_overflow()
+            tov = self._overflow[0][0] if self._overflow else None
+            best = t0
+            if t1 is not None and (best is None or t1 < best):
+                best = t1
+            if tov is not None and (best is None or tov < best):
+                best = tov
+            if best is None:
+                self._far_min = _INF
+                return False
+            if until is not None and best > until:
+                return False
+            if tov is not None and tov == best:
+                # Pull the overflow head (plus everything else that now
+                # fits the L1 window) into the wheels and re-search.
+                self._move_cursor(tov)
+                horizon_slot = self._l1_start + 1024
+                ov = self._overflow
+                while ov:
+                    head = ov[0]
+                    if head[2]._cancelled:
+                        heappop(ov)
+                        self._cancelled_in_queue -= 1
+                        self._size -= 1
+                        continue
+                    if head[0] >> 22 >= horizon_slot:
+                        break
+                    heappop(ov)
+                    self._route(head)
+                self._far_min = -1
+                continue
+            if t1 is not None and t1 == best:
+                # Cascade the whole L1 bucket down; every entry fits the
+                # new L0 window because an L1 bucket spans exactly one
+                # L0 revolution starting at the new cursor.
+                heappop(self._l1_slots)
+                bucket = self._wheel1[s1 & 1023]
+                self._wheel1[s1 & 1023] = []
+                self._move_cursor(t1)
+                route = self._route
+                for entry in bucket:
+                    if entry[2]._cancelled:
+                        self._cancelled_in_queue -= 1
+                        self._size -= 1
+                    else:
+                        route(entry)
+                self._far_min = -1
+                continue
+            # L0 wins but ties or trails the far bound: refresh the bound
+            # and activate.
+            self._activate_l0(s0)
+            self._far_min = _INF
+            if t1 is not None:
+                self._far_min = t1
+            if tov is not None and tov < self._far_min:
+                self._far_min = tov
+            return True
 
     # --------------------------------------------------------------- running
 
@@ -223,22 +507,30 @@ class Simulator:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
         executed = 0
-        queue = self._queue
-        heappop = heapq.heappop
         try:
-            while queue:
-                time, _seq, handle = queue[0]
-                if until is not None and time > until:
-                    break
-                heappop(queue)
-                if handle._cancelled:
-                    self._cancelled_in_queue -= 1
+            while True:
+                # Hot path: consume the active (sorted) bucket by index.
+                active = self._active
+                idx = self._active_idx
+                if idx < len(active):
+                    entry = active[idx]
+                    time = entry[0]
+                    if until is not None and time > until:
+                        break
+                    self._active_idx = idx + 1
+                    self._size -= 1
+                    handle = entry[2]
+                    if handle._cancelled:
+                        self._cancelled_in_queue -= 1
+                        continue
+                    self._now = time
+                    handle._fired = True
+                    handle.callback(*handle.args)
+                    executed += 1
+                    if max_events is not None and executed >= max_events:
+                        break
                     continue
-                self._now = time
-                handle._fired = True
-                handle.callback(*handle.args)
-                executed += 1
-                if max_events is not None and executed >= max_events:
+                if not self._advance(until):
                     break
         finally:
             self._running = False
@@ -253,15 +545,42 @@ class Simulator:
 
     def peek_next_time(self) -> Optional[int]:
         """Virtual time of the next pending event, or None if queue is empty."""
-        while self._queue and self._queue[0][2]._cancelled:
-            heapq.heappop(self._queue)
+        active = self._active
+        idx = self._active_idx
+        n = len(active)
+        while idx < n and active[idx][2]._cancelled:
+            idx += 1
             self._cancelled_in_queue -= 1
-        return self._queue[0][0] if self._queue else None
+            self._size -= 1
+        self._active_idx = idx
+        best = active[idx][0] if idx < n else None
+        s0 = self._purge_slot_heap(self._l0_slots, self._wheel0)
+        if s0 is not None:
+            t0 = self._wheel0[s0 & 1023][0][0]
+            if best is None or t0 < best:
+                best = t0
+        s1 = self._purge_slot_heap(self._l1_slots, self._wheel1)
+        if s1 is not None:
+            t1 = self._wheel1[s1 & 1023][0][0]
+            if best is None or t1 < best:
+                best = t1
+        self._purge_overflow()
+        if self._overflow:
+            tov = self._overflow[0][0]
+            if best is None or tov < best:
+                best = tov
+        return best
 
     @property
     def pending_events(self) -> int:
         """Number of queued, not-yet-cancelled events."""
-        return len(self._queue) - self._cancelled_in_queue
+        return self._size - self._cancelled_in_queue
+
+    @property
+    def queue_size(self) -> int:
+        """Total queue entries across all tiers, including tombstones of
+        cancelled events that have not been compacted or popped yet."""
+        return self._size
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Simulator t={self.now_s:.6f}s pending={self.pending_events} "

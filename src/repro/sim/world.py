@@ -33,6 +33,10 @@ class World:
                               enabled_categories=trace_categories)
         self.probes = ProbeBus(lambda: self.sim.now, self.trace)
         self.rng = RngRegistry(seed)
+        # Bumped whenever NIC address filters change (multicast join/leave,
+        # promiscuous toggles); switches use it to invalidate cached flood
+        # target lists.  See Switch._forward.
+        self.net_epoch = 0
 
     @property
     def now(self) -> int:

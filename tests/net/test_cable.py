@@ -149,3 +149,51 @@ def test_foreign_endpoint_rejected():
     stranger = Endpoint("s", world)
     with pytest.raises(ValueError):
         cable.transmit(stranger, frame())
+
+
+def test_plan_transmit_matches_transmit_timing_and_fifo():
+    """plan_transmit must advance FIFO state and compute arrival delays
+    exactly like transmit — the switch's batched flood relies on it."""
+    w1, w2 = World(), World()
+    a1, b1, c1 = make(w1)
+    a2, b2, c2 = make(w2)
+    f = frame(100)
+    # Two back-to-back frames: the second queues behind the first.
+    c1.transmit(a1, f)
+    c1.transmit(a1, f)
+    w1.run()
+    plans = [c2.plan_transmit(a2, f), c2.plan_transmit(a2, f)]
+    for delay, receiver in plans:
+        assert receiver is b2
+        w2.sim.schedule(delay, c2.deliver_planned, receiver, f)
+    w2.run()
+    assert [t for t, _ in b1.received] == [t for t, _ in b2.received]
+    assert c1._tx_free_at == c2._tx_free_at
+
+
+def test_plan_transmit_consumes_loss_rng_like_transmit():
+    """Same seed, same draw order: the loss pattern must be identical
+    whether frames go through transmit or plan_transmit."""
+    def run(planned):
+        world = World(seed=7)
+        a, b, cable = make(world, loss_rate=0.4)
+        for _ in range(50):
+            if planned:
+                plan = cable.plan_transmit(a, frame(10))
+                if plan is not None:
+                    world.sim.schedule(plan[0], cable.deliver_planned,
+                                       plan[1], frame(10))
+            else:
+                cable.transmit(a, frame(10))
+        world.run()
+        return len(b.received), cable.frames_lost
+
+    assert run(planned=False) == run(planned=True)
+
+
+def test_plan_transmit_on_cut_cable_counts_loss():
+    world = World()
+    a, b, cable = make(world)
+    cable.cut()
+    assert cable.plan_transmit(a, frame()) is None
+    assert cable.frames_lost == 1

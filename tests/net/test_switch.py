@@ -133,3 +133,137 @@ def test_mirror_not_duplicated_when_mirror_is_destination():
     a.send(b.mac)
     world.run()
     assert len(b.received) == 1  # one copy only
+
+
+# --------------------------------------------------------- batched flooding
+
+
+def test_batched_flood_timing_matches_per_port_transmit():
+    """Equal-delay egress ports ride one scheduled event, but every
+    receiver still sees the frame at exactly the per-port arrival time."""
+    world, switch, (a, b, c), _ = build()
+    arrivals = {}
+    b.receive_frame = lambda f: arrivals.setdefault("b", world.now)
+    c.receive_frame = lambda f: arrivals.setdefault("c", world.now)
+    a.send(BROADCAST_MAC)
+    world.run()
+    size = EthernetFrame(BROADCAST_MAC, a.mac, EtherType.IPV4,
+                         b"x" * 50).size_bytes
+    wire = (size * 8 * 1_000_000_000) // 100_000_000 + 1_000
+    # ingress cable + forwarding delay + egress cable, per-port semantics.
+    expected = wire + 2_000 + wire
+    assert arrivals == {"b": expected, "c": expected}
+
+
+def test_batched_flood_credits_merged_deliveries():
+    """events_processed counts logical deliveries, not scheduled events:
+    a flood to n equal-delay ports costs one event but credits n."""
+    world, switch, stations, _ = build(n=5)
+    stations[0].send(BROADCAST_MAC)
+    world.run()
+    # ingress delivery to the switch + forward event + 1 merged flood
+    # event credited as 4 deliveries = 6 logical events.
+    assert world.sim.events_processed == 6
+    assert all(len(s.received) == 1 for s in stations[1:])
+
+
+def test_flood_cache_sees_newly_attached_station():
+    world, switch, stations, _ = build()
+    stations[0].send(BROADCAST_MAC)
+    world.run()
+    late = Station(world, "late", MacAddress(99))
+    late.attach(world, switch)
+    stations[0].send(BROADCAST_MAC)
+    world.run()
+    assert len(late.received) == 1
+
+
+def test_flood_honours_cable_stub_installed_after_cache_build():
+    """Tests stub transmit on cable instances mid-run to model targeted
+    drops; the flood path must consult the stub even with a warm cache."""
+    world, switch, (a, b, c), _ = build()
+    a.send(BROADCAST_MAC)
+    world.run()
+    b_cable = b._cable
+    b_cable.transmit = lambda sender, frame: None  # drop everything to b
+    a.send(BROADCAST_MAC)
+    world.run()
+    assert len(b.received) == 1  # only the pre-stub flood
+    assert len(c.received) == 2
+
+
+class FilteringStation(Station):
+    """A station with a NIC-style address filter (for egress filtering)."""
+
+    def __init__(self, world, name, mac):
+        super().__init__(world, name, mac)
+        self.accept_extra = set()
+
+    def accepts(self, dst):
+        return dst == self.mac or dst == BROADCAST_MAC \
+            or dst in self.accept_extra
+
+
+def build_filtering(n=3):
+    world = World()
+    switch = Switch(world, egress_filtering=True)
+    stations = [FilteringStation(world, f"s{i}", MacAddress(i + 1))
+                for i in range(n)]
+    for s in stations:
+        s.attach(world, switch)
+    return world, switch, stations
+
+
+def test_egress_filtering_skips_non_accepting_ports():
+    world, switch, (a, b, c), = build_filtering()
+    b.accept_extra.add(MULTI)
+    a.send(MULTI)
+    world.run()
+    assert len(b.received) == 1
+    assert len(c.received) == 0  # filtered at the switch, not the NIC
+    assert switch.frames_egress_filtered == 1
+
+
+def test_egress_filtering_still_floods_broadcast_to_all():
+    world, switch, (a, b, c) = build_filtering()
+    a.send(BROADCAST_MAC)
+    world.run()
+    assert len(b.received) == 1 and len(c.received) == 1
+    assert switch.frames_egress_filtered == 0
+
+
+def test_egress_filter_cache_invalidated_by_net_epoch():
+    """A NIC joining a group bumps World.net_epoch; the switch must
+    rebuild its cached flood target lists (IGMP-snooping semantics)."""
+    world, switch, (a, b, c) = build_filtering()
+    a.send(MULTI)
+    world.run()
+    assert len(b.received) == 0
+    b.accept_extra.add(MULTI)
+    world.net_epoch += 1  # what Nic.join_multicast does
+    a.send(MULTI)
+    world.run()
+    assert len(b.received) == 1
+
+
+def test_real_nic_multicast_join_reaches_filtered_flood():
+    """End-to-end with real Nic objects: join_multicast after a cached
+    flood still takes effect (the epoch bump comes from the NIC)."""
+    from repro.net.nic import Nic
+
+    world = World()
+    switch = Switch(world, egress_filtering=True)
+    sender = Station(world, "src", MacAddress(1))
+    sender.attach(world, switch)
+    nic = Nic(world, "nic", MacAddress(2))
+    port = switch.new_port()
+    cable = Cable(world, nic, port)
+    nic.attach_cable(cable)
+    port.cable = cable
+    sender.send(MULTI)
+    world.run()
+    assert nic.frames_received == 0
+    nic.join_multicast(MULTI)
+    sender.send(MULTI)
+    world.run()
+    assert nic.frames_received == 1

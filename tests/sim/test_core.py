@@ -206,7 +206,7 @@ def test_cancel_churn_compacts_queue_tombstones():
         if handle is not None:
             handle.cancel()
         handle = sim.schedule(1_000_000, lambda: None)
-    assert len(sim._queue) <= 2 * Simulator.COMPACT_MIN_QUEUE
+    assert sim.queue_size <= 2 * Simulator.COMPACT_MIN_QUEUE
     assert sim.pending_events == 2
     assert live.pending and handle.pending
 
@@ -246,5 +246,5 @@ def test_small_queues_are_not_compacted():
     handles = [sim.schedule(100 + i, lambda: None) for i in range(10)]
     for h in handles:
         h.cancel()
-    assert len(sim._queue) == 10
+    assert sim.queue_size == 10
     assert sim.pending_events == 0
