@@ -127,6 +127,10 @@ def main(argv=None) -> int:
                         help="append this measurement (dated, labelled) to "
                              "the trajectory in BENCH_core_throughput.json")
     parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--floor", type=int, metavar="EVENTS_PER_SEC",
+                        help="exit non-zero if the measured events/sec "
+                             "falls below this floor (the CI regression "
+                             "gate; calibrate per runner class)")
     args = parser.parse_args(argv)
 
     if args.scaling:
@@ -157,10 +161,19 @@ def main(argv=None) -> int:
             print("FAIL: not every connection kept its stream intact",
                   file=sys.stderr)
             return 1
-        return 0
+        return check_floor(record, args.floor)
 
     if args.record:
         append_trajectory(args.record, params, record)
+    return check_floor(record, args.floor)
+
+
+def check_floor(record: dict, floor: "int | None") -> int:
+    """The CI perf gate: best-of-N events/sec must clear ``floor``."""
+    if floor is not None and record["events_per_sec"] < floor:
+        print(f"FAIL: {record['events_per_sec']} events/sec is below the "
+              f"perf floor of {floor}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -69,7 +69,7 @@ class Host:
         address; the rest are aliases, e.g. the shared serviceIP)."""
         nic = Nic(self.world, f"{self.name}.nic{len(self.nics)}",
                   MacAddress(mac))
-        nic.power_gate = self._power_gate
+        nic.host_up = self.is_up
         ips = [IPAddress(a) for a in addresses]
         iface = self.ip.add_interface(nic, ips, IPAddress(network), prefix_len)
         nic.set_upper(lambda frame, i=iface: self._frame_up(frame, i))
@@ -116,16 +116,16 @@ class Host:
         """True while powered on and the OS has not crashed."""
         return self.powered_on and not self.os.crashed
 
-    def _power_gate(self) -> bool:
-        # Installed on NICs; a bound method is measurably cheaper than a
-        # lambda chaining through the is_up property on the frame hot path.
-        return self.powered_on and not self.os.crashed
-
     def power_off(self, reason: str = "power off") -> None:
         """Instant, total silence — HW crash or STONITH."""
         if not self.powered_on:
             return
         self.powered_on = False
+        # Push the power state down to the NICs so the per-frame hot path
+        # reads one bool instead of calling back up through a gate.  No
+        # scenario ever re-powers a host, so a one-way push is sufficient.
+        for nic in self.nics:
+            nic.host_up = False
         self.world.trace.record("fault", self.name, "host down",
                                 reason=reason)
         self.tcp.freeze()

@@ -69,6 +69,8 @@ class ArpTable:
     def add_static(self, ip: IPAddress, mac: MacAddress) -> None:
         """Install a permanent mapping (the serviceIP → multiEA trick)."""
         self._static[ip] = mac
+        # Resolution changed: invalidate cached IP-layer send plans.
+        self._world.route_epoch += 1
         self._world.trace.record("arp", self.name, "static entry",
                                  ip=str(ip), mac=str(mac))
 
@@ -116,7 +118,10 @@ class ArpTable:
         if (msg.sender_ip not in self._static
                 and not msg.sender_mac.is_multicast
                 and msg.sender_ip.value != 0):
-            self._cache[msg.sender_ip] = msg.sender_mac
+            if self._cache.get(msg.sender_ip) != msg.sender_mac:
+                self._cache[msg.sender_ip] = msg.sender_mac
+                # Resolution changed: invalidate cached send plans.
+                self._world.route_epoch += 1
             self._flush_pending(msg.sender_ip, msg.sender_mac)
         if msg.op == ARP_REQUEST and msg.target_ip in set(self._my_ips()):
             reply = ArpMessage(ARP_REPLY, self._nic.mac, msg.target_ip,

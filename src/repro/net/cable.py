@@ -114,7 +114,7 @@ class Cable:
         if direction and sender is not ends[1]:
             raise ValueError(f"{sender!r} is not attached to {self.name}")
         sim = self._sim
-        now = sim.now
+        now = sim._now
         free_at = self._tx_free_at[direction]
         start = now if now >= free_at else free_at
         tx_time = (frame.size_bytes * 8 * 1_000_000_000) // self.bandwidth_bps

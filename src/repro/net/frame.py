@@ -9,7 +9,6 @@ are faithful.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Protocol, runtime_checkable
 
 from repro.net.addresses import MacAddress
@@ -38,25 +37,28 @@ class EtherType:
     ARP = "arp"
 
 
-@dataclass(frozen=True, slots=True)
 class EthernetFrame:
-    """An L2 frame: dst/src MAC, ethertype tag, structured payload."""
+    """An L2 frame: dst/src MAC, ethertype tag, structured payload.
 
-    dst: MacAddress
-    src: MacAddress
-    ethertype: str
-    payload: Any = field(repr=False)
-    # On-wire size honouring the Ethernet minimum frame size; cached
-    # because cables and NICs read it several times per hop.
-    size_bytes: int = field(init=False, repr=False, compare=False)
+    A plain slotted class (not a dataclass) for construction speed on the
+    per-segment hot path; ``size_bytes`` honours the Ethernet minimum
+    frame size and is cached because cables and NICs read it several
+    times per hop.
+    """
 
-    def __post_init__(self) -> None:
-        payload_size = getattr(self.payload, "size_bytes", None)
+    __slots__ = ("dst", "src", "ethertype", "payload", "size_bytes")
+
+    def __init__(self, dst: MacAddress, src: MacAddress, ethertype: str,
+                 payload: Any):
+        self.dst = dst
+        self.src = src
+        self.ethertype = ethertype
+        self.payload = payload
+        payload_size = getattr(payload, "size_bytes", None)
         if payload_size is None:
-            payload_size = len(self.payload)
-        object.__setattr__(
-            self, "size_bytes",
-            max(ETHERNET_MIN_FRAME_BYTES, ETHERNET_HEADER_BYTES + payload_size))
+            payload_size = len(payload)
+        self.size_bytes = max(ETHERNET_MIN_FRAME_BYTES,
+                              ETHERNET_HEADER_BYTES + payload_size)
 
     def __str__(self) -> str:
         return (f"Frame[{self.src} -> {self.dst} {self.ethertype} "

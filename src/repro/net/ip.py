@@ -26,6 +26,7 @@ class Interface:
 
     def __init__(self, world: World, nic: Nic, network: IPAddress,
                  prefix_len: int):
+        self._world = world
         self.nic = nic
         self.network = network
         self.prefix_len = prefix_len
@@ -49,12 +50,14 @@ class Interface:
         if ip not in self.addresses:
             self.addresses.append(ip)
             self.addr_values.add(ip.value)
+            self._world.route_epoch += 1
 
     def remove_address(self, ip: IPAddress) -> None:
         """Drop an address/alias from the interface."""
         if ip in self.addresses:
             self.addresses.remove(ip)
             self.addr_values.discard(ip.value)
+            self._world.route_epoch += 1
 
     def on_link(self, ip: IPAddress) -> bool:
         """True if ``ip`` falls inside this interface's subnet."""
@@ -72,8 +75,17 @@ class IpStack:
         self._world = world
         self.name = name
         self.interfaces: list[Interface] = []
-        self.default_gateway: Optional[IPAddress] = None
+        self._default_gateway: Optional[IPAddress] = None
         self._protocols: dict[str, Callable[[IPPacket], None]] = {}
+        # Send-plan cache: (dst_value, src_value|None) -> either the
+        # local-delivery marker or (nic, resolved next-hop MAC, src ip).
+        # Keyed off World.route_epoch, which every routing-relevant mutation
+        # bumps: interface address changes, default-gateway changes, NIC
+        # fail/repair, and ARP table learns.  Saves the owns()/_route()/
+        # ARP walk on every packet of an established flow.
+        self._send_cache: dict = {}
+        self._cache_route_epoch = -1
+        self._loopback_label = f"{name}.loopback"
         # Optional observer of every accepted inbound packet (metrics hooks).
         self._packet_taps: list[Callable[[IPPacket], None]] = []
         # Promiscuous observers: see every IPv4 packet the NIC accepted,
@@ -94,6 +106,7 @@ class IpStack:
         for ip in addresses:
             iface.add_address(ip)
         self.interfaces.append(iface)
+        self._world.route_epoch += 1
         return iface
 
     def register_protocol(self, protocol: str,
@@ -121,6 +134,16 @@ class IpStack:
                 return True
         return False
 
+    @property
+    def default_gateway(self) -> Optional[IPAddress]:
+        """The default route's next hop (assignable)."""
+        return self._default_gateway
+
+    @default_gateway.setter
+    def default_gateway(self, gateway: Optional[IPAddress]) -> None:
+        self._default_gateway = gateway
+        self._world.route_epoch += 1
+
     # ---------------------------------------------------------------- send
 
     def send(self, dst: IPAddress, protocol: str, payload: Any,
@@ -132,10 +155,36 @@ class IpStack:
         ``dst`` (or the default-gateway interface), ARP-resolve the next
         hop, and hand the frame to the NIC.
         """
+        epoch = self._world.route_epoch
+        if epoch != self._cache_route_epoch:
+            self._send_cache.clear()
+            self._cache_route_epoch = epoch
+        plan = self._send_cache.get(
+            (dst._value, src._value if src is not None else None))
+        if plan is not None:
+            nic, mac, src_ip = plan
+            if nic is None:
+                packet = IPPacket(src or dst, dst, protocol, payload)
+                self._world.sim.call_soon(self._deliver_up, packet,
+                                          label=self._loopback_label)
+                return
+            packet = IPPacket(src if src is not None else src_ip,
+                              dst, protocol, payload)
+            self.packets_sent += 1
+            nic.send(EthernetFrame(mac, nic.mac, EtherType.IPV4, packet))
+            return
+        self._send_slow(dst, protocol, payload, src)
+
+    def _send_slow(self, dst: IPAddress, protocol: str, payload: Any,
+                   src: Optional[IPAddress]) -> None:
+        """Full route + ARP walk; caches the resulting plan when it is
+        deterministic (local delivery, or next hop already resolved)."""
+        key = (dst._value, src._value if src is not None else None)
         if self.owns(dst):
+            self._send_cache[key] = (None, None, None)
             packet = IPPacket(src or dst, dst, protocol, payload)
             self._world.sim.call_soon(self._deliver_up, packet,
-                                      label=f"{self.name}.loopback")
+                                      label=self._loopback_label)
             return
         iface, next_hop = self._route(dst, src)
         if iface is None or next_hop is None:
@@ -147,6 +196,13 @@ class IpStack:
         packet = IPPacket(src_ip, dst, protocol, payload)
         self.packets_sent += 1
         nic = iface.nic
+        mac = iface.arp.lookup(next_hop)
+        if mac is not None:
+            self._send_cache[key] = (nic, mac, src_ip)
+            nic.send(EthernetFrame(mac, nic.mac, EtherType.IPV4, packet))
+            return
+        # Unresolved next hop: ARP asynchronously, don't cache (the plan
+        # isn't known yet, and resolution order must stay as-is).
         iface.arp.resolve(
             next_hop,
             lambda mac: nic.send(
@@ -180,8 +236,9 @@ class IpStack:
         packet = frame.payload
         if not isinstance(packet, IPPacket):
             return
-        for tap in self._promiscuous_taps:
-            tap(packet)
+        if self._promiscuous_taps:
+            for tap in self._promiscuous_taps:
+                tap(packet)
         if not self.owns(packet.dst):
             # Not ours (unicast to someone else, or multicast-tapped
             # traffic for an IP we merely observe): count and drop.
@@ -191,8 +248,9 @@ class IpStack:
 
     def _deliver_up(self, packet: IPPacket) -> None:
         self.packets_received += 1
-        for tap in self._packet_taps:
-            tap(packet)
+        if self._packet_taps:
+            for tap in self._packet_taps:
+                tap(packet)
         handler = self._protocols.get(packet.protocol)
         if handler is None:
             self._world.trace.record("ip", self.name, "no protocol handler",

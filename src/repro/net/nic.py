@@ -26,9 +26,9 @@ class Nic:
     """A single Ethernet interface attached to a host."""
 
     __slots__ = ("_world", "name", "mac", "multicast_groups", "_promiscuous",
-                 "_cable", "_failed", "power_gate", "_upper", "frames_sent",
-                 "frames_received", "bytes_sent", "bytes_received",
-                 "frames_filtered", "_accept_values")
+                 "_cable", "_failed", "host_up", "power_gate", "_upper",
+                 "frames_sent", "frames_received", "bytes_sent",
+                 "bytes_received", "frames_filtered", "_accept_values")
 
     def __init__(self, world: World, name: str, mac: MacAddress):
         self._world = world
@@ -43,9 +43,15 @@ class Nic:
         self._accept_values: set[int] = {mac.value, (1 << 48) - 1}
         self._cable: Optional[Cable] = None
         self._failed = False
-        # Host power gate: a powered-off machine neither sends nor
-        # receives, regardless of NIC health.  Installed by the host.
-        self.power_gate: Callable[[], bool] = lambda: True
+        # Host power state: a powered-off machine neither sends nor
+        # receives, regardless of NIC health.  Host power-off is
+        # irreversible in every scenario, so the host pushes a plain bool
+        # down here instead of the NIC calling back up through a gate
+        # function on every frame (this check runs once per flooded frame
+        # per NIC — the hottest branch at fleet scale).
+        self.host_up = True
+        # Optional per-frame gate override (tests inject custom gates).
+        self.power_gate: Optional[Callable[[], bool]] = None
         # Installed by the host's IP layer.
         self._upper: Optional[Callable[[EthernetFrame], None]] = None
         self.frames_sent = 0
@@ -102,12 +108,16 @@ class Nic:
         """Inject a NIC failure: the card goes deaf and mute."""
         if not self._failed:
             self._failed = True
+            # Routing-relevant change: _route skips failed NICs, so any
+            # cached IP-layer send plans through this card must die.
+            self._world.route_epoch += 1
             self._world.probes.fire("fault.nic", self.name, "NIC failed")
 
     def repair(self) -> None:
         """Clear an injected NIC failure."""
         if self._failed:
             self._failed = False
+            self._world.route_epoch += 1
             self._world.probes.fire("fault.nic", self.name, "NIC repaired")
 
     # ---------------------------------------------------------------- data
@@ -115,18 +125,22 @@ class Nic:
     def send(self, frame: EthernetFrame) -> None:
         """Transmit a frame; silently dropped if the NIC is failed/unplugged
         or the host is powered off."""
-        if self._failed or self._cable is None or not self.power_gate():
+        if self._failed or self._cable is None or not self.host_up:
+            return
+        if self.power_gate is not None and not self.power_gate():
             return
         self.frames_sent += 1
         self.bytes_sent += frame.size_bytes
         probes = self._world.probes
-        if probes.wants("nic.tx"):
+        if probes.wants_map["nic.tx"]:
             probes.fire("nic.tx", self.name, size=frame.size_bytes)
         self._cable.transmit(self, frame)
 
     def receive_frame(self, frame: EthernetFrame) -> None:
         """Cable-side entry point (CableEndpoint protocol)."""
-        if self._failed or not self.power_gate():
+        if self._failed or not self.host_up:
+            return
+        if self.power_gate is not None and not self.power_gate():
             return
         if (frame.dst._value not in self._accept_values
                 and not self._promiscuous):
@@ -135,7 +149,7 @@ class Nic:
         self.frames_received += 1
         self.bytes_received += frame.size_bytes
         probes = self._world.probes
-        if probes.wants("nic.rx"):
+        if probes.wants_map["nic.rx"]:
             probes.fire("nic.rx", self.name, size=frame.size_bytes)
         if self._upper is not None:
             self._upper(frame)

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any
 
 from repro.net.addresses import IPAddress
@@ -20,28 +19,30 @@ class IPProtocol:
     ICMP = "icmp"
 
 
-@dataclass(frozen=True, slots=True)
 class IPPacket:
     """An IPv4 packet with a structured transport payload.
 
     ``ttl`` exists so a routing loop in a buggy scenario terminates instead
     of looping forever; the flat Figure-2 LAN never decrements it below 63.
+
+    A plain slotted class (not a dataclass) for construction speed on the
+    per-segment hot path; ``size_bytes`` (IP header + payload) is cached
+    because the link layer reads it several times per hop.
     """
 
-    src: IPAddress
-    dst: IPAddress
-    protocol: str
-    payload: Any = field(repr=False)
-    ttl: int = 64
-    # On-wire size (IP header + payload); cached because the link layer
-    # reads it several times per hop.
-    size_bytes: int = field(init=False, repr=False, compare=False)
+    __slots__ = ("src", "dst", "protocol", "payload", "ttl", "size_bytes")
 
-    def __post_init__(self) -> None:
-        payload_size = getattr(self.payload, "size_bytes", None)
+    def __init__(self, src: IPAddress, dst: IPAddress, protocol: str,
+                 payload: Any, ttl: int = 64):
+        self.src = src
+        self.dst = dst
+        self.protocol = protocol
+        self.payload = payload
+        self.ttl = ttl
+        payload_size = getattr(payload, "size_bytes", None)
         if payload_size is None:
-            payload_size = len(self.payload)
-        object.__setattr__(self, "size_bytes", IP_HEADER_BYTES + payload_size)
+            payload_size = len(payload)
+        self.size_bytes = IP_HEADER_BYTES + payload_size
 
     def decremented(self) -> "IPPacket":
         """Copy with TTL reduced by one (used when forwarding)."""

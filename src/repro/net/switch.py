@@ -18,6 +18,7 @@ from typing import Optional
 from repro.net.addresses import MacAddress
 from repro.net.cable import Cable
 from repro.net.frame import EthernetFrame
+from repro.net.nic import Nic
 from repro.sim.world import World
 
 __all__ = ["Switch", "SwitchPort"]
@@ -127,7 +128,7 @@ class Switch:
     def _forward(self, ingress: SwitchPort, frame: EthernetFrame) -> None:
         probes = self._world.probes
         # The pcap tap: every frame crossing the fabric, exactly once.
-        if probes.wants("eth.frame"):
+        if probes.wants_map["eth.frame"]:
             probes.fire("eth.frame", self.name, frame=frame,
                         ingress=ingress.index)
         dst = frame.dst
@@ -135,7 +136,7 @@ class Switch:
             learned = self._mac_table.get(dst)
             if learned is not None and learned is not ingress:
                 self.frames_forwarded += 1
-                if probes.wants("eth.forward"):
+                if probes.wants_map["eth.forward"]:
                     probes.fire("eth.forward", self.name, "forward",
                                 dst=str(dst), port=learned.index)
                 learned.transmit(frame)
@@ -149,7 +150,7 @@ class Switch:
                 return  # destination is on the ingress segment; drop
         # Multicast, broadcast, or unknown unicast: flood (batched).
         self.frames_flooded += 1
-        if probes.wants("eth.flood"):
+        if probes.wants_map["eth.flood"]:
             probes.fire("eth.flood", self.name, "flood", dst=str(dst))
         if self.egress_filtering:
             epoch = self._world.net_epoch
@@ -172,8 +173,17 @@ class Switch:
         sim = self._world.sim
         now = sim._now
         size_bits_scaled = frame.size_bytes * 8 * 1_000_000_000
+        # The fleet's cables share one or two bandwidth classes and (when
+        # idle) one arrival time, so consecutive ports almost always repeat
+        # the previous port's serialization time and delay group — track
+        # the last-seen values in locals instead of a dict hit per port.
+        last_bw = -1
+        tx_time = 0
+        last_delay = -1
+        group: list = []
         groups: dict[int, list] = {}
-        for port, cable, direction, receiver in targets:
+        for port, cable, direction, receiver, free_at, prop, bandwidth, pair \
+                in targets:
             if "transmit" in cable.__dict__:
                 # Tests stub transmit on individual cable instances to
                 # model targeted drops; honour the stub per-frame.
@@ -182,21 +192,25 @@ class Switch:
             if cable._cut:
                 cable.frames_lost += 1
                 continue
-            free_at = cable._tx_free_at
+            if bandwidth != last_bw:
+                tx_time = size_bits_scaled // bandwidth
+                last_bw = bandwidth
             free = free_at[direction]
             start = now if now >= free else free
-            tx_time = size_bits_scaled // cable.bandwidth_bps
             free_at[direction] = start + tx_time
-            delay = start - now + tx_time + cable.propagation_delay_ns
+            delay = start - now + tx_time + prop
             if cable.loss_rate > 0.0 and cable._rng.random() < cable.loss_rate:
                 cable.frames_lost += 1
                 probes.fire("eth.frame_lost", cable.name, "frame lost",
                             size=frame.size_bytes)
                 continue
-            group = groups.get(delay)
-            if group is None:
-                groups[delay] = group = []
-            group.append((cable, receiver))
+            if delay != last_delay:
+                g = groups.get(delay)
+                if g is None:
+                    groups[delay] = g = []
+                group = g
+                last_delay = delay
+            group.append(pair)
         for delay, group in groups.items():
             sim.schedule(delay, self._deliver_flood, group, frame,
                          label=self._flood_label)
@@ -204,10 +218,14 @@ class Switch:
     def _build_flood_targets(self, ingress: SwitchPort,
                              dst: MacAddress) -> tuple[list, int]:
         """Resolve the egress set for a flood from ``ingress``: every other
-        cabled port as (port, cable, direction, far endpoint), minus —
-        when :attr:`egress_filtering` is on — ports whose far-end NIC
-        would discard ``dst`` anyway.  Cached by ``_forward``; the
-        filtered count rides along so the counter stays per-frame."""
+        cabled port as (port, cable, direction, far endpoint, plus the
+        cable's construction-time constants — its ``_tx_free_at`` list,
+        propagation delay and bandwidth — plus a prebuilt (cable,
+        receiver) delivery pair, pre-fetched so the per-frame loop skips
+        the attribute lookups and tuple allocation), minus — when
+        :attr:`egress_filtering` is on — ports whose far-end NIC would
+        discard ``dst`` anyway.  Cached by ``_forward``; the filtered
+        count rides along so the counter stays per-frame."""
         targets = []
         filtered = 0
         for port in self.ports:
@@ -223,7 +241,9 @@ class Switch:
                 if accepts is not None and not accepts(dst):
                     filtered += 1
                     continue
-            targets.append((port, cable, direction, receiver))
+            targets.append((port, cable, direction, receiver,
+                            cable._tx_free_at, cable.propagation_delay_ns,
+                            cable.bandwidth_bps, (cable, receiver)))
         return targets, filtered
 
     def _deliver_flood(self, group: list, frame: EthernetFrame) -> None:
@@ -235,12 +255,26 @@ class Switch:
         if len(group) > 1:
             self._world.sim.credit_events(len(group) - 1)
         size = frame.size_bytes
+        dst_value = frame.dst._value
         for cable, receiver in group:
             if cable._cut:  # cut while the frame was in flight
                 cable.frames_lost += 1
                 continue
             cable.frames_delivered += 1
             cable.bytes_delivered += size
+            # Inline Nic.receive_frame's reject paths (keep in sync): with
+            # egress filtering off, most flood deliveries end right here at
+            # the far-end NIC's address filter, and skipping the call per
+            # port is worth the duplication.  Anything unusual — custom
+            # power gate, promiscuous mode, non-NIC endpoint, or an
+            # accepted frame — takes the full method.
+            if type(receiver) is Nic and receiver.power_gate is None \
+                    and not receiver._promiscuous:
+                if receiver._failed or not receiver.host_up:
+                    continue
+                if dst_value not in receiver._accept_values:
+                    receiver.frames_filtered += 1
+                    continue
             receiver.receive_frame(frame)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -53,17 +53,20 @@ _PROBE_INFO: dict[str, tuple[ProbeSpec, str]] = {
 class ProbeBus:
     """Named probe points with per-probe and wildcard subscribers."""
 
-    __slots__ = ("_clock", "_trace", "_subs", "_all", "_wants", "fired")
+    __slots__ = ("_clock", "_trace", "_subs", "_all", "wants_map", "fired")
 
     def __init__(self, clock: Callable[[], int], trace=None):
         self._clock = clock
         self._trace = trace
         self._subs: dict[str, list[Subscriber]] = {}
         self._all: list[Subscriber] = []
-        # probe -> "would a fire do any work"; lazily filled, cleared on
-        # any subscription or trace-filter change.
-        self._wants: dict[str, bool] = {}
+        # probe -> "would a fire do any work", eagerly recomputed for every
+        # registered probe on any subscription or trace-filter change.
+        # Hot emitters index this dict directly (``probes.wants_map[...]``)
+        # — subscription changes are rare, per-frame fires are not.
+        self.wants_map: dict[str, bool] = {}
         self.fired = 0  # probes that actually built an event for a subscriber
+        self._invalidate()
         if trace is not None:
             trace.on_filter_change(self._invalidate)
 
@@ -73,13 +76,13 @@ class ProbeBus:
         """Attach ``callback`` to one probe point; returns the callback."""
         self._spec(probe)  # validate the name early
         self._subs.setdefault(probe, []).append(callback)
-        self._wants.clear()
+        self._invalidate()
         return callback
 
     def subscribe_all(self, callback: Subscriber) -> Subscriber:
         """Attach ``callback`` to every probe point."""
         self._all.append(callback)
-        self._wants.clear()
+        self._invalidate()
         return callback
 
     def unsubscribe(self, callback: Subscriber) -> None:
@@ -89,7 +92,7 @@ class ProbeBus:
                 subs.remove(callback)
         while callback in self._all:
             self._all.remove(callback)
-        self._wants.clear()
+        self._invalidate()
 
     def enabled(self, probe: str) -> bool:
         """True when a fire of ``probe`` would reach at least one
@@ -100,23 +103,25 @@ class ProbeBus:
     def wants(self, probe: str) -> bool:
         """True when a fire of ``probe`` would do *any* work — reach a
         subscriber, a wildcard, or (for traced probes) an enabled trace
-        category.  One cached dict lookup: hot emitters guard with this
-        and skip building field values entirely."""
-        cached = self._wants.get(probe)
-        if cached is not None:
-            return cached
-        return self._compute_wants(probe)
-
-    def _compute_wants(self, probe: str) -> bool:
-        spec = self._spec(probe)
-        value = bool(self._subs.get(probe)) or bool(self._all)
-        if not value and spec.traced and self._trace is not None:
-            value = self._trace.wants(spec.category)
-        self._wants[probe] = value
-        return value
+        category.  One dict lookup: hot emitters guard with this (or index
+        :attr:`wants_map` directly) and skip building field values."""
+        try:
+            return self.wants_map[probe]
+        except KeyError:
+            self._spec(probe)  # raises UnknownProbeError with the hint
+            raise
 
     def _invalidate(self) -> None:
-        self._wants.clear()
+        """Recompute the whole wants map (subscription/filter change)."""
+        subs = self._subs
+        any_all = bool(self._all)
+        trace = self._trace
+        m = self.wants_map
+        for name, (spec, _msg) in _PROBE_INFO.items():
+            value = bool(subs.get(name)) or any_all
+            if not value and spec.traced and trace is not None:
+                value = trace.wants(spec.category)
+            m[name] = value
 
     # --------------------------------------------------------------- firing
 

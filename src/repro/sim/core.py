@@ -244,14 +244,23 @@ class Simulator:
         callback after all events already scheduled for the current instant
         (FIFO within a timestamp).
         """
-        if not isinstance(delay, int):
+        if type(delay) is not int and not isinstance(delay, int):
             raise SimulationError(
                 f"delay must be an int (nanoseconds), got {type(delay).__name__}; "
                 f"use seconds()/millis()/micros() helpers")
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
         time = self._now + delay
-        handle = EventHandle(time, callback, args, label=label, owner=self)
+        # EventHandle.__init__ inlined (keep in sync): one scheduled event
+        # per call makes the constructor frame measurable on its own.
+        handle = EventHandle.__new__(EventHandle)
+        handle.time = time
+        handle.callback = callback
+        handle.args = args
+        handle.label = label
+        handle._cancelled = False
+        handle._fired = False
+        handle._owner = self
         # Routing inlined from _route: this is the hottest call in the
         # simulator (once per scheduled event).
         self._seq += 1
@@ -507,6 +516,10 @@ class Simulator:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
         executed = 0
+        # Sentinels instead of per-event `is not None` checks: the loop
+        # below runs once per event, so even a two-branch saving counts.
+        stop = until if until is not None else _INF
+        limit = max_events if max_events is not None else _INF
         try:
             while True:
                 # Hot path: consume the active (sorted) bucket by index.
@@ -515,7 +528,7 @@ class Simulator:
                 if idx < len(active):
                     entry = active[idx]
                     time = entry[0]
-                    if until is not None and time > until:
+                    if time > stop:
                         break
                     self._active_idx = idx + 1
                     self._size -= 1
@@ -527,7 +540,7 @@ class Simulator:
                     handle._fired = True
                     handle.callback(*handle.args)
                     executed += 1
-                    if max_events is not None and executed >= max_events:
+                    if executed >= limit:
                         break
                     continue
                 if not self._advance(until):

@@ -22,6 +22,8 @@ class Timer:
     previous deadline — exactly the semantics of a TCP retransmission timer.
     """
 
+    __slots__ = ("_sim", "_callback", "_label", "_handle")
+
     def __init__(self, sim: Simulator, callback: Callable[[], Any],
                  label: str = "timer"):
         self._sim = sim
@@ -32,7 +34,9 @@ class Timer:
     @property
     def armed(self) -> bool:
         """True while a deadline is pending."""
-        return self._handle is not None and self._handle.pending
+        handle = self._handle
+        return (handle is not None
+                and not (handle._cancelled or handle._fired))
 
     @property
     def deadline(self) -> Optional[int]:
@@ -67,6 +71,8 @@ class PeriodicTimer:
     re-arms the pending deadline as well (heartbeat-frequency sweeps
     change the period mid-run and must not wait out a stale long period).
     """
+
+    __slots__ = ("_sim", "_callback", "_period", "_label", "_handle")
 
     def __init__(self, sim: Simulator, callback: Callable[[], Any],
                  period: int, label: str = "periodic"):

@@ -37,6 +37,13 @@ class World:
         # promiscuous toggles); switches use it to invalidate cached flood
         # target lists.  See Switch._forward.
         self.net_epoch = 0
+        # Bumped whenever routing inputs change: interface addresses, the
+        # default gateway, NIC fail/repair, ARP learns.  IP stacks use it
+        # to invalidate cached send plans (IpStack.send).  Kept separate
+        # from net_epoch so steady-state ARP learns (one per joining
+        # client at fleet scale) do not also flush every switch's flood
+        # target lists.
+        self.route_epoch = 0
 
     @property
     def now(self) -> int:

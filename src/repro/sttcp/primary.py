@@ -227,7 +227,13 @@ class PrimaryEngine(SttcpEngine):
             self.control.send(FetchReply(request.key, 0, unavailable=True))
             return
         for start, end in request.ranges:
-            offset = start
+            # Retained bytes are released only when the backup's own HB
+            # confirms it holds them, so a range start below the retain
+            # base means this request raced such a heartbeat: the backup
+            # already has [start, base).  Serve the still-retained suffix
+            # instead of declaring the whole range unavailable (which
+            # would falsely mark the connection unrecoverable).
+            offset = max(start, mc.retain.base_offset)
             while offset < end:
                 length = min(self.config.fetch_chunk_bytes, end - offset)
                 data = mc.retain.get_range(offset, length)

@@ -6,13 +6,46 @@ ints, so they never wrap; the connection layer translates to and from
 32-bit wire sequence numbers.  Primary and backup share identical offsets
 because ST-TCP forces identical ISNs — which is what makes the heartbeat's
 progress counters (`LastByteReceived` etc.) directly comparable.
+
+Storage is a fixed ring (``bytearray(capacity)`` indexed by
+``offset % capacity``) rather than a growing/shrinking bytearray:
+acknowledging or releasing a prefix is O(1) pointer arithmetic instead of
+an O(n) ``del data[:freed]`` memmove, and :meth:`SendBuffer.get_range`
+can hand out a zero-copy :class:`memoryview` for the common
+non-wrapping case.  Views stay internal to the TCP layer — the connection
+materializes real ``bytes`` exactly once, when a payload crosses the NIC
+boundary — because ring positions below the acked/released base are
+recycled and a view held across that point would alias new data.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 __all__ = ["SendBuffer", "ReceiveBuffer", "RetainBuffer"]
+
+# Rings start at this backing size and double on demand up to capacity.
+# ST-TCP sizes some buffers in megabytes as *headroom* (retain allowance,
+# backup-lag slack) that is rarely occupied — eagerly zero-filling full
+# capacity for every connection would cost hundreds of megabytes.
+_INITIAL_RING_BYTES = 65536
+
+
+def _regrow(old: bytearray, new_size: int, start: int, end: int) -> bytearray:
+    """Copy the live span ``[start, end)`` (stream offsets) from ``old``
+    into a fresh ring of ``new_size``, preserving ``offset % size``
+    addressing.  Growth is geometric, so the copy amortizes to O(1) per
+    byte ever stored."""
+    old_size = len(old)
+    new = bytearray(new_size)
+    off = start
+    while off < end:
+        o = off % old_size
+        n = off % new_size
+        run = min(old_size - o, new_size - n, end - off)
+        new[n:n + run] = old[o:o + run]
+        off += run
+    return new
 
 
 class SendBuffer:
@@ -20,14 +53,24 @@ class SendBuffer:
 
     The application appends at the tail (bounded by ``capacity``); the
     connection acknowledges prefixes away as the peer acks.
+
+    Ring invariant: live bytes span ``[_base, _written)`` with
+    ``_written - _base <= capacity``, stored at ``offset % capacity``.
+    Positions below ``_base`` are dead and reused by ``write`` — safe
+    because a cumulative ack covers every byte below it, so no
+    retransmission ever needs them again.
     """
+
+    __slots__ = ("capacity", "_buf", "_alloc", "_base", "_written")
 
     def __init__(self, capacity: int = 65536):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
-        self._data = bytearray()
-        self._base = 0          # stream offset of _data[0] (== acked prefix)
+        self._alloc = capacity if capacity < _INITIAL_RING_BYTES \
+            else _INITIAL_RING_BYTES
+        self._buf = bytearray(self._alloc)
+        self._base = 0          # stream offset of first unacked byte
         self._written = 0       # total bytes ever accepted (stream length)
 
     @property
@@ -43,19 +86,39 @@ class SendBuffer:
     @property
     def buffered(self) -> int:
         """Bytes currently held (unacked or unsent)."""
-        return len(self._data)
+        return self._written - self._base
 
     @property
     def free_space(self) -> int:
         """Remaining writable capacity."""
-        return self.capacity - len(self._data)
+        return self.capacity - (self._written - self._base)
 
     def write(self, data: bytes) -> int:
         """Append up to ``free_space`` bytes; returns the count accepted."""
-        accepted = min(len(data), self.free_space)
-        if accepted > 0:
-            self._data.extend(data[:accepted])
-            self._written += accepted
+        accepted = self.capacity - (self._written - self._base)
+        if accepted > len(data):
+            accepted = len(data)
+        if accepted <= 0:
+            return 0
+        span = self._written + accepted - self._base
+        if span > self._alloc:
+            alloc = self._alloc
+            while alloc < span:
+                alloc *= 2
+            if alloc > self.capacity:
+                alloc = self.capacity
+            self._buf = _regrow(self._buf, alloc, self._base, self._written)
+            self._alloc = alloc
+        cap = self._alloc
+        start = self._written % cap
+        end = start + accepted
+        if end <= cap:
+            self._buf[start:end] = data[:accepted]
+        else:
+            head = cap - start
+            self._buf[start:] = data[:head]
+            self._buf[:accepted - head] = data[head:accepted]
+        self._written += accepted
         return accepted
 
     def ack_to(self, offset: int) -> int:
@@ -66,18 +129,35 @@ class SendBuffer:
             raise ValueError(
                 f"ack beyond written data: {offset} > {self._written}")
         freed = offset - self._base
-        del self._data[:freed]
         self._base = offset
         return freed
 
-    def get_range(self, offset: int, length: int) -> bytes:
-        """Copy ``length`` bytes starting at stream ``offset`` (clamped to
-        available data).  Used for both transmission and retransmission."""
+    def get_range(self, offset: int, length: int) -> Union[bytes, memoryview]:
+        """``length`` bytes starting at stream ``offset`` (clamped to
+        available data).  Used for both transmission and retransmission.
+
+        Returns a zero-copy view into the ring when the range doesn't
+        wrap (the overwhelmingly common case); the caller must copy it
+        to ``bytes`` before yielding control back to the event loop.
+        """
         if offset < self._base:
             raise ValueError(
                 f"range below acked prefix: {offset} < {self._base}")
-        start = offset - self._base
-        return bytes(self._data[start:start + length])
+        avail = self._written - offset
+        if length > avail:
+            length = avail
+        if length <= 0:
+            return b""
+        cap = self._alloc
+        start = offset % cap
+        end = start + length
+        if end <= cap:
+            return memoryview(self._buf)[start:end]
+        head = cap - start
+        out = bytearray(length)
+        out[:head] = self._buf[start:]
+        out[head:] = self._buf[:length - head]
+        return bytes(out)
 
 
 class ReceiveBuffer:
@@ -87,16 +167,30 @@ class ReceiveBuffer:
     contiguous data becomes readable by the application.  The advertised
     window shrinks with everything buffered (read-queue + out-of-order),
     exactly like a real receive window.
+
+    One ring holds every byte in the acceptance window
+    ``[bytes_read, bytes_read + capacity)``: readable bytes occupy
+    ``[bytes_read, rcv_next)`` and out-of-order bytes land directly at
+    their final ring positions, tracked as disjoint sorted ``(start, end)``
+    intervals.  Filling a gap therefore *drains* by pure interval
+    arithmetic — no bytes move.
     """
+
+    __slots__ = ("capacity", "_buf", "_alloc", "_rcv_next", "_read", "_ooo",
+                 "_ooo_total", "_adv_edge")
 
     def __init__(self, capacity: int = 65536):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
-        self._readable = bytearray()
-        self._rcv_next = 0                       # next in-order offset
-        self._read = 0                           # total bytes app consumed
-        self._ooo: dict[int, bytes] = {}         # offset -> chunk (disjoint)
+        self._alloc = capacity if capacity < _INITIAL_RING_BYTES \
+            else _INITIAL_RING_BYTES
+        self._buf = bytearray(self._alloc)
+        self._rcv_next = 0                 # next in-order offset
+        self._read = 0                     # total bytes app consumed
+        self._ooo: list[tuple[int, int]] = []  # disjoint sorted [start, end)
+        self._ooo_total = 0                # sum of interval lengths
+        self._adv_edge = 0                 # highest edge ever advertised
 
     @property
     def rcv_next(self) -> int:
@@ -111,17 +205,51 @@ class ReceiveBuffer:
     @property
     def readable(self) -> int:
         """Bytes available for the application to read right now."""
-        return len(self._readable)
+        return self._rcv_next - self._read
 
     @property
     def ooo_bytes(self) -> int:
         """Bytes held out-of-order (above a gap)."""
-        return sum(len(c) for c in self._ooo.values())
+        return self._ooo_total
 
     @property
     def window(self) -> int:
-        """Advertised receive window."""
-        return max(0, self.capacity - len(self._readable) - self.ooo_bytes)
+        """Advertised receive window.
+
+        Conservatively subtracts out-of-order bytes, but never retracts
+        an edge a previous advertisement promised (RFC 793 forbids
+        shrinking the window): OOO bytes live *inside* the promised edge,
+        so honouring it cannot over-commit — the physical acceptance edge
+        ``bytes_read + capacity`` is monotonic and always at or beyond
+        any edge ever advertised.
+        """
+        naive = (self.capacity - (self._rcv_next - self._read)
+                 - self._ooo_total)
+        promised = self._adv_edge - self._rcv_next
+        w = naive if naive >= promised else promised
+        return w if w > 0 else 0
+
+    def note_advertised(self, window: int) -> None:
+        """Record a window advertisement actually sent to the peer (the
+        connection layer calls this per outgoing segment); ratchets the
+        promised right edge the :attr:`window` property must honour."""
+        edge = self._rcv_next + window
+        if edge > self._adv_edge:
+            self._adv_edge = edge
+
+    def advertise_window(self) -> int:
+        """:attr:`window` and :meth:`note_advertised` fused — the
+        per-outgoing-segment hot path pays one call instead of two."""
+        rcv_next = self._rcv_next
+        naive = self.capacity - (rcv_next - self._read) - self._ooo_total
+        promised = self._adv_edge - rcv_next
+        w = naive if naive >= promised else promised
+        if w <= 0:
+            return 0
+        edge = rcv_next + w
+        if edge > self._adv_edge:
+            self._adv_edge = edge
+        return w
 
     @property
     def has_gap(self) -> bool:
@@ -133,8 +261,8 @@ class ReceiveBuffer:
         """One past the highest byte buffered anywhere (in-order or OOO)."""
         if not self._ooo:
             return self._rcv_next
-        return max(self._rcv_next,
-                   max(off + len(chunk) for off, chunk in self._ooo.items()))
+        end = self._ooo[-1][1]
+        return end if end > self._rcv_next else self._rcv_next
 
     def missing_ranges(self) -> list[tuple[int, int]]:
         """Gaps ``(start, end)`` between rcv_next and buffered OOO data —
@@ -143,11 +271,33 @@ class ReceiveBuffer:
             return []
         gaps = []
         cursor = self._rcv_next
-        for off in sorted(self._ooo):
-            if off > cursor:
-                gaps.append((cursor, off))
-            cursor = max(cursor, off + len(self._ooo[off]))
+        for start, end in self._ooo:
+            if start > cursor:
+                gaps.append((cursor, start))
+            if end > cursor:
+                cursor = end
         return gaps
+
+    def _write_ring(self, offset: int, data: bytes) -> None:
+        span = offset + len(data) - self._read
+        if span > self._alloc:
+            alloc = self._alloc
+            while alloc < span:
+                alloc *= 2
+            if alloc > self.capacity:
+                alloc = self.capacity
+            self._buf = _regrow(self._buf, alloc, self._read,
+                                self.highest_received)
+            self._alloc = alloc
+        cap = self._alloc
+        start = offset % cap
+        end = start + len(data)
+        if end <= cap:
+            self._buf[start:end] = data
+        else:
+            head = cap - start
+            self._buf[start:] = data[:head]
+            self._buf[:len(data) - head] = data[head:]
 
     def receive(self, offset: int, data: bytes) -> int:
         """Insert received data; returns how many *new in-order* bytes
@@ -158,88 +308,89 @@ class ReceiveBuffer:
         """
         if not data:
             return 0
+        rcv_next = self._rcv_next
         # Trim the already-received prefix.
-        if offset < self._rcv_next:
-            skip = self._rcv_next - offset
+        if offset < rcv_next:
+            skip = rcv_next - offset
             if skip >= len(data):
                 return 0
             data = data[skip:]
-            offset = self._rcv_next
+            offset = rcv_next
         # Trim anything beyond the buffer's acceptance edge.  Note this is
         # NOT ``rcv_next + window``: the advertised window conservatively
         # subtracts out-of-order bytes, but those bytes occupy positions
         # *inside* the edge — shrinking the acceptance edge because of them
         # would drop data we previously advertised room for (TCP forbids
-        # window shrinking).  Capacity minus the readable queue bounds what
-        # we can physically hold.
-        right_edge = self._rcv_next + (self.capacity - len(self._readable))
+        # window shrinking).  ``bytes_read + capacity`` bounds what the
+        # ring can physically hold.
+        right_edge = self._read + self.capacity
         if offset >= right_edge:
             return 0
         if offset + len(data) > right_edge:
             data = data[:right_edge - offset]
         if not data:
             return 0
-        if offset == self._rcv_next:
-            before = self._rcv_next
-            self._readable.extend(data)
-            self._rcv_next += len(data)
-            self._drain_ooo()
-            return self._rcv_next - before
-        self._store_ooo(offset, data)
+        self._write_ring(offset, data)
+        if offset == rcv_next:
+            self._rcv_next = rcv_next + len(data)
+            if self._ooo:
+                self._drain_ooo()
+            return self._rcv_next - rcv_next
+        self._store_ooo(offset, offset + len(data))
         return 0
 
-    def _store_ooo(self, offset: int, data: bytes) -> None:
-        """Insert an out-of-order chunk, merging overlaps conservatively."""
-        for exist_off in sorted(self._ooo):
-            chunk = self._ooo[exist_off]
-            exist_end = exist_off + len(chunk)
-            end = offset + len(data)
-            if offset >= exist_off and end <= exist_end:
-                return  # fully contained duplicate
-            if not (end <= exist_off or offset >= exist_end):
-                # Overlap: merge the two into one contiguous chunk.
-                new_off = min(offset, exist_off)
-                new_end = max(end, exist_end)
-                merged = bytearray(new_end - new_off)
-                merged[exist_off - new_off:exist_off - new_off + len(chunk)] = chunk
-                merged[offset - new_off:offset - new_off + len(data)] = data
-                del self._ooo[exist_off]
-                self._store_ooo(new_off, bytes(merged))
-                return
-        self._ooo[offset] = bytes(data)
+    def _store_ooo(self, start: int, end: int) -> None:
+        """Merge the interval ``[start, end)`` into the disjoint sorted
+        out-of-order set (bytes are already at their ring positions;
+        overlaps were overwritten in place, newest data winning, exactly
+        like the chunk-merge this replaces)."""
+        intervals = self._ooo
+        keep = []
+        for a, b in intervals:
+            if b < start or a > end:
+                keep.append((a, b))
+            else:
+                if a < start:
+                    start = a
+                if b > end:
+                    end = b
+        keep.append((start, end))
+        keep.sort()
+        self._ooo = keep
+        self._ooo_total = sum(b - a for a, b in keep)
 
     def _drain_ooo(self) -> None:
-        # Purge chunks made obsolete by the in-order advance (duplicates
-        # of data we already consumed) so has_gap stays truthful.
-        stale = [off for off, chunk in self._ooo.items()
-                 if off + len(chunk) <= self._rcv_next]
-        for off in stale:
-            del self._ooo[off]
-        while True:
-            chunk = self._ooo.pop(self._rcv_next, None)
-            if chunk is None:
-                # A chunk may *overlap* rcv_next after in-order fill.
-                overlapping = None
-                for off in sorted(self._ooo):
-                    if off < self._rcv_next < off + len(self._ooo[off]):
-                        overlapping = off
-                        break
-                    if off >= self._rcv_next:
-                        break
-                if overlapping is None:
-                    return
-                chunk = self._ooo.pop(overlapping)[self._rcv_next - overlapping:]
-            self._readable.extend(chunk)
-            self._rcv_next += len(chunk)
+        """Advance ``rcv_next`` through intervals the in-order fill just
+        connected to (and discard ones it made stale) — pure bookkeeping,
+        the bytes are already in place."""
+        intervals = self._ooo
+        rcv_next = self._rcv_next
+        i = 0
+        for start, end in intervals:
+            if start > rcv_next:
+                break
+            i += 1
+            if end > rcv_next:
+                rcv_next = end
+        if i:
+            del intervals[:i]
+            self._ooo_total = sum(b - a for a, b in intervals)
+            self._rcv_next = rcv_next
 
     def read(self, max_bytes: Optional[int] = None) -> bytes:
         """Consume up to ``max_bytes`` in-order bytes (all, if None)."""
-        n = len(self._readable) if max_bytes is None else min(
-            max_bytes, len(self._readable))
+        avail = self._rcv_next - self._read
+        n = avail if max_bytes is None else min(max_bytes, avail)
         if n <= 0:
             return b""
-        out = bytes(self._readable[:n])
-        del self._readable[:n]
+        cap = self._alloc
+        start = self._read % cap
+        end = start + n
+        if end <= cap:
+            out = bytes(self._buf[start:end])
+        else:
+            head = cap - start
+            out = bytes(self._buf[start:]) + bytes(self._buf[:n - head])
         self._read += n
         return out
 
@@ -248,9 +399,18 @@ class ReceiveBuffer:
 
         Used by the connection layer to hand freshly in-order bytes to the
         ST-TCP retain-buffer tap immediately after a ``receive`` call."""
+        avail = self._rcv_next - self._read
+        if n > avail:
+            n = avail
         if n <= 0:
             return b""
-        return bytes(self._readable[-n:])
+        cap = self._alloc
+        start = (self._rcv_next - n) % cap
+        end = start + n
+        if end <= cap:
+            return bytes(self._buf[start:end])
+        head = cap - start
+        return bytes(self._buf[start:]) + bytes(self._buf[:n - head])
 
 
 class RetainBuffer:
@@ -260,14 +420,24 @@ class RetainBuffer:
     confirms receipt through the heartbeat, so the backup can fetch bytes
     it missed (Table 1 row 5).  If the buffer fills — the backup cannot
     keep up — the primary declares the backup failed (paper Sec. 4.3).
+
+    Same ring layout as :class:`SendBuffer`; :meth:`release_to` is O(1).
+    ``get_range`` copies to ``bytes`` (not a view) because fetch replies
+    travel the control channel with delivery delay, during which a
+    heartbeat may release — and new appends recycle — the ring positions.
     """
+
+    __slots__ = ("capacity", "_buf", "_alloc", "_base", "_end", "overflowed")
 
     def __init__(self, capacity: int = 262144):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
-        self._data = bytearray()
+        self._alloc = capacity if capacity < _INITIAL_RING_BYTES \
+            else _INITIAL_RING_BYTES
+        self._buf = bytearray(self._alloc)
         self._base = 0
+        self._end = 0
         self.overflowed = False
 
     @property
@@ -278,12 +448,12 @@ class RetainBuffer:
     @property
     def end_offset(self) -> int:
         """One past the last retained byte."""
-        return self._base + len(self._data)
+        return self._end
 
     @property
     def buffered(self) -> int:
         """Bytes currently held."""
-        return len(self._data)
+        return self._end - self._base
 
     def append(self, offset: int, data: bytes) -> None:
         """Store in-order client bytes (``offset`` must extend the buffer).
@@ -292,7 +462,7 @@ class RetainBuffer:
         exceeded — the caller (the primary engine) converts that condition
         into a "backup failed" verdict per the paper.
         """
-        end = self.end_offset
+        end = self._end
         if offset < end:
             skip = end - offset
             if skip >= len(data):
@@ -308,19 +478,39 @@ class RetainBuffer:
                 return
             raise ValueError(
                 f"retain buffer gap: expected offset {end}, got {offset}")
-        if len(self._data) + len(data) > self.capacity:
+        room = self.capacity - (end - self._base)
+        if len(data) > room:
             self.overflowed = True
-            room = self.capacity - len(self._data)
             data = data[:room]
-        self._data.extend(data)
+            if not data:
+                return
+        span = end + len(data) - self._base
+        if span > self._alloc:
+            alloc = self._alloc
+            while alloc < span:
+                alloc *= 2
+            if alloc > self.capacity:
+                alloc = self.capacity
+            self._buf = _regrow(self._buf, alloc, self._base, end)
+            self._alloc = alloc
+        cap = self._alloc
+        start = end % cap
+        stop = start + len(data)
+        if stop <= cap:
+            self._buf[start:stop] = data
+        else:
+            head = cap - start
+            self._buf[start:] = data[:head]
+            self._buf[:len(data) - head] = data[head:]
+        self._end = end + len(data)
 
     def release_to(self, offset: int) -> int:
         """Drop bytes the backup has confirmed; returns freed count."""
         if offset <= self._base:
             return 0
-        offset = min(offset, self.end_offset)
+        if offset > self._end:
+            offset = self._end
         freed = offset - self._base
-        del self._data[:freed]
         self._base = offset
         return freed
 
@@ -329,7 +519,15 @@ class RetainBuffer:
         unrecoverable-output-commit case of paper Sec. 4.3)."""
         if offset < self._base:
             return None
-        start = offset - self._base
-        if start >= len(self._data):
+        avail = self._end - offset
+        if avail <= 0:
             return b""
-        return bytes(self._data[start:start + length])
+        if length > avail:
+            length = avail
+        cap = self._alloc
+        start = offset % cap
+        end = start + length
+        if end <= cap:
+            return bytes(self._buf[start:end])
+        head = cap - start
+        return bytes(self._buf[start:]) + bytes(self._buf[:length - head])

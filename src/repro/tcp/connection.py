@@ -39,7 +39,7 @@ from repro.tcp.buffers import ReceiveBuffer, SendBuffer
 from repro.tcp.congestion import RenoCongestionControl
 from repro.tcp.rtt import RttEstimator
 from repro.tcp.segment import TcpFlags, TcpSegment
-from repro.tcp.seq import seq_add, seq_sub
+from repro.tcp.seq import SEQ_MASK, seq_add, seq_sub
 from repro.tcp.states import TcpState
 
 __all__ = ["TcpConfig", "TcpConnection"]
@@ -289,7 +289,7 @@ class TcpConnection:
         newly = self.recv_buffer.receive(offset, data)
         if newly:
             probes = self.world.probes
-            if probes.wants("tcp.deliver"):
+            if probes.wants_map["tcp.deliver"]:
                 probes.fire("tcp.deliver", self.name, off=before, len=newly)
             if self.inorder_tap is not None:
                 self.inorder_tap(before, self.recv_buffer.peek_tail(newly))
@@ -314,21 +314,23 @@ class TcpConnection:
         """Demultiplexed entry point for one inbound segment."""
         self.segments_received += 1
         probes = self.world.probes
-        if probes.wants("tcp.segment_rx"):
+        if probes.wants_map["tcp.segment_rx"]:
             probes.fire("tcp.segment_rx", self.name,
                         len=len(segment.payload), flags=segment.flags)
-        if self.state is TcpState.CLOSED:
+        state = self.state
+        flags = segment.flags
+        if state is TcpState.CLOSED:
             return
-        if segment.rst:
+        if flags & TcpFlags.RST:
             self._handle_rst(segment)
             return
-        if self.state is TcpState.LISTEN:
+        if state is TcpState.LISTEN:
             self._handle_listen(segment)
             return
-        if self.state is TcpState.SYN_SENT:
+        if state is TcpState.SYN_SENT:
             self._handle_syn_sent(segment)
             return
-        if segment.syn:
+        if flags & TcpFlags.SYN:
             # Retransmitted SYN on a SYN_RCVD connection: re-send SYN-ACK.
             if self.state is TcpState.SYN_RCVD:
                 self._send_syn_ack()
@@ -340,16 +342,16 @@ class TcpConnection:
                 self._send_pure_ack()
             return
         if self.state is TcpState.TIME_WAIT:
-            if segment.fin:
+            if flags & TcpFlags.FIN:
                 self._send_pure_ack()
             return
-        if segment.ack_flag:
+        if flags & TcpFlags.ACK:
             self._process_ack(segment)
             if self.state is TcpState.CLOSED:
                 return
         if segment.payload:
             self._process_payload(segment)
-        if segment.fin:
+        if flags & TcpFlags.FIN:
             self._note_peer_fin(segment)
         self._maybe_consume_peer_fin()
 
@@ -444,9 +446,14 @@ class TcpConnection:
             self.peer_window = segment.window
             self.on_writable()
         else:
+            prev_window = self.peer_window
             self.peer_window = segment.window
+            # RFC 5681: a duplicate ack must also leave the advertised
+            # window unchanged — an equal ack with a new window is a
+            # window update, not evidence of loss.
             if (ack_off == self.snd_una_off and not segment.payload
-                    and not segment.syn and not segment.fin
+                    and not segment.flags & (TcpFlags.SYN | TcpFlags.FIN)
+                    and segment.window == prev_window
                     and self.flight_size > 0):
                 self.dupacks_received += 1
                 if self.cc.on_dupack(self.flight_size, self.snd_nxt_off):
@@ -499,24 +506,28 @@ class TcpConnection:
     # ------------------------------------------------------------ data input
 
     def _process_payload(self, segment: TcpSegment) -> None:
-        if self.irs is None:
+        irs = self.irs
+        if irs is None:
             return
-        off = seq_sub(segment.seq, seq_add(self.irs, 1))
-        self.peer_data_high = max(self.peer_data_high,
-                                  off + len(segment.payload))
-        if off + len(segment.payload) <= self.recv_buffer.rcv_next:
+        payload = segment.payload
+        recv_buffer = self.recv_buffer
+        off = seq_sub(segment.seq, (irs + 1) & SEQ_MASK)
+        end = off + len(payload)
+        if end > self.peer_data_high:
+            self.peer_data_high = end
+        if end <= recv_buffer.rcv_next:
             # Entirely old data: pure duplicate, re-ack it.
             self._send_pure_ack()
             return
-        before = self.recv_buffer.rcv_next
-        newly = self.recv_buffer.receive(off, segment.payload)
+        before = recv_buffer.rcv_next
+        newly = recv_buffer.receive(off, payload)
         if newly:
             probes = self.world.probes
-            if probes.wants("tcp.deliver"):
+            if probes.wants_map["tcp.deliver"]:
                 probes.fire("tcp.deliver", self.name, off=before, len=newly)
             if self.inorder_tap is not None:
-                self.inorder_tap(before, self.recv_buffer.peek_tail(newly))
-        if newly == 0 and off > self.recv_buffer.rcv_next:
+                self.inorder_tap(before, recv_buffer.peek_tail(newly))
+        if newly == 0 and off > recv_buffer.rcv_next:
             # Out of order: immediate duplicate ack (triggers peer's
             # fast retransmit).
             self._send_pure_ack()
@@ -548,11 +559,15 @@ class TcpConnection:
                 # the peer can fast-retransmit the gap (a bare FIN takes
                 # no _process_payload path, so nothing else acks it).
                 self._send_pure_ack()
-        elif self.peer_fin_consumed:
-            # Retransmitted FIN: our ack of it was lost.  Flush any
-            # pending delack and re-ack immediately, or the peer camps in
-            # LAST_ACK / FIN_WAIT_1 retransmitting its FIN until the
-            # give-up limit resets the connection.
+        elif self.peer_fin_consumed or not segment.payload:
+            # Retransmitted FIN: our ack was lost (consumed case), or a
+            # bare FIN above a still-open gap took no payload path that
+            # would ack it (RFC 1122 4.2.2.21: duplicates must be acked).
+            # Flush any pending delack and re-ack immediately, or the
+            # peer camps in LAST_ACK / FIN_WAIT_1 retransmitting its FIN
+            # until the give-up limit resets the connection.  (A data-
+            # bearing retransmitted FIN is already acked by the payload
+            # path.)
             self._send_pure_ack()
 
     def _maybe_consume_peer_fin(self) -> None:
@@ -598,7 +613,7 @@ class TcpConnection:
     # ----------------------------------------------------------------- output
 
     def _seq_of(self, offset: int) -> int:
-        return seq_add(self.iss, 1 + offset)
+        return (self.iss + 1 + offset) & SEQ_MASK  # seq_add inlined
 
     def _current_ack(self) -> tuple[int, int]:
         """(flags_ack_bit, ack_field) for outgoing segments."""
@@ -609,8 +624,17 @@ class TcpConnection:
         return TcpFlags.ACK, ack
 
     def _make_segment(self, flags: int, seq: int, payload: bytes = b"") -> TcpSegment:
-        ack_bit, ack = self._current_ack()
-        window = self.recv_buffer.window
+        # _current_ack() inlined (keep in sync): one call per outgoing
+        # segment makes the helper frame and seq_add call measurable.
+        recv_buffer = self.recv_buffer
+        irs = self.irs
+        if irs is None:
+            ack_bit = ack = 0
+        else:
+            ack_bit = TcpFlags.ACK
+            ack = (irs + 1 + recv_buffer.rcv_next
+                   + (1 if self.peer_fin_consumed else 0)) & SEQ_MASK
+        window = recv_buffer.advertise_window()
         self._last_sent_window = window
         return TcpSegment(self.local_port, self.remote_port, seq=seq,
                           ack=ack if (flags & TcpFlags.ACK or ack_bit) else 0,
@@ -618,6 +642,13 @@ class TcpConnection:
                           payload=payload)
 
     def _emit(self, segment: TcpSegment) -> None:
+        payload = segment.payload
+        if type(payload) is not bytes:
+            # The send buffer hands out zero-copy ring views; the wire is
+            # where they must become real bytes — once the event loop runs
+            # again, acked ring positions can be recycled under the view,
+            # and a lagging ST-TCP backup tap would read corrupt data.
+            segment.payload = bytes(payload)
         self.segments_sent += 1
         self.bytes_sent += len(segment.payload)
         # The extra sender-state fields (off/una/nxt/rcv_nxt/mss/ssthresh)
@@ -625,7 +656,7 @@ class TcpConnection:
         # Building them (flag rendering included) costs more than the
         # fire itself, so skip the whole block when nobody listens.
         probes = self.world.probes
-        if probes.wants("tcp.segment_tx"):
+        if probes.wants_map["tcp.segment_tx"]:
             probes.fire("tcp.segment_tx", self.name,
                         seq=segment.seq, ack=segment.ack,
                         flags=TcpFlags.describe(segment.flags),
@@ -666,47 +697,58 @@ class TcpConnection:
         """Transmit as much queued data as the windows permit, plus FIN."""
         if not self.state.is_synchronized or self.irs is None:
             return
-        sent_any = True
-        while sent_any:
-            sent_any = False
-            window = self.cc.send_window(self.peer_window)
-            in_flight = self.flight_size
-            pending = self._send_limit() - self.snd_nxt_off
-            room = window - in_flight
-            chunk = min(self.config.mss, pending, room)
+        # Receiver-side fast exit: most calls on an ack-only flow have no
+        # queued data and no FIN pending, so skip the window math.
+        if (self._send_limit() <= self.snd_nxt_off
+                and (not self.fin_queued or self.fin_sent)):
+            self._pump_or_persist()
+            return
+        # Loop invariants (cwnd, peer window, writable limit, MSS) can't
+        # change while we emit — hoist them; only snd_nxt advances.
+        window = self.cc.send_window(self.peer_window)
+        limit = self._send_limit()
+        mss = self.config.mss
+        send_buffer = self.send_buffer
+        stream_end = send_buffer.end_offset
+        while True:
+            snd_nxt = self.snd_nxt_off
+            pending = limit - snd_nxt
+            room = window - (snd_nxt - self.snd_una_off)
+            chunk = mss if mss < pending else pending
+            if chunk > room:
+                chunk = room
             if chunk > 0:
-                payload = self.send_buffer.get_range(self.snd_nxt_off, chunk)
+                payload = send_buffer.get_range(snd_nxt, chunk)
+                sent_end = snd_nxt + len(payload)
                 flags = TcpFlags.ACK
-                is_last_data = (self.snd_nxt_off + len(payload)
-                                == self.send_buffer.end_offset)
-                if is_last_data:
+                if sent_end == stream_end:
                     flags |= TcpFlags.PSH
                 fin_now = (self.fin_queued and not self.fin_sent
-                           and self.snd_nxt_off + len(payload) == self.fin_off)
+                           and sent_end == self.fin_off)
                 if fin_now:
                     flags |= TcpFlags.FIN
-                seg = self._make_segment(flags, self._seq_of(self.snd_nxt_off),
+                seg = self._make_segment(flags, self._seq_of(snd_nxt),
                                          payload)
                 if self._timed_end is None:
-                    self._timed_end = self.snd_nxt_off + len(payload)
+                    self._timed_end = sent_end
                     self._timed_at = self.world.sim.now
                 self._emit(seg)
-                self.snd_nxt_off += len(payload)
+                self.snd_nxt_off = sent_end
                 if fin_now:
                     self.fin_sent = True
                 if not self._rtx_timer.armed:
                     self._rtx_timer.start(self.rtt.rto_ns)
-                sent_any = True
                 continue
             # Bare FIN (no data left to carry it on).
             if (self.fin_queued and not self.fin_sent
-                    and self.snd_nxt_off == self.fin_off
-                    and self.snd_una_off == self.snd_nxt_off):
+                    and snd_nxt == self.fin_off
+                    and self.snd_una_off == snd_nxt):
                 self._emit(self._make_segment(TcpFlags.FIN | TcpFlags.ACK,
                                               self._seq_of(self.fin_off)))
                 self.fin_sent = True
                 if not self._rtx_timer.armed:
                     self._rtx_timer.start(self.rtt.rto_ns)
+            break
         self._pump_or_persist()
 
     def _send_limit(self) -> int:
@@ -716,14 +758,16 @@ class TcpConnection:
 
     def _pump_or_persist(self) -> None:
         """Arm the persist timer when data waits on a zero window."""
-        has_pending = self._send_limit() > self.snd_nxt_off
-        if (self.peer_window == 0 and has_pending and self.flight_size == 0
+        if (self.peer_window == 0 and self.flight_size == 0
+                and self._send_limit() > self.snd_nxt_off
                 and self.state.is_synchronized):
             if not self._persist_timer.armed:
                 self._persist_timer.start(self._persist_interval)
-        else:
-            self._persist_timer.stop()
-            self._persist_interval = self.config.persist_min_ns
+            return
+        timer = self._persist_timer
+        if timer._handle is not None:
+            timer.stop()
+        self._persist_interval = self.config.persist_min_ns
 
     def _on_persist_timeout(self) -> None:
         """Send a 1-byte window probe into a zero window."""

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 __all__ = ["TcpFlags", "TcpSegment", "TCP_HEADER_BYTES"]
 
 TCP_HEADER_BYTES = 20
@@ -30,7 +28,6 @@ class TcpFlags:
         return "|".join(names) if names else "-"
 
 
-@dataclass(frozen=True, slots=True)
 class TcpSegment:
     """One TCP segment.
 
@@ -38,22 +35,27 @@ class TcpSegment:
     bytes — the simulator transfers actual data so end-to-end integrity
     (exactly-once, in-order delivery across failover) can be asserted
     byte-for-byte in tests.
+
+    A plain slotted class rather than a dataclass: tens of thousands of
+    segments are built per benchmark run and the generated dataclass
+    ``__init__``/``__post_init__`` pair costs ~3x a hand-written one.
+    ``size_bytes`` (header + payload) is computed once because the link
+    layer reads it several times per hop.
     """
 
-    src_port: int
-    dst_port: int
-    seq: int
-    ack: int
-    flags: int
-    window: int
-    payload: bytes = field(default=b"", repr=False)
-    # On-wire segment size (header + payload); cached because the link
-    # layer reads it several times per hop.
-    size_bytes: int = field(init=False, repr=False, compare=False)
+    __slots__ = ("src_port", "dst_port", "seq", "ack", "flags", "window",
+                 "payload", "size_bytes")
 
-    def __post_init__(self) -> None:
-        object.__setattr__(self, "size_bytes",
-                           TCP_HEADER_BYTES + len(self.payload))
+    def __init__(self, src_port: int, dst_port: int, seq: int, ack: int,
+                 flags: int, window: int, payload: bytes = b""):
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.seq = seq
+        self.ack = ack
+        self.flags = flags
+        self.window = window
+        self.payload = payload
+        self.size_bytes = TCP_HEADER_BYTES + len(payload)
 
     @property
     def syn(self) -> bool:

@@ -43,6 +43,10 @@ class TcpStack:
         self.name = name
         self.config = config or TcpConfig()
         self._connections: dict[ConnKey, TcpConnection] = {}
+        # Demux fast path: the same connections keyed by raw int 4-tuples
+        # (dst_value, dst_port, src_value, src_port).  Hashing four ints
+        # beats hashing two IPAddress objects on every inbound segment.
+        self._conn_by_value: dict[tuple, TcpConnection] = {}
         self._listeners: list[Listener] = []
         self._next_ephemeral = self.EPHEMERAL_BASE
         self._isn_rng = world.rng.stream(f"tcp.isn.{name}")
@@ -163,7 +167,9 @@ class TcpStack:
         key = (local_ip, local_port, remote_ip, remote_port)
         if key in self._connections:
             raise TcpError(f"{self.name}: connection {key} already exists")
-        conn_config = copy.deepcopy(config or self.config)
+        # Shallow copy is enough: TcpConfig is a flat record of ints and
+        # bools, and deepcopy dominated connection-setup cost at fleet scale.
+        conn_config = copy.copy(config or self.config)
         conn = TcpConnection(
             self._world,
             name=f"{self.name}.{local_ip}:{local_port}-{remote_ip}:{remote_port}",
@@ -172,6 +178,8 @@ class TcpStack:
             config=conn_config,
             transmit=self._transmitter(local_ip, remote_ip))
         self._connections[key] = conn
+        self._conn_by_value[(local_ip._value, local_port,
+                             remote_ip._value, remote_port)] = conn
         return conn
 
     def _transmitter(self, local_ip, remote_ip):
@@ -184,6 +192,8 @@ class TcpStack:
         existing = self._connections.get(key)
         if existing is conn:
             del self._connections[key]
+            del self._conn_by_value[(conn.local_ip._value, conn.local_port,
+                                     conn.remote_ip._value, conn.remote_port)]
 
     def _remove_listener(self, listener: Listener) -> None:
         if listener in self._listeners:
@@ -199,8 +209,9 @@ class TcpStack:
                 and self.segment_filter(segment, packet.src, packet.dst)):
             return
         self.segments_demuxed += 1
-        key = (packet.dst, segment.dst_port, packet.src, segment.src_port)
-        conn = self._connections.get(key)
+        conn = self._conn_by_value.get(
+            (packet.dst._value, segment.dst_port,
+             packet.src._value, segment.src_port))
         if conn is not None:
             conn.segment_arrived(segment)
             return

@@ -22,19 +22,22 @@ class TcpState(enum.Enum):
     LAST_ACK = "LAST_ACK"
     TIME_WAIT = "TIME_WAIT"
 
-    @property
-    def is_synchronized(self) -> bool:
-        """States in which both sides have synchronized sequence numbers."""
-        return self not in (TcpState.CLOSED, TcpState.LISTEN,
-                            TcpState.SYN_SENT, TcpState.SYN_RCVD)
 
-    @property
-    def can_send_data(self) -> bool:
-        """States in which the local side may still transmit data."""
-        return self in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT)
-
-    @property
-    def can_receive_data(self) -> bool:
-        """States in which the peer may still legitimately send data."""
-        return self in (TcpState.ESTABLISHED, TcpState.FIN_WAIT_1,
-                        TcpState.FIN_WAIT_2)
+# Classification flags, precomputed as plain per-member attributes:
+# ``state.is_synchronized`` is checked on every segment sent and received,
+# and a plain attribute read is several times cheaper than a property
+# call evaluating tuple membership each time.
+#
+# is_synchronized — both sides have synchronized sequence numbers.
+# can_send_data   — the local side may still transmit data.
+# can_receive_data — the peer may still legitimately send data.
+for _state in TcpState:
+    _state.is_synchronized = _state not in (
+        TcpState.CLOSED, TcpState.LISTEN, TcpState.SYN_SENT,
+        TcpState.SYN_RCVD)
+    _state.can_send_data = _state in (TcpState.ESTABLISHED,
+                                      TcpState.CLOSE_WAIT)
+    _state.can_receive_data = _state in (TcpState.ESTABLISHED,
+                                         TcpState.FIN_WAIT_1,
+                                         TcpState.FIN_WAIT_2)
+del _state

@@ -95,6 +95,85 @@ def test_send_buffer_get_range_matches_written(data, chunk):
     assert reassembled == data
 
 
+@st.composite
+def overlapping_stream(draw):
+    """A stream re-sliced into *overlapping*, duplicated, reordered
+    segments with consistent content — the left-edge-trim and
+    duplicate-overlap merge paths of the OOO store, which plain
+    cut-point slicing never reaches."""
+    stream = draw(st.binary(min_size=1, max_size=2000))
+    n = len(stream)
+    count = draw(st.integers(min_value=1, max_value=30))
+    segments = []
+    for _ in range(count):
+        start = draw(st.integers(min_value=0, max_value=n - 1))
+        length = draw(st.integers(min_value=1, max_value=min(400, n - start)))
+        segments.append((start, stream[start:start + length]))
+    # A deterministic coarse tiling guarantees full coverage, so the
+    # reassembled stream is always completable.
+    for off in range(0, n, 97):
+        segments.append((off, stream[off:off + 97]))
+    order = draw(st.permutations(range(len(segments))))
+    return stream, [segments[i] for i in order]
+
+
+@given(overlapping_stream())
+@settings(max_examples=200)
+def test_overlapping_segments_reassemble_byte_for_byte(case):
+    stream, segments = case
+    buf = ReceiveBuffer(capacity=len(stream) + 10)
+    for offset, data in segments:
+        buf.receive(offset, data)
+    assert buf.read() == stream
+    assert buf.rcv_next == len(stream)
+    assert not buf.has_gap
+
+
+@given(sliced_stream(), st.integers(min_value=16, max_value=64),
+       st.integers(min_value=1, max_value=64))
+@settings(max_examples=100)
+def test_reassembly_through_tight_window_with_retransmission(
+        case, capacity, read_size):
+    """With a buffer far smaller than the stream, segments get trimmed at
+    the acceptance edge; re-offering them (a sender's retransmission)
+    with interleaved reads must still reproduce the exact stream."""
+    stream, segments = case
+    buf = ReceiveBuffer(capacity=capacity)
+    out = bytearray()
+    rounds = 0
+    while len(out) < len(stream):
+        rounds += 1
+        assert rounds <= len(stream) + len(segments) + 2, \
+            "reassembly stopped making progress"
+        for offset, data in segments:
+            buf.receive(offset, data)
+            out.extend(buf.read(read_size))
+        out.extend(buf.read())
+    assert bytes(out) == stream
+
+
+@given(st.binary(min_size=1, max_size=3000),
+       st.integers(min_value=8, max_value=64),
+       st.integers(min_value=1, max_value=32))
+@settings(max_examples=100)
+def test_send_buffer_wrap_roundtrip(data, capacity, chunk):
+    """Stream a payload much larger than the buffer through repeated
+    write / get_range / ack cycles: every transmitted chunk must match
+    the original stream even as storage positions are reused."""
+    buf = SendBuffer(capacity=capacity)
+    written = 0
+    sent = bytearray()
+    while len(sent) < len(data):
+        written += buf.write(data[written:written + capacity])
+        while len(sent) < written:
+            part = buf.get_range(len(sent), min(chunk, written - len(sent)))
+            sent.extend(part)
+        buf.ack_to(len(sent))
+        assert buf.base_offset == len(sent)
+        assert buf.buffered == written - len(sent)
+    assert bytes(sent) == data
+
+
 @given(st.lists(st.binary(min_size=1, max_size=50), min_size=1, max_size=20),
        st.lists(st.integers(min_value=0, max_value=500), max_size=10))
 @settings(max_examples=100)

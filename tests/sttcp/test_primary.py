@@ -53,7 +53,13 @@ def test_fetch_for_unknown_conn_unavailable(sttcp):
     assert replies[0].unavailable
 
 
-def test_fetch_for_released_range_unavailable(sttcp):
+def test_fetch_for_released_range_yields_no_reply(sttcp):
+    """Retained bytes are only released when the backup's own heartbeat
+    confirms it holds them, so a fetch naming a fully released range can
+    only be a request that raced that heartbeat — the backup already has
+    the bytes.  Answering ``unavailable`` would declare the connection
+    unrecoverable over a race; staying silent is correct (the backup's
+    retry re-checks its missing ranges and finds none)."""
     sttcp.start_client(total_bytes=20_000_000)
     sttcp.run(1)   # backup confirmed; retain released
     key = next(iter(sttcp.primary_engine.conns))
@@ -61,7 +67,41 @@ def test_fetch_for_released_range_unavailable(sttcp):
     sttcp.primary_engine.control.send = \
         lambda msg, also_serial=False: replies.append(msg)
     sttcp.primary_engine._serve_fetch(FetchRequest(key, ((0, 5),)))
-    assert replies[0].unavailable  # the output-commit problem, Sec. 4.3
+    assert replies == []
+
+
+def test_fetch_racing_backup_confirmation_serves_remaining_bytes(sttcp):
+    """Failover-handoff race (red on pre-fix code): the backup sends a
+    fetch for [0, end), then its next heartbeat — confirming it caught up
+    through ``mid`` on its own — overtakes the fetch and releases
+    [0, mid) from the retain buffer.  The primary must serve the still-
+    retained [mid, end) suffix, not declare the whole range unavailable
+    (which falsely marks the connection unrecoverable)."""
+    from repro.sttcp.state import ConnProgress
+
+    sttcp.start_client(total_bytes=20_000_000)
+    sttcp.run(0.05)
+    key = next(iter(sttcp.primary_engine.conns))
+    mc = sttcp.primary_engine.conns[key]
+    end = mc.retain.end_offset
+    assert end > 4 and mc.retain.base_offset == 0
+    expected = mc.retain.get_range(0, end)
+    mid = end // 2
+    # The backup's HB arrives first, confirming bytes through `mid`.
+    mc.update_trackers_from_backup(ConnProgress(
+        key=key, last_byte_received=mid, last_ack_received=0,
+        last_app_byte_written=0, last_app_byte_read=0))
+    assert mc.retain.base_offset == mid
+    # Now the (older) fetch request for the full range lands.
+    replies = []
+    sttcp.primary_engine.control.send = \
+        lambda msg, also_serial=False: replies.append(msg)
+    sttcp.primary_engine._serve_fetch(FetchRequest(key, ((0, end),)))
+    assert replies, "fetch for a partially released range got no reply"
+    assert all(not r.unavailable for r in replies)
+    assert replies[0].offset == mid
+    recovered = b"".join(bytes(r.data) for r in replies)
+    assert recovered == expected[mid:end]
 
 
 def test_non_ft_mode_stoniths_backup_and_stops(sttcp):
