@@ -8,22 +8,39 @@ script also asserts the canonical aggregates are byte-identical across
 levels, so the scaling numbers can never come from trials quietly
 diverging.
 
+What is measured, per entry:
+
+* **jobs=1, repeated.**  Wall clock on shared VMs jitters ±15-20 %
+  between identical passes, so the serial run is repeated
+  (``--repeats``, pyperf-style) and the *best* pass is reported — the
+  best pass is the closest observable to the code's noise-free cost.
+  Every pass is kept in the entry (``passes``) so the spread is
+  visible, not hidden.
+* **Setup-vs-run split.**  The warm testbed cache
+  (:mod:`repro.campaign.warm`) accounts wall time spent building or
+  thawing testbeds separately from running trials; the jobs=1 entry
+  reports builds/restores, setup seconds, and the setup fraction.
+* **Warm-vs-cold A/B.**  One extra jobs=1 pass with the warm cache
+  disabled (``run_campaign(..., warm=False)``); its aggregate must be
+  byte-identical to the warm ones.
+* **cpus, prominently.**  Scaling is physically bounded by the cores
+  actually available.  When only one CPU is visible the script REFUSES
+  to headline a speedup figure — a 1-CPU container shows ~1x at every
+  jobs level no matter how well the engine scales — and headlines
+  jobs=1 trials/sec instead.  Speedups (and ``speedup_at_jobs4``) are
+  only emitted when ``cpus > 1``.
+
 Usage::
 
     python benchmarks/bench_campaign_scaling.py                # measure
     python benchmarks/bench_campaign_scaling.py --record       # + update json
     python benchmarks/bench_campaign_scaling.py --quick        # CI smoke
 
-The committed ``BENCH_campaign_scaling.json`` at the repo root records
-one machine's numbers with its ``cpus`` count — scaling is physically
-bounded by the cores actually available, so always read the speedups
-against that field (a 1-CPU container shows ~1x at every jobs level no
-matter how well the engine scales; the 4-core CI runner class is where
-the >=3x-at-jobs=4 target is meaningful).  ``--quick`` runs a smaller
-grid at jobs=1/2 only, writes
+``--quick`` runs a smaller grid at jobs=1/2 only, writes
 ``benchmarks/results/BENCH_campaign_scaling_quick.json``, and exits
-non-zero on any failed trial or any cross-jobs output divergence — the
-CI gate.
+non-zero on any failed trial, any cross-jobs (or warm/cold) output
+divergence, or — with ``--min-tps`` — a jobs=1 throughput below the
+floor: the CI gate.
 """
 
 from __future__ import annotations
@@ -47,10 +64,10 @@ QUICK_JSON = pathlib.Path(__file__).parent / "results" / \
 # small enough that one trial is ~0.3 s of wall clock.
 FULL = dict(grid_hb_period_ms=(100, 200, 500), trials=8,
             total_bytes=2_000_000, fault_at_s=0.1, run_until_s=6.0,
-            jobs_levels=(1, 2, 4, 8))
+            jobs_levels=(1, 2, 4, 8), repeats=5)
 QUICK = dict(grid_hb_period_ms=(100, 200), trials=2,
              total_bytes=2_000_000, fault_at_s=0.1, run_until_s=6.0,
-             jobs_levels=(1, 2))
+             jobs_levels=(1, 2), repeats=2)
 
 
 def build_spec(params: dict, seed: int = 3):
@@ -67,15 +84,93 @@ def build_spec(params: dict, seed: int = 3):
         timeout_s=300.0)
 
 
+def _measure_jobs1(spec, repeats: int, aggregates: set) -> tuple[dict, int]:
+    """Repeated warm jobs=1 passes; returns (level entry, failed count).
+
+    Each pass starts from an empty warm cache so the setup split always
+    covers one build per grid point plus one restore per later trial.
+    """
+    from repro.campaign import run_campaign, warm
+
+    failed = 0
+    passes = []
+    best = None
+    for _ in range(max(1, repeats)):
+        warm.get_cache().clear()
+        warm.reset_stats()
+        result = run_campaign(spec, jobs=1)
+        stats = dict(warm.get_cache().stats)
+        aggregates.add(result.to_json())
+        failed += len(result.failed)
+        setup_s = stats["build_s"] + stats["restore_s"]
+        entry = {
+            "wall_s": round(result.wall_s, 3),
+            "trials_per_sec": round(result.trials_per_sec, 3),
+            "setup_s": round(setup_s, 4),
+            "run_s": round(result.wall_s - setup_s, 3),
+            "builds": stats["builds"],
+            "restores": stats["restores"],
+        }
+        passes.append(entry)
+        print(f"  jobs=1: {entry['wall_s']:.2f}s wall "
+              f"({entry['setup_s'] * 1000:.1f}ms setup), "
+              f"{entry['trials_per_sec']:.2f} trials/sec", flush=True)
+        if best is None or entry["trials_per_sec"] > best["trials_per_sec"]:
+            best = entry
+    n_trials = len(result.records)
+    level = {
+        "wall_s": best["wall_s"],
+        "trials_per_sec": best["trials_per_sec"],
+        "setup_split": {
+            "builds": best["builds"],
+            "restores": best["restores"],
+            "setup_s": best["setup_s"],
+            "run_s": best["run_s"],
+            "setup_ms_per_trial": round(
+                best["setup_s"] * 1000 / n_trials, 3) if n_trials else 0.0,
+            "setup_fraction": round(
+                best["setup_s"] / best["wall_s"], 5) if best["wall_s"]
+                else 0.0,
+        },
+        "passes": passes,
+    }
+    return level, failed
+
+
+def _measure_cold_ab(spec, warm_tps: float, aggregates: set) -> tuple[dict, int]:
+    """One cold (warm cache off) jobs=1 pass; the A/B record."""
+    from repro.campaign import run_campaign
+
+    cold = run_campaign(spec, jobs=1, warm=False)
+    identical = cold.to_json() in aggregates
+    aggregates.add(cold.to_json())
+    ab = {
+        "warm_trials_per_sec": warm_tps,
+        "cold_wall_s": round(cold.wall_s, 3),
+        "cold_trials_per_sec": round(cold.trials_per_sec, 3),
+        "identical_output": identical,
+    }
+    print(f"  jobs=1 (cold): {cold.wall_s:.2f}s wall, "
+          f"{cold.trials_per_sec:.2f} trials/sec, "
+          f"identical={identical}", flush=True)
+    return ab, len(cold.failed)
+
+
 def measure(params: dict, seed: int = 3) -> dict:
     """Run the campaign at every jobs level; returns the measurement."""
     from repro.campaign import run_campaign
 
     spec = build_spec(params, seed=seed)
+    aggregates: set = set()
     levels = {}
-    aggregates = set()
-    failed = 0
+    levels["1"], failed = _measure_jobs1(
+        spec, params.get("repeats", 1), aggregates)
+    ab, ab_failed = _measure_cold_ab(
+        spec, levels["1"]["trials_per_sec"], aggregates)
+    failed += ab_failed
     for jobs in params["jobs_levels"]:
+        if jobs == 1:
+            continue
         result = run_campaign(spec, jobs=jobs)
         aggregates.add(result.to_json())
         failed += len(result.failed)
@@ -85,19 +180,37 @@ def measure(params: dict, seed: int = 3) -> dict:
         }
         print(f"  jobs={jobs}: {result.wall_s:.2f}s wall, "
               f"{result.trials_per_sec:.2f} trials/sec", flush=True)
-    base = levels[str(params["jobs_levels"][0])]["trials_per_sec"]
-    for jobs, entry in levels.items():
-        entry["speedup"] = round(entry["trials_per_sec"] / base, 2)
+
+    cpus = os.cpu_count() or 1
     record = {
         "date": datetime.date.today().isoformat(),
-        "cpus": os.cpu_count(),
+        "cpus": cpus,
         "trials": len(build_trials(spec)),
         "failed_trials": failed,
         "jobs_invariant_output": len(aggregates) == 1,
+        "repeats_jobs1": max(1, params.get("repeats", 1)),
+        "warm_vs_cold": ab,
         "jobs": levels,
     }
-    if "4" in levels:
-        record["speedup_at_jobs4"] = levels["4"]["speedup"]
+    if cpus > 1:
+        base = levels["1"]["trials_per_sec"]
+        for jobs, entry in levels.items():
+            entry["speedup"] = round(entry["trials_per_sec"] / base, 2)
+        if "4" in levels:
+            record["speedup_at_jobs4"] = levels["4"]["speedup"]
+        record["headline"] = {
+            "metric": "speedup_at_jobs4" if "4" in levels else "speedup",
+            "value": record.get("speedup_at_jobs4"),
+        }
+    else:
+        # One visible CPU: a speedup figure would measure the container,
+        # not the engine.  Headline single-process throughput instead.
+        record["headline"] = {
+            "metric": "jobs1_trials_per_sec",
+            "value": levels["1"]["trials_per_sec"],
+            "why": "cpus=1: fan-out speedup is not measurable on one "
+                   "core; the honest figure is serial throughput",
+        }
     return record
 
 
@@ -115,9 +228,18 @@ def main(argv=None) -> int:
                         help="store this measurement in "
                              "BENCH_campaign_scaling.json")
     parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="jobs=1 passes (best reported; default "
+                             f"{FULL['repeats']} full / {QUICK['repeats']} "
+                             "quick)")
+    parser.add_argument("--min-tps", type=float, default=None,
+                        help="fail unless the jobs=1 run reaches this many "
+                             "trials/sec (CI regression floor)")
     args = parser.parse_args(argv)
 
-    params = QUICK if args.quick else FULL
+    params = dict(QUICK if args.quick else FULL)
+    if args.repeats is not None:
+        params["repeats"] = args.repeats
     print(f"campaign scaling ({os.cpu_count()} CPU(s) visible):")
     record = measure(params, seed=args.seed)
     print(json.dumps({"workload": {k: list(v) if isinstance(v, tuple) else v
@@ -126,11 +248,17 @@ def main(argv=None) -> int:
 
     ok = record["failed_trials"] == 0 and record["jobs_invariant_output"]
     if not record["jobs_invariant_output"]:
-        print("FAIL: aggregated output differed across jobs levels",
-              file=sys.stderr)
+        print("FAIL: aggregated output differed across jobs levels "
+              "or warm/cold paths", file=sys.stderr)
     if record["failed_trials"]:
         print(f"FAIL: {record['failed_trials']} trial(s) failed",
               file=sys.stderr)
+    if args.min_tps is not None:
+        tps = record["jobs"]["1"]["trials_per_sec"]
+        if tps < args.min_tps:
+            print(f"FAIL: jobs=1 ran at {tps:.2f} trials/sec, below the "
+                  f"--min-tps floor of {args.min_tps:g}", file=sys.stderr)
+            ok = False
 
     if args.quick:
         QUICK_JSON.parent.mkdir(exist_ok=True)

@@ -13,6 +13,7 @@ from the server" and renders a pie chart of progress.  Here:
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, Optional
 
 from repro.net.addresses import IPAddress
@@ -63,22 +64,25 @@ class StreamServer(Application):
         self.track_socket(sock)
         session = _ServerSession()
         self._sessions[id(sock)] = session
-        sock.on_data = self.guard_callback(
-            lambda s: self._on_data(s, session))
-        sock.on_writable = self.guard_callback(
-            lambda s: self._pump(s, session))
+        # partial over bound methods, not guard_callback(lambda): these
+        # run once per socket event (tens of thousands per transfer), and
+        # the handlers check ``self.alive`` themselves — one frame per
+        # event instead of three.
+        sock.on_data = partial(self._on_data, session)
+        sock.on_writable = partial(self._pump, session)
         sock.on_closed = lambda s: (self._sessions.pop(id(s), None),
                                     self.untrack_socket(s))
-        sock.on_peer_closed = self.guard_callback(
-            lambda s: self._on_peer_closed(s, session))
+        sock.on_peer_closed = partial(self._on_peer_closed, session)
 
-    def _on_data(self, sock: Socket, session: _ServerSession) -> None:
+    def _on_data(self, session: _ServerSession, sock: Socket) -> None:
+        if not self.alive:
+            return
         session.request_buffer.extend(sock.read())
         while b"\n" in session.request_buffer:
             line, _, rest = bytes(session.request_buffer).partition(b"\n")
             session.request_buffer = bytearray(rest)
             self._handle_request(line, session)
-        self._pump(sock, session)
+        self._pump(session, sock)
 
     def _handle_request(self, line: bytes, session: _ServerSession) -> None:
         parts = line.strip().split()
@@ -88,7 +92,9 @@ class StreamServer(Application):
             except ValueError:
                 pass  # malformed request: ignore (deterministically)
 
-    def _pump(self, sock: Socket, session: _ServerSession) -> None:
+    def _pump(self, session: _ServerSession, sock: Socket) -> None:
+        if not self.alive:
+            return
         while session.pending_bytes > 0:
             chunk = min(self.chunk_size, session.pending_bytes,
                         sock.writable_bytes)
@@ -102,9 +108,11 @@ class StreamServer(Application):
                 and session.response_offset > 0 and sock.is_open):
             sock.close()
 
-    def _on_peer_closed(self, sock: Socket, session: _ServerSession) -> None:
+    def _on_peer_closed(self, session: _ServerSession, sock: Socket) -> None:
+        if not self.alive:
+            return
         # Client finished sending; finish our stream, then close.
-        self._pump(sock, session)
+        self._pump(session, sock)
         if session.pending_bytes == 0 and sock.is_open:
             sock.close()
 
@@ -145,15 +153,20 @@ class StreamClient(Application):
         """Open the listener / client connection."""
         self.sock = self.track_socket(
             self.host.tcp.connect(self.server_ip, self.port))
-        self.sock.on_connected = self.guard_callback(self._on_connected)
-        self.sock.on_data = self.guard_callback(self._on_data)
-        self.sock.on_reset = self.guard_callback(self._on_reset)
+        # Wired directly (the handlers check ``self.alive`` themselves):
+        # on_data fires once per delivered segment, so every wrapper
+        # frame here is paid thousands of times per transfer.
+        self.sock.on_connected = self._on_connected
+        self.sock.on_data = self._on_data
+        self.sock.on_reset = self._on_reset
         self.sock.on_peer_closed = self.guard_callback(
             lambda s: self.monitor and self.monitor.note_event("peer-closed"))
 
     # ------------------------------------------------------------ plumbing
 
     def _on_connected(self, sock: Socket) -> None:
+        if not self.alive:
+            return
         self.connected_at = self.world.sim.now
         if self.monitor is not None:
             self.monitor.note_event("connected")
@@ -168,6 +181,8 @@ class StreamClient(Application):
                 break  # one outstanding chunk at a time
 
     def _on_data(self, sock: Socket) -> None:
+        if not self.alive:
+            return
         data = sock.read()
         if not data:
             return
@@ -192,6 +207,8 @@ class StreamClient(Application):
                 self.on_complete()
 
     def _on_reset(self, sock: Socket, reason: str) -> None:
+        if not self.alive:
+            return
         self.reset_count += 1
         if self.monitor is not None:
             self.monitor.note_event("reset")

@@ -17,6 +17,8 @@ campaign seed regardless of ``--jobs``.
 
 from __future__ import annotations
 
+import glob
+import os
 import sys
 
 from repro.campaign.spec import (CampaignSpec, parse_grid_arg, parse_set_arg)
@@ -64,6 +66,11 @@ def add_sweep_args(parser) -> None:
                         help="write the canonical JSON aggregate here")
     parser.add_argument("--jsonl", metavar="FILE", default=None,
                         help="write one JSON line per trial record here")
+    parser.add_argument("--profile", metavar="DIR", default=None,
+                        help="cProfile every worker and dump one "
+                             "worker-<id>.pstats per worker process into "
+                             "DIR (created if missing; inspect with "
+                             "`python -m pstats`)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-trial progress lines")
 
@@ -102,8 +109,13 @@ def run_sweep(args) -> int:
         print(f"  trial {record['index']:4d} {mark:9s} "
               f"seed={record['seed']}", flush=True)
 
+    profile_dir = getattr(args, "profile", None)
+    if profile_dir:
+        os.makedirs(profile_dir, exist_ok=True)
+
     result = run_campaign(spec, jobs=args.jobs,
-                          progress=None if args.quiet else progress)
+                          progress=None if args.quiet else progress,
+                          profile_dir=profile_dir)
 
     summary = result.summary()
     print(f"\ncampaign: {len(result.records)} trial(s), "
@@ -140,6 +152,11 @@ def run_sweep(args) -> int:
         with open(args.jsonl, "w", encoding="utf-8") as fh:
             fh.write(result.to_jsonl())
         print(f"trial records -> {args.jsonl}")
+    if profile_dir:
+        dumps = sorted(glob.glob(os.path.join(profile_dir,
+                                              "worker-*.pstats")))
+        print(f"profiles -> {profile_dir} "
+              f"({len(dumps)} worker stats file(s))")
     return 0 if not result.failed else 1
 
 

@@ -28,6 +28,8 @@ trial, never probe streams.
 
 from __future__ import annotations
 
+import contextlib
+import gc
 import json
 import multiprocessing
 import queue as queue_mod
@@ -42,6 +44,34 @@ __all__ = ["CampaignResult", "run_campaign"]
 
 #: Percentiles reported by the summaries (nearest-rank, deterministic).
 _PERCENTILES = (("p50", 0.50), ("p90", 0.90), ("p99", 0.99))
+
+
+@contextlib.contextmanager
+def _gc_batched(every: int = 4):
+    """Suspend the cyclic GC around a trial loop.
+
+    A trial allocates millions of short-lived tuples and segments; with
+    the collector enabled, generation-2 passes land mid-trial and scan
+    the entire testbed object graph.  Virtually all trial garbage dies
+    by refcount alone, so the collector is paused and run explicitly
+    every ``every`` trials (call the yielded hook once per trial).  The
+    previous enabled-state is restored on exit, exceptions included.
+    """
+    was_enabled = gc.isenabled()
+    gc.disable()
+    counter = 0
+
+    def tick() -> None:
+        nonlocal counter
+        counter += 1
+        if counter % every == 0:
+            gc.collect()
+
+    try:
+        yield tick
+    finally:
+        if was_enabled:
+            gc.enable()
 
 
 # ------------------------------------------------------------- aggregation
@@ -171,28 +201,80 @@ def _auto_chunksize(n_trials: int, jobs: int) -> int:
     return max(1, min(8, n_trials // (jobs * 4) or 1))
 
 
-def _worker_main(worker_id: int, inbox, results) -> None:
+def _affine_chunks(trials: list[TrialSpec],
+                   chunksize: int) -> list[list[TrialSpec]]:
+    """Chunk the (grid-point-major) trial list without ever straddling a
+    parameter change, so a worker's warm testbed cache gets a hit for
+    every trial after the first of each grid point.  Records are keyed
+    by index, so assignment shape never affects the aggregate."""
+    chunks: list[list[TrialSpec]] = []
+    run: list[TrialSpec] = []
+    for trial in trials:
+        if run and (len(run) >= chunksize
+                    or trial.params != run[-1].params):
+            chunks.append(run)
+            run = []
+        run.append(trial)
+    if run:
+        chunks.append(run)
+    return chunks
+
+
+def _profiled(profile_dir: Optional[str], worker_id: int):
+    """Context manager: cProfile the body and dump ``worker-<id>.pstats``
+    into ``profile_dir`` (no-op when ``profile_dir`` is None).  Pool
+    workers wrap their whole trial loop in this, so one stats file per
+    worker process lands next to the sweep's other outputs; a worker
+    killed mid-trial (timeout/crash) leaves no dump."""
+    if profile_dir is None:
+        return contextlib.nullcontext()
+
+    @contextlib.contextmanager
+    def _ctx():
+        import cProfile
+        import os
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            yield
+        finally:
+            profiler.disable()
+            profiler.dump_stats(
+                os.path.join(profile_dir, f"worker-{worker_id}.pstats"))
+    return _ctx()
+
+
+def _worker_main(worker_id: int, inbox, results,
+                 warm_enabled: bool = True,
+                 profile_dir: Optional[str] = None) -> None:
     """Worker loop: pull a chunk, announce and run each trial, stream the
     records back.  ``None`` is the shutdown sentinel."""
-    while True:
-        chunk = inbox.get()
-        if chunk is None:
-            return
-        for trial in chunk:
-            results.put(("start", worker_id, trial.index, None))
-            record = execute_trial(trial)
-            results.put(("done", worker_id, trial.index, record))
-        results.put(("idle", worker_id, None, None))
+    from repro.campaign import warm as warm_mod
+
+    warm_mod.set_enabled(warm_enabled)
+    with _profiled(profile_dir, worker_id), _gc_batched() as gc_tick:
+        while True:
+            chunk = inbox.get()
+            if chunk is None:
+                return
+            for trial in chunk:
+                results.put(("start", worker_id, trial.index, None))
+                record = execute_trial(trial)
+                gc_tick()
+                results.put(("done", worker_id, trial.index, record))
+            results.put(("idle", worker_id, None, None))
 
 
 class _Worker:
     """One pool slot: a process, its private inbox, and what it holds."""
 
-    def __init__(self, ctx, worker_id: int, results):
+    def __init__(self, ctx, worker_id: int, results, warm_enabled: bool,
+                 profile_dir: Optional[str] = None):
         self.id = worker_id
         self.inbox = ctx.Queue()
         self.process = ctx.Process(
-            target=_worker_main, args=(worker_id, self.inbox, results),
+            target=_worker_main,
+            args=(worker_id, self.inbox, results, warm_enabled, profile_dir),
             daemon=True, name=f"repro-campaign-{worker_id}")
         self.process.start()
         #: Trials handed to this worker and not yet recorded.
@@ -230,7 +312,9 @@ def _run_pool(trials: list[TrialSpec], jobs: int,
               timeout_s: Optional[float], retries: int,
               chunksize: Optional[int], mp_context: Optional[str],
               log: list[str],
-              progress: Optional[Callable[[dict], None]]) -> list[dict]:
+              progress: Optional[Callable[[dict], None]],
+              warm: bool = True,
+              profile_dir: Optional[str] = None) -> list[dict]:
     """Dispatch trials over ``jobs`` worker processes; always returns one
     record per trial, killing and respawning hung or crashed workers."""
     method = mp_context or ("fork" if "fork" in
@@ -238,8 +322,7 @@ def _run_pool(trials: list[TrialSpec], jobs: int,
                             else "spawn")
     ctx = multiprocessing.get_context(method)
     chunksize = chunksize or _auto_chunksize(len(trials), jobs)
-    backlog = [trials[i:i + chunksize]
-               for i in range(0, len(trials), chunksize)]
+    backlog = _affine_chunks(trials, chunksize)
     attempts: dict[int, int] = {t.index: 0 for t in trials}
     records: dict[int, dict] = {}
     by_index = {t.index: t for t in trials}
@@ -249,7 +332,7 @@ def _run_pool(trials: list[TrialSpec], jobs: int,
 
     def spawn() -> _Worker:
         nonlocal next_worker_id
-        worker = _Worker(ctx, next_worker_id, results)
+        worker = _Worker(ctx, next_worker_id, results, warm, profile_dir)
         workers[worker.id] = worker
         next_worker_id += 1
         return worker
@@ -369,8 +452,9 @@ def _run_pool(trials: list[TrialSpec], jobs: int,
 def run_campaign(spec: CampaignSpec, jobs: int = 1,
                  chunksize: Optional[int] = None,
                  mp_context: Optional[str] = None,
-                 progress: Optional[Callable[[dict], None]] = None
-                 ) -> CampaignResult:
+                 progress: Optional[Callable[[dict], None]] = None,
+                 warm: bool = True,
+                 profile_dir: Optional[str] = None) -> CampaignResult:
     """Run every trial of ``spec`` and aggregate the records.
 
     ``jobs=1`` executes in-process (serial, no fork); ``jobs>1`` fans
@@ -379,9 +463,22 @@ def run_campaign(spec: CampaignSpec, jobs: int = 1,
     .CampaignSpec`).  ``progress`` (if given) is called with each
     record as it lands, in completion order.
 
+    ``warm`` (default on) lets workers reuse a snapshot of each grid
+    point's testbed across that point's trials instead of rebuilding it
+    (see :mod:`repro.campaign.warm`); chunk assignment is grid-point-
+    affine either way.  Records carry only virtual-time data, so the
+    aggregate is identical warm or cold.
+
+    ``profile_dir`` (the sweep CLI's ``--profile``) cProfiles every
+    worker's trial loop and dumps ``worker-<id>.pstats`` files there —
+    one per worker process (``worker-0`` for the in-process ``jobs=1``
+    path).  Inspect with ``python -m pstats``.
+
     The aggregated result is byte-identical across ``jobs`` settings
     for the same spec — an explicit test and a CI leg hold this.
     """
+    from repro.campaign import warm as warm_mod
+
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     trials = expand(spec)
@@ -389,14 +486,22 @@ def run_campaign(spec: CampaignSpec, jobs: int = 1,
     start = time.perf_counter()
     if jobs == 1 or not trials:
         records = []
-        for trial in trials:
-            record = execute_trial(trial)
-            records.append(record)
-            if progress is not None:
-                progress(record)
+        prev_warm = warm_mod.is_enabled()
+        warm_mod.set_enabled(warm)
+        try:
+            with _profiled(profile_dir, 0), _gc_batched() as gc_tick:
+                for trial in trials:
+                    record = execute_trial(trial)
+                    gc_tick()
+                    records.append(record)
+                    if progress is not None:
+                        progress(record)
+        finally:
+            warm_mod.set_enabled(prev_warm)
     else:
         records = _run_pool(trials, jobs, spec.timeout_s, spec.retries,
-                            chunksize, mp_context, log, progress)
+                            chunksize, mp_context, log, progress,
+                            warm=warm, profile_dir=profile_dir)
     wall_s = time.perf_counter() - start
     records.sort(key=lambda r: r["index"])
     return CampaignResult(spec=spec, records=records, jobs=jobs,

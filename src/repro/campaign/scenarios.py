@@ -193,8 +193,22 @@ def _goodput(bytes_received: int, run_until_s: float) -> float:
 
 # ---------------------------------------------------------------- scenarios
 
+def _warm_testbed(key: tuple, opts, builder):
+    """Pristine testbed via the warm snapshot cache, or None (cold path).
+
+    Records never carry wall clock, so warm/cold is invisible in campaign
+    output — the golden-trace suite pins the byte-identity.
+    """
+    from repro.campaign import warm
+
+    if not warm.is_enabled():
+        return None
+    return warm.get_cache().acquire(key, opts.seed, builder)
+
+
 def _run_failover(trial: TrialSpec) -> dict:
     from repro.check.oracle import InvariantViolationError
+    from repro.scenarios.builder import build_testbed
     from repro.scenarios.runner import run_failover_experiment
 
     params = dict(trial.params)
@@ -206,12 +220,17 @@ def _run_failover(trial: TrialSpec) -> dict:
     _reject_unknown(params, "failover")
 
     opts = trial.options.with_(seed=trial.seed)
+    tb = _warm_testbed(
+        ("failover", repr(config), opts.trace_categories), opts,
+        lambda: build_testbed(seed=opts.seed, config=config,
+                              trace_categories=opts.trace_categories))
     record = _base_record(trial)
     record["oracle"] = "clean" if opts.check else "off"
     try:
         result = run_failover_experiment(
             fault, total_bytes=total_bytes, fault_at_s=fault_at_s,
-            config=config, request_chunk=request_chunk, options=opts)
+            config=config, request_chunk=request_chunk, options=opts,
+            testbed=tb)
     except InvariantViolationError as exc:
         record["status"] = "violation"
         record["oracle"] = f"violated:{len(exc.violations)}"
@@ -226,6 +245,7 @@ def _run_failover(trial: TrialSpec) -> dict:
 
 def _run_baseline(trial: TrialSpec) -> dict:
     from repro.check.oracle import InvariantViolationError
+    from repro.scenarios.builder import build_testbed
     from repro.scenarios.runner import run_baseline_failover
 
     params = dict(trial.params)
@@ -235,12 +255,17 @@ def _run_baseline(trial: TrialSpec) -> dict:
     _reject_unknown(params, "baseline")
 
     opts = trial.options.with_(seed=trial.seed)
+    tb = _warm_testbed(
+        ("baseline", opts.trace_categories), opts,
+        lambda: build_testbed(seed=opts.seed, mode="baseline",
+                              trace_categories=opts.trace_categories))
     record = _base_record(trial)
     record["oracle"] = "clean" if opts.check else "off"
     try:
         result = run_baseline_failover(
             total_bytes=total_bytes, fault_at_s=fault_at_s,
-            liveness_timeout_s=liveness_timeout_s, options=opts)
+            liveness_timeout_s=liveness_timeout_s, options=opts,
+            testbed=tb)
     except InvariantViolationError as exc:
         record["status"] = "violation"
         record["oracle"] = f"violated:{len(exc.violations)}"
@@ -258,6 +283,7 @@ def _run_baseline(trial: TrialSpec) -> dict:
 
 def _run_workload(trial: TrialSpec) -> dict:
     from repro.check.oracle import InvariantViolationError
+    from repro.scenarios.builder import build_testbed
     from repro.workloads import WorkloadSpec, run_workload_failover
 
     params = dict(trial.params)
@@ -274,13 +300,18 @@ def _run_workload(trial: TrialSpec) -> dict:
     _reject_unknown(params, "workload")
 
     opts = trial.options.with_(seed=trial.seed)
+    tb = _warm_testbed(
+        ("workload", repr(config), num_clients, opts.trace_categories), opts,
+        lambda: build_testbed(seed=opts.seed, config=config,
+                              num_clients=num_clients,
+                              trace_categories=opts.trace_categories))
     record = _base_record(trial)
     record["oracle"] = "clean" if opts.check else "off"
     try:
         result = run_workload_failover(
             spec, make_fault=lambda tb: fault(tb, None, None),
             fault_at_s=fault_at_s, num_clients=num_clients,
-            config=config, options=opts)
+            config=config, options=opts, testbed=tb)
     except InvariantViolationError as exc:
         record["status"] = "violation"
         record["oracle"] = f"violated:{len(exc.violations)}"

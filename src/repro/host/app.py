@@ -33,6 +33,10 @@ class Application:
         self.name = name
         self.running = False
         self.crashed = False
+        # Cached is_alive: every transition (start/stop/crash/host down)
+        # funnels through a method below, so guards read one bool per
+        # socket event instead of walking two property chains.
+        self.alive = False
         self.crash_had_cleanup: Optional[bool] = None
         self._sockets: list[Socket] = []
         self._timers: list = []
@@ -45,6 +49,7 @@ class Application:
         if self.running:
             return
         self.running = True
+        self.alive = not self.crashed and self.host.is_up
         self.on_start()
 
     def on_start(self) -> None:
@@ -64,6 +69,7 @@ class Application:
             return
         self.crashed = True
         self.running = False
+        self.alive = False
         self.crash_had_cleanup = cleanup
         self._stop_timers()
         self.on_crash()
@@ -82,11 +88,13 @@ class Application:
     def stop(self) -> None:
         """Orderly shutdown: stop timers; sockets are closed by subclasses."""
         self.running = False
+        self.alive = False
         self._stop_timers()
 
     def host_went_down(self) -> None:
         """Called by the host on power-off / OS crash."""
         self.running = False
+        self.alive = False
         self._stop_timers()
 
     @property
@@ -131,7 +139,7 @@ class Application:
     def _guarded(self, fn: Callable[[], None]) -> Callable[[], None]:
         def run() -> None:
             """Invoke ``fn`` only while the application is alive."""
-            if self.is_alive:
+            if self.alive:
                 fn()
         return run
 
@@ -140,7 +148,7 @@ class Application:
         a hung process does not service socket events."""
         def run(*args, **kwargs):
             """Invoke ``fn`` only while the application is alive."""
-            if self.is_alive:
+            if self.alive:
                 return fn(*args, **kwargs)
         return run
 

@@ -34,8 +34,14 @@ class Interface:
         # Raw values of `addresses`, kept in lockstep — owns() checks run
         # once per delivered packet, so membership must be one int-set hit.
         self.addr_values: set[int] = set()
-        self.arp = ArpTable(world, nic, lambda: self.addresses,
+        # A bound method, not a lambda: ArpTable holds this accessor for
+        # the interface's lifetime, and world snapshots must pickle it.
+        self.arp = ArpTable(world, nic, self._address_list,
                             name=f"{nic.name}.arp")
+
+    def _address_list(self) -> list[IPAddress]:
+        """Accessor handed to the ARP table (kept a method so it pickles)."""
+        return self.addresses
 
     @property
     def primary_address(self) -> IPAddress:
@@ -171,7 +177,22 @@ class IpStack:
             packet = IPPacket(src if src is not None else src_ip,
                               dst, protocol, payload)
             self.packets_sent += 1
-            nic.send(EthernetFrame(mac, nic.mac, EtherType.IPV4, packet))
+            # Nic.send inlined (keep in sync): one frame per data segment
+            # on an established flow goes through here, so the call frame
+            # plus re-checks are worth skipping.  Unusual NICs (injected
+            # power gate) take the full method.
+            frame = EthernetFrame(mac, nic.mac, EtherType.IPV4, packet)
+            if nic._failed or nic._cable is None or not nic.host_up:
+                return
+            if nic.power_gate is not None:
+                nic.send(frame)
+                return
+            nic.frames_sent += 1
+            nic.bytes_sent += frame.size_bytes
+            probes = self._world.probes
+            if probes.wants_map["nic.tx"]:
+                probes.fire("nic.tx", nic.name, size=frame.size_bytes)
+            nic._cable.transmit(nic, frame)
             return
         self._send_slow(dst, protocol, payload, src)
 
@@ -234,17 +255,34 @@ class IpStack:
         if frame.ethertype != EtherType.IPV4:
             return
         packet = frame.payload
-        if not isinstance(packet, IPPacket):
+        if type(packet) is not IPPacket and not isinstance(packet, IPPacket):
             return
         if self._promiscuous_taps:
             for tap in self._promiscuous_taps:
                 tap(packet)
-        if not self.owns(packet.dst):
+        # owns() inlined (keep in sync): once per delivered packet.
+        value = packet.dst._value
+        for iface_ in self.interfaces:
+            if value in iface_.addr_values:
+                break
+        else:
             # Not ours (unicast to someone else, or multicast-tapped
             # traffic for an IP we merely observe): count and drop.
             self.packets_not_for_us += 1
             return
-        self._deliver_up(packet)
+        # _deliver_up inlined (keep in sync): this is the once-per-accepted
+        # -packet path, and the helper frame is measurable at fleet scale.
+        # The method itself stays for the loopback/local-delivery events.
+        self.packets_received += 1
+        if self._packet_taps:
+            for tap in self._packet_taps:
+                tap(packet)
+        handler = self._protocols.get(packet.protocol)
+        if handler is None:
+            self._world.trace.record("ip", self.name, "no protocol handler",
+                                     protocol=packet.protocol)
+            return
+        handler(packet)
 
     def _deliver_up(self, packet: IPPacket) -> None:
         self.packets_received += 1

@@ -139,7 +139,11 @@ class Switch:
                 if probes.wants_map["eth.forward"]:
                     probes.fire("eth.forward", self.name, "forward",
                                 dst=str(dst), port=learned.index)
-                learned.transmit(frame)
+                # SwitchPort.transmit inlined (keep in sync): one call
+                # per forwarded unicast frame.
+                cable = learned._cable
+                if cable is not None:
+                    cable.transmit(learned, frame)
                 if (self._mirror_port is not None
                         and self._mirror_port is not learned
                         and self._mirror_port is not ingress):

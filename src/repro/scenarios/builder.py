@@ -187,6 +187,40 @@ class Testbed:
         """Run the world to absolute virtual time ``seconds``."""
         return self.world.run(until=round(seconds * NS_PER_S))
 
+    # ----------------------------------------------------- warm-trial reuse
+
+    def snapshot(self) -> bytes:
+        """Serialize this *pristine* testbed for later :meth:`restore`.
+
+        Valid only on a testbed straight out of :func:`build_testbed`:
+        no apps attached, no events run, no RNG draws taken.  Campaign
+        workers snapshot the first build of a grid point and thaw copies
+        for the remaining trials instead of re-wiring Figure 2 from
+        scratch (see :mod:`repro.campaign.warm`).
+        """
+        import pickle
+
+        if self.world.sim.now != 0:
+            raise ValueError("snapshot() requires a pristine testbed "
+                             f"(sim clock at {self.world.sim.now}ns, not 0)")
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @staticmethod
+    def restore(blob: bytes, seed: Optional[int] = None) -> "Testbed":
+        """Thaw a :meth:`snapshot` into an independent testbed.
+
+        ``seed`` re-keys every RNG stream in place (the snapshot was taken
+        before any draws, so the thawed world is byte-for-byte equivalent
+        to a cold ``build_testbed(seed=seed, ...)`` — the golden-trace
+        suite pins this equivalence).
+        """
+        import pickle
+
+        testbed: Testbed = pickle.loads(blob)
+        if seed is not None:
+            testbed.world.rng.reseed(seed)
+        return testbed
+
 
 def _cable_to_switch(world: World, nic: Nic, switch: Switch,
                      bandwidth_bps: int, delay_ns: int) -> tuple[Cable, SwitchPort]:

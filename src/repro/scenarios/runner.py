@@ -72,9 +72,15 @@ def run_failover_experiment(
         obs_level: Optional[str] = None,
         check: Optional[bool] = None,
         options: Optional[RunOptions] = None,
+        testbed: Optional[Testbed] = None,
         **build_kwargs) -> FailoverResult:
     """The canonical Demo 1/2/4/5 shape: stream data, break something,
     verify the client never notices more than a glitch.
+
+    ``testbed`` skips the build entirely and runs the experiment on the
+    supplied (pristine, correctly-seeded) testbed — the warm-trial path
+    (:mod:`repro.campaign.warm`) passes thawed snapshots here.  The caller
+    owns the seed/config match; ``build_kwargs`` are ignored.
 
     ``options`` (:class:`~repro.scenarios.options.RunOptions`) is the one
     shared knob surface for seed / run length / observability / checking.
@@ -93,8 +99,11 @@ def run_failover_experiment(
     in ``docs/invariants.md`` is breached."""
     opts = resolve_run_options(options, seed=seed, run_until_s=run_until_s,
                                obs_level=obs_level, check=check)
-    build_kwargs.setdefault("trace_categories", opts.trace_categories)
-    tb = build_testbed(seed=opts.seed, config=config, **build_kwargs)
+    if testbed is not None:
+        tb = testbed
+    else:
+        build_kwargs.setdefault("trace_categories", opts.trace_categories)
+        tb = build_testbed(seed=opts.seed, config=config, **build_kwargs)
     obs = ObsSession(tb.world, level=opts.obs_level) if opts.obs_level else None
     oracle = (InvariantOracle(tb.world, CheckTopology.from_testbed(tb))
               .attach() if opts.check else None)
@@ -153,6 +162,7 @@ def run_baseline_failover(total_bytes: int = 50_000_000,
                           obs_level: Optional[str] = None,
                           check: Optional[bool] = None,
                           options: Optional[RunOptions] = None,
+                          testbed: Optional[Testbed] = None,
                           **build_kwargs) -> BaselineResult:
     """Demo 1's counterfactual: hot standby, no ST-TCP.
 
@@ -172,8 +182,11 @@ def run_baseline_failover(total_bytes: int = 50_000_000,
 
     opts = resolve_run_options(options, seed=seed, run_until_s=run_until_s,
                                obs_level=obs_level, check=check)
-    build_kwargs.setdefault("trace_categories", opts.trace_categories)
-    tb = build_testbed(seed=opts.seed, mode="baseline", **build_kwargs)
+    if testbed is not None:
+        tb = testbed
+    else:
+        build_kwargs.setdefault("trace_categories", opts.trace_categories)
+        tb = build_testbed(seed=opts.seed, mode="baseline", **build_kwargs)
     obs = ObsSession(tb.world, level=opts.obs_level) if opts.obs_level else None
     oracle = InvariantOracle(tb.world).attach() if opts.check else None
     StreamServer(tb.primary, "server-primary", port=80).start()

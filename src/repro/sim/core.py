@@ -151,7 +151,7 @@ class Simulator:
                  "_cancelled_in_queue", "_size", "_cur0", "_l1_start",
                  "_wheel0", "_wheel1", "_l0_slots", "_l1_slots",
                  "_overflow", "_active", "_active_idx", "_active_slot",
-                 "_far_min")
+                 "_far_min", "_tick_end")
 
     #: log2 of the level-0 bucket width: 4096 ns per slot.
     L0_GRAIN_BITS = 12
@@ -204,6 +204,9 @@ class Simulator:
         # means unknown (forces a full cross-tier peek).  Lets the hot
         # loop activate L0 buckets without touching the outer tiers.
         self._far_min: "int | float" = _INF
+        # Callbacks to run once all events of the current instant have
+        # executed, before the clock advances (see at_tick_end).
+        self._tick_end: list = []
 
     # ------------------------------------------------------------------ time
 
@@ -359,6 +362,35 @@ class Simulator:
                   label: str = "") -> EventHandle:
         """Schedule ``callback`` at the current instant (after pending events)."""
         return self.schedule(0, callback, *args, label=label)
+
+    def clock(self) -> int:
+        """Current virtual time as a plain method (a picklable bound
+        callable, unlike a lambda over :attr:`now` — world snapshots
+        serialize component clocks as ``sim.clock`` references)."""
+        return self._now
+
+    def at_tick_end(self, callback: Callable[[], Any]) -> None:
+        """Run ``callback`` once after every event already queued for the
+        current instant has executed, before the clock advances.
+
+        This is the batching hook: a layer that wants to coalesce all
+        same-instant work for one object (e.g. every TCP segment arriving
+        at a connection within one tick) registers a flush here instead of
+        processing per event.  Callbacks run in registration order, may
+        schedule new events (including zero-delay events at the current
+        instant, which execute before the clock moves), and may register
+        further tick-end callbacks (which run in the same instant as
+        well).  Unlike :meth:`schedule`, registration is a list append —
+        no handle, no ordering entry — so it is cheap enough for per-
+        segment hot paths.
+        """
+        self._tick_end.append(callback)
+
+    def _run_tick_end(self) -> None:
+        callbacks = self._tick_end
+        self._tick_end = []
+        for callback in callbacks:
+            callback()
 
     # ------------------------------------------------- cursor / tier search
 
@@ -528,6 +560,14 @@ class Simulator:
                 if idx < len(active):
                     entry = active[idx]
                     time = entry[0]
+                    if self._tick_end and time > self._now:
+                        # The instant at self._now is complete: flush the
+                        # tick-end batch before the clock advances.  Flushed
+                        # callbacks may schedule at the current instant
+                        # (insort into the active bucket), so re-enter the
+                        # loop rather than falling through.
+                        self._run_tick_end()
+                        continue
                     if time > stop:
                         break
                     self._active_idx = idx + 1
@@ -542,6 +582,14 @@ class Simulator:
                     executed += 1
                     if executed >= limit:
                         break
+                    continue
+                if self._tick_end:
+                    # Active bucket exhausted: every event at the current
+                    # instant has run (same-instant entries always land in
+                    # the active bucket).  Flush before _advance migrates
+                    # or activates anything — a tick-end callback may still
+                    # schedule at the current instant.
+                    self._run_tick_end()
                     continue
                 if not self._advance(until):
                     break

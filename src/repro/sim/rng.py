@@ -41,5 +41,21 @@ class RngRegistry:
             self._streams[name] = rng
         return rng
 
+    def reseed(self, seed: int) -> None:
+        """Re-key the registry (and every already-issued stream) to ``seed``.
+
+        Components hold direct references to their streams, so replacing
+        the ``random.Random`` objects would silently orphan them; instead
+        each memoized stream is re-seeded *in place* with exactly the value
+        a fresh registry would have derived.  A restored testbed snapshot
+        reseeded this way is indistinguishable from a cold build with the
+        same seed, provided no draws happened before the snapshot.
+        """
+        self._seed = seed
+        for name, rng in self._streams.items():
+            digest = hashlib.sha256(
+                f"{seed}:{name}".encode("utf-8")).digest()
+            rng.seed(int.from_bytes(digest[:8], "big"))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<RngRegistry seed={self._seed} streams={len(self._streams)}>"

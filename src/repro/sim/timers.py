@@ -11,7 +11,7 @@ from typing import Any, Callable, Optional
 
 from repro.sim.core import EventHandle, Simulator
 
-__all__ = ["Timer", "PeriodicTimer"]
+__all__ = ["Timer", "DeadlineTimer", "PeriodicTimer"]
 
 
 class Timer:
@@ -59,6 +59,86 @@ class Timer:
 
     def _fire(self) -> None:
         self._handle = None
+        self._callback()
+
+
+class DeadlineTimer:
+    """A :class:`Timer` variant for high-churn re-arm patterns.
+
+    A TCP retransmission timer is restarted on every new ack — thousands
+    of times per connection — but actually *fires* only on loss.  With the
+    eager :class:`Timer` every restart is a cancel + schedule pair, which
+    churns wheel buckets with tombstones and triggers periodic compaction
+    sweeps.  Here :meth:`start` is a field write: the logical deadline
+    lives in :attr:`deadline`, and a single scheduled sentinel event
+    re-arms itself forward when it fires before the deadline (the Linux
+    kernel's "deferrable timer" trick).  :meth:`stop` simply clears the
+    deadline; a stale sentinel fires once as a no-op instead of leaving a
+    tombstone in the queue.
+
+    The callback still runs at exactly the deadline instant, so virtual-
+    time behaviour matches :class:`Timer`; only the (time, seq) tiebreak
+    of the firing event against other events at the same nanosecond can
+    differ, which the golden-trace suite holds unchanged for every
+    committed scenario.
+    """
+
+    __slots__ = ("_sim", "_callback", "_label", "_handle", "_deadline")
+
+    def __init__(self, sim: Simulator, callback: Callable[[], Any],
+                 label: str = "timer"):
+        self._sim = sim
+        self._callback = callback
+        self._label = label
+        self._handle: Optional[EventHandle] = None
+        self._deadline: Optional[int] = None
+
+    @property
+    def armed(self) -> bool:
+        """True while a deadline is pending."""
+        return self._deadline is not None
+
+    @property
+    def deadline(self) -> Optional[int]:
+        """Absolute firing time in ns, or None when not armed."""
+        return self._deadline
+
+    def start(self, interval: int) -> None:
+        """Arm the timer ``interval`` ns from now, replacing any deadline."""
+        sim = self._sim
+        deadline = sim._now + interval
+        self._deadline = deadline
+        handle = self._handle
+        if handle is None:
+            self._handle = sim.schedule(interval, self._fire,
+                                        label=self._label)
+        elif handle.time > deadline:
+            # The pending sentinel lies beyond the new deadline (the RTO
+            # shrank faster than time advanced) — only here do we pay a
+            # real cancel + reschedule.
+            handle.cancel()
+            self._handle = sim.schedule(interval, self._fire,
+                                        label=self._label)
+        # else: the sentinel fires at or before the deadline and will
+        # re-arm itself for the remainder.
+
+    restart = start
+
+    def stop(self) -> None:
+        """Disarm the timer.  Idempotent; the sentinel no-ops later."""
+        self._deadline = None
+
+    def _fire(self) -> None:
+        self._handle = None
+        deadline = self._deadline
+        if deadline is None:
+            return
+        now = self._sim._now
+        if now < deadline:
+            self._handle = self._sim.schedule(deadline - now, self._fire,
+                                              label=self._label)
+            return
+        self._deadline = None
         self._callback()
 
 

@@ -29,9 +29,11 @@ class World:
     def __init__(self, seed: int = 0,
                  trace_categories: Optional[set[str]] = None):
         self.sim = Simulator()
-        self.trace = TraceLog(lambda: self.sim.now,
+        # sim.clock is a plain bound method: it pickles (world snapshots)
+        # and skips the extra lambda frame on every trace/probe timestamp.
+        self.trace = TraceLog(self.sim.clock,
                               enabled_categories=trace_categories)
-        self.probes = ProbeBus(lambda: self.sim.now, self.trace)
+        self.probes = ProbeBus(self.sim.clock, self.trace)
         self.rng = RngRegistry(seed)
         # Bumped whenever NIC address filters change (multicast join/leave,
         # promiscuous toggles); switches use it to invalidate cached flood

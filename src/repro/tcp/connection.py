@@ -33,13 +33,15 @@ from typing import Callable, Optional
 
 from repro.errors import ConnectionClosedError
 from repro.sim.core import millis, seconds
-from repro.sim.timers import Timer
+from repro.sim.timers import DeadlineTimer, Timer
 from repro.sim.world import World
 from repro.tcp.buffers import ReceiveBuffer, SendBuffer
 from repro.tcp.congestion import RenoCongestionControl
 from repro.tcp.rtt import RttEstimator
 from repro.tcp.segment import TcpFlags, TcpSegment
-from repro.tcp.seq import SEQ_MASK, seq_add, seq_sub
+from repro.tcp.seq import SEQ_MASK, SEQ_MOD, seq_add, seq_sub
+
+SEQ_HALF = 1 << 31
 from repro.tcp.states import TcpState
 
 __all__ = ["TcpConfig", "TcpConnection"]
@@ -112,8 +114,11 @@ class TcpConnection:
                                         self.config.initial_window_segments)
         self.rtt = RttEstimator(self.config.initial_rto_ns,
                                 self.config.min_rto_ns, self.config.max_rto_ns)
-        self._rtx_timer = Timer(world.sim, self._on_rtx_timeout,
-                                label=f"{name}.rtx")
+        # The RTO timer is restarted on every new ack; DeadlineTimer makes
+        # that restart a field write instead of a cancel + schedule pair
+        # (see repro.sim.timers — the firing instant is unchanged).
+        self._rtx_timer = DeadlineTimer(world.sim, self._on_rtx_timeout,
+                                        label=f"{name}.rtx")
         self._persist_timer = Timer(world.sim, self._on_persist_timeout,
                                     label=f"{name}.persist")
         self._delack_timer = Timer(world.sim, self._send_pure_ack,
@@ -136,6 +141,14 @@ class TcpConnection:
         self.on_closed: Callable[[], None] = lambda: None
         self.on_reset: Callable[[str], None] = lambda reason: None
         self.on_writable: Callable[[], None] = lambda: None
+
+        # --- per-tick segment batching (fed by TcpStack._on_packet) ---
+        # Segments that arrived at the current instant and wait for the
+        # tick-end flush; see segment_batch_arrived.
+        self._rx_pending: list[TcpSegment] = []
+        self._in_batch = False
+        self._batch_ack_pending = False
+        self._batch_writable = False
 
         # --- ST-TCP hooks ---
         self.inorder_tap: Optional[Callable[[int, bytes], None]] = None
@@ -355,6 +368,58 @@ class TcpConnection:
             self._note_peer_fin(segment)
         self._maybe_consume_peer_fin()
 
+    def _flush_rx_batch(self) -> None:
+        """Tick-end flush of the segments queued by the stack's demux.
+
+        The singleton case (every current workload: cable serialization
+        spreads same-connection arrivals across distinct nanoseconds) is
+        a straight ``segment_arrived`` call, so batching costs nothing
+        when there is nothing to batch.
+        """
+        pending = self._rx_pending
+        if len(pending) == 1:
+            segment = pending[0]
+            pending.clear()
+            self.segment_arrived(segment)
+        elif pending:
+            batch = pending[:]
+            pending.clear()
+            self.segment_batch_arrived(batch)
+
+    def segment_batch_arrived(self, batch: "list[TcpSegment]") -> None:
+        """Process every same-instant segment for this connection in one
+        coalesced pass.
+
+        Cumulative protocol state (acks, cwnd, loss signals, reassembly)
+        still advances segment by segment — loss detection must see each
+        duplicate ack — but the output and application side runs once per
+        batch instead of once per segment: one pure-ack emission covering
+        everything received, one send-window pump (:meth:`_try_send`),
+        one ``on_writable`` and one ``on_data_available`` callback, one
+        observability flush.  For the single-segment case this is exactly
+        :meth:`segment_arrived`.
+        """
+        if len(batch) == 1:
+            self.segment_arrived(batch[0])
+            return
+        self._in_batch = True
+        self._batch_ack_pending = False
+        self._batch_writable = False
+        try:
+            for segment in batch:
+                self.segment_arrived(segment)
+        finally:
+            self._in_batch = False
+        if self._batch_writable:
+            self._batch_writable = False
+            self.on_writable()
+        if self._batch_ack_pending:
+            self._batch_ack_pending = False
+            self._send_pure_ack()
+        self._try_send()
+        if self.recv_buffer.readable:
+            self.on_data_available()
+
     # -------------------------------------------------------- handshake paths
 
     def _handle_listen(self, segment: TcpSegment) -> None:
@@ -409,7 +474,10 @@ class TcpConnection:
                 self._establish()
             else:
                 return
-        ack_off = seq_sub(segment.ack, seq_add(self.iss, 1))
+        # seq_sub(segment.ack, seq_add(self.iss, 1)) inlined (keep in
+        # sync): two helper calls per inbound ack are measurable.
+        diff = (segment.ack - self.iss - 1) & SEQ_MASK
+        ack_off = diff - SEQ_MOD if diff >= SEQ_HALF else diff
         if ack_off < 0:
             return  # old ack from before our ISN; ignore
         fin_ack_off = (self.fin_off + 1) if self.fin_off is not None else None
@@ -436,15 +504,27 @@ class TcpConnection:
             self.snd_una_off = data_ack_off
             self.snd_nxt_off = max(self.snd_nxt_off, self.snd_una_off)
             self._rtx_count = 0
-            self._sample_rtt(data_ack_off)
+            # _sample_rtt guard inlined (keep in sync): the timed range
+            # resolves at most once per flight, but the check runs per ack.
+            timed_end = self._timed_end
+            if timed_end is not None and data_ack_off >= timed_end:
+                self.rtt.on_sample(self.world.sim._now - self._timed_at)
+                self._timed_end = None
             self.cc.on_new_ack(newly_acked, self.snd_una_off)
-            self.rtt.reset_backoff()
+            # reset_backoff's no-backoff early-exit inlined (keep in
+            # sync): the dirty flag is false on virtually every ack.
+            rtt = self.rtt
+            if rtt._backoff_dirty:
+                rtt.reset_backoff()
             if self._all_acked():
                 self._rtx_timer.stop()
             else:
-                self._restart_rtx()
+                self._rtx_timer.start(rtt._rto)
             self.peer_window = segment.window
-            self.on_writable()
+            if self._in_batch:
+                self._batch_writable = True
+            else:
+                self.on_writable()
         else:
             prev_window = self.peer_window
             self.peer_window = segment.window
@@ -531,9 +611,14 @@ class TcpConnection:
             # Out of order: immediate duplicate ack (triggers peer's
             # fast retransmit).
             self._send_pure_ack()
+        elif not self.config.delayed_ack:
+            # _ack_received_data's immediate-ack arm inlined (keep in
+            # sync): delayed acks are off by default and this runs once
+            # per in-order data segment.
+            self._send_pure_ack()
         else:
             self._ack_received_data()
-        if self.recv_buffer.readable:
+        if self.recv_buffer.readable and not self._in_batch:
             self.on_data_available()
 
     def _ack_received_data(self) -> None:
@@ -686,27 +771,51 @@ class TcpConnection:
         self._rtx_timer.start(self.rtt.rto_ns)
 
     def _send_pure_ack(self) -> None:
+        if self._in_batch:
+            # Batched pass: emit one coalesced ack at the end of the batch
+            # instead of one per segment.
+            self._batch_ack_pending = True
+            return
         if not self.state.is_synchronized or self.irs is None:
             return
-        self._delack_timer.stop()
+        delack = self._delack_timer
+        if delack._handle is not None:  # armed-check inlined; see stop()
+            delack.stop()
         self.acks_sent += 1
-        self._emit(self._make_segment(TcpFlags.ACK,
-                                      seq=self._seq_of(self.snd_nxt_off)))
+        # _seq_of inlined (keep in sync): one pure ack per received data
+        # segment makes the helper call measurable.
+        self._emit(self._make_segment(
+            TcpFlags.ACK, seq=(self.iss + 1 + self.snd_nxt_off) & SEQ_MASK))
 
     def _try_send(self) -> None:
         """Transmit as much queued data as the windows permit, plus FIN."""
+        if self._in_batch:
+            return  # deferred to the single pump at the end of the batch
         if not self.state.is_synchronized or self.irs is None:
             return
         # Receiver-side fast exit: most calls on an ack-only flow have no
         # queued data and no FIN pending, so skip the window math.
-        if (self._send_limit() <= self.snd_nxt_off
+        # _send_limit() and _pump_or_persist() are inlined here (keep in
+        # sync) — this branch runs once per inbound ack.
+        fin_off = self.fin_off
+        end = self.send_buffer.end_offset
+        limit = end if (fin_off is None or end < fin_off) else fin_off
+        if (limit <= self.snd_nxt_off
                 and (not self.fin_queued or self.fin_sent)):
-            self._pump_or_persist()
+            # Nothing sendable is pending, so the persist question is
+            # moot: disarm and reset (the else-arm of _pump_or_persist).
+            timer = self._persist_timer
+            if timer._handle is not None:
+                timer.stop()
+            self._persist_interval = self.config.persist_min_ns
             return
         # Loop invariants (cwnd, peer window, writable limit, MSS) can't
         # change while we emit — hoist them; only snd_nxt advances.
-        window = self.cc.send_window(self.peer_window)
-        limit = self._send_limit()
+        # send_window() inlined (keep in sync); ``limit`` was already
+        # computed by the fast-exit check above.
+        cwnd = self.cc.cwnd
+        peer_window = self.peer_window
+        window = cwnd if cwnd < peer_window else peer_window
         mss = self.config.mss
         send_buffer = self.send_buffer
         stream_end = send_buffer.end_offset
@@ -727,8 +836,8 @@ class TcpConnection:
                            and sent_end == self.fin_off)
                 if fin_now:
                     flags |= TcpFlags.FIN
-                seg = self._make_segment(flags, self._seq_of(snd_nxt),
-                                         payload)
+                seg = self._make_segment(
+                    flags, (self.iss + 1 + snd_nxt) & SEQ_MASK, payload)
                 if self._timed_end is None:
                     self._timed_end = sent_end
                     self._timed_at = self.world.sim.now
@@ -749,7 +858,19 @@ class TcpConnection:
                 if not self._rtx_timer.armed:
                     self._rtx_timer.start(self.rtt.rto_ns)
             break
-        self._pump_or_persist()
+        # _pump_or_persist() inlined (keep in sync): this tail runs once
+        # per data-emitting call, and the common case — peer window open —
+        # is just the disarm/reset arm.
+        if (self.peer_window == 0 and self.flight_size == 0
+                and self._send_limit() > self.snd_nxt_off
+                and self.state.is_synchronized):
+            if not self._persist_timer.armed:
+                self._persist_timer.start(self._persist_interval)
+            return
+        timer = self._persist_timer
+        if timer._handle is not None:
+            timer.stop()
+        self._persist_interval = self.config.persist_min_ns
 
     def _send_limit(self) -> int:
         """Highest stream offset we are allowed to transmit up to."""

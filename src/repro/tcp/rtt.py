@@ -37,6 +37,10 @@ class RttEstimator:
         self._rto = initial_rto_ns
         self.samples = 0
         self.backoffs = 0
+        # True while the RTO carries doubling from on_backoff that a fresh
+        # ack has not yet cleared; lets reset_backoff (called once per new
+        # ack) skip the recompute in the common no-backoff case.
+        self._backoff_dirty = False
 
     @property
     def rto_ns(self) -> int:
@@ -70,15 +74,22 @@ class RttEstimator:
                                + self.ALPHA * rtt_ns)
         rto = self._srtt + max(self.granularity_ns, self.K * self._rttvar)
         self._rto = max(self.min_rto_ns, min(self.max_rto_ns, rto))
+        self._backoff_dirty = False
 
     def on_backoff(self) -> int:
         """Double the RTO after a retransmission timeout; returns new RTO."""
         self.backoffs += 1
         self._rto = min(self.max_rto_ns, self._rto * 2)
+        self._backoff_dirty = True
         return self._rto
 
     def reset_backoff(self) -> None:
-        """Recompute RTO from the smoothed estimate after a fresh ack."""
-        if self._srtt is not None:
+        """Recompute RTO from the smoothed estimate after a fresh ack.
+
+        Without intervening backoffs the RTO already equals the formula
+        value (on_sample keeps it current), so the recompute is skipped.
+        """
+        if self._backoff_dirty and self._srtt is not None:
             rto = self._srtt + max(self.granularity_ns, self.K * self._rttvar)
             self._rto = max(self.min_rto_ns, min(self.max_rto_ns, rto))
+            self._backoff_dirty = False

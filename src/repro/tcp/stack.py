@@ -14,6 +14,7 @@ ST-TCP integration points:
 from __future__ import annotations
 
 import copy
+from functools import partial
 from typing import Callable, Optional
 
 from repro.errors import PortInUseError, TcpError
@@ -149,6 +150,9 @@ class TcpStack:
             for timer in (conn._rtx_timer, conn._persist_timer,
                           conn._delack_timer, conn._timewait_timer):
                 timer.stop()
+            # Segments queued this instant but not yet flushed die with
+            # the host: a frozen stack processes nothing.
+            conn._rx_pending.clear()
 
     # --------------------------------------------------------------- wiring
 
@@ -183,8 +187,10 @@ class TcpStack:
         return conn
 
     def _transmitter(self, local_ip, remote_ip):
-        return lambda segment: self._ip.send(remote_ip, IPProtocol.TCP,
-                                             segment, src=local_ip)
+        # partial over a bound method, not a lambda: no Python frame on
+        # the per-segment transmit path, and it pickles (world snapshots).
+        return partial(self._ip.send, remote_ip, IPProtocol.TCP,
+                       src=local_ip)
 
     def _cleanup_socket(self, socket: Socket) -> None:
         conn = socket.connection
@@ -203,7 +209,8 @@ class TcpStack:
 
     def _on_packet(self, packet: IPPacket) -> None:
         segment = packet.payload
-        if not isinstance(segment, TcpSegment) or self._frozen:
+        if ((type(segment) is not TcpSegment
+             and not isinstance(segment, TcpSegment)) or self._frozen):
             return
         if (self.segment_filter is not None
                 and self.segment_filter(segment, packet.src, packet.dst)):
@@ -213,7 +220,16 @@ class TcpStack:
             (packet.dst._value, segment.dst_port,
              packet.src._value, segment.src_port))
         if conn is not None:
-            conn.segment_arrived(segment)
+            # Per-connection per-tick batching: queue the segment and
+            # flush once every event of this instant has run, so all
+            # same-instant segments for one connection are processed in a
+            # single coalesced pass (TcpConnection.segment_batch_arrived).
+            pending = conn._rx_pending
+            pending.append(segment)
+            if len(pending) == 1:
+                # at_tick_end inlined (keep in sync): registration is a
+                # bare list append, and this runs once per data segment.
+                self._world.sim._tick_end.append(conn._flush_rx_batch)
             return
         listener = self.find_listener(packet.dst, segment.dst_port)
         if listener is not None and segment.syn and not segment.ack_flag:

@@ -72,6 +72,7 @@ def run_workload_failover(
         run_until_s: Optional[float] = None,
         obs_level: Optional[str] = None,
         check: Optional[bool] = None,
+        testbed: Optional[Testbed] = None,
         **build_kwargs) -> WorkloadResult:
     """Offer ``spec`` over ``num_clients`` hosts, fail the primary mid-run.
 
@@ -86,9 +87,14 @@ def run_workload_failover(
     spec = spec or WorkloadSpec()
     opts = resolve_run_options(options, seed=seed, run_until_s=run_until_s,
                                obs_level=obs_level, check=check)
-    build_kwargs.setdefault("trace_categories", opts.trace_categories)
-    tb = build_testbed(seed=opts.seed, config=config,
-                       num_clients=num_clients, **build_kwargs)
+    if testbed is not None:
+        # Warm-trial path: run on the supplied pristine testbed (see
+        # repro.campaign.warm); the caller owns the seed/config match.
+        tb = testbed
+    else:
+        build_kwargs.setdefault("trace_categories", opts.trace_categories)
+        tb = build_testbed(seed=opts.seed, config=config,
+                           num_clients=num_clients, **build_kwargs)
     obs = ObsSession(tb.world, level=opts.obs_level) if opts.obs_level else None
     oracle = (InvariantOracle(tb.world, CheckTopology.from_testbed(tb))
               .attach() if opts.check else None)

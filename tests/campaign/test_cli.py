@@ -46,6 +46,22 @@ def test_sweep_output_is_jobs_invariant(tmp_path):
     assert out1.read_bytes() == out2.read_bytes()
 
 
+def test_sweep_profile_dumps_per_worker_stats(tmp_path, capsys):
+    import pstats
+
+    profdir = tmp_path / "profiles"
+    rc = main(BASE_ARGS + ["--grid", "hb_period_ms=100", "--trials", "2",
+                           "--jobs", "1", "--profile", str(profdir)])
+    assert rc == 0
+    assert "profiles ->" in capsys.readouterr().out
+    dump = profdir / "worker-0.pstats"
+    assert dump.exists()
+    stats = pstats.Stats(str(dump))
+    # The trial loop ran under the profiler: the scenario executor must
+    # be among the recorded functions.
+    assert any("execute_trial" in str(func) for func in stats.stats)
+
+
 def test_sweep_named_fault_and_monte_carlo(capsys):
     rc = main(BASE_ARGS + ["--fault", "nic_failure_primary",
                            "--trials", "2"])

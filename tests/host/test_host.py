@@ -106,7 +106,7 @@ def test_frames_dropped_counter(lan):
     # power gate stops it at the NIC; force through host path directly:
     from repro.net.frame import EthernetFrame, EtherType
     frame = EthernetFrame(h0.nics[0].mac, h1.nics[0].mac, EtherType.IPV4, b"")
-    h0._frame_up(frame, h0.interfaces[0])
+    h0._frame_up(h0.interfaces[0], frame)
     assert h0.frames_dropped_host_down == 1
 
 
