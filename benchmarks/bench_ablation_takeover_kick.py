@@ -9,6 +9,7 @@ quantifies how much of Demo 2's failover time that residue contributes.
 
 from repro.faults.faults import HwCrash
 from repro.metrics.report import banner, format_duration, format_table
+from repro.scenarios.options import RunOptions
 from repro.scenarios.runner import run_failover_experiment
 from repro.sim.core import millis
 from repro.sttcp.config import SttcpConfig
@@ -26,8 +27,8 @@ def run_ablation():
                                  kick_on_takeover=kick)
             results[(period_ms, kick)] = run_failover_experiment(
                 lambda tb, sp, sb: HwCrash(tb.primary),
-                total_bytes=30_000_000, fault_at_s=2.0, run_until_s=60,
-                seed=3, config=config)
+                total_bytes=30_000_000, fault_at_s=2.0,
+                options=RunOptions(seed=3, run_until_s=60), config=config)
     return results
 
 

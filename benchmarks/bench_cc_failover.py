@@ -1,0 +1,77 @@
+"""Failover behaviour per congestion-control algorithm.
+
+The paper's takeover argument is congestion-control-agnostic: the backup's
+suppressed connection runs the same CC machinery as the primary, so its
+window is warm at takeover whatever the algorithm.  This benchmark checks
+that claim end to end — one campaign sweeping ``cc`` over every registered
+algorithm, measuring per algorithm:
+
+* **takeover latency** — fault instant to the backup's takeover;
+* **post-handoff recovery** — takeover to the client's first resumed byte
+  (the window-warmth signal: a cold algorithm would stall here);
+* goodput over the run and stream intactness.
+
+All four algorithms must keep the stream intact, and the detection path
+(heartbeats, not data) must give CC-independent takeover latency.
+"""
+
+from repro.campaign import CampaignSpec, run_campaign
+from repro.metrics.report import banner, format_table
+from repro.scenarios.options import RunOptions
+from repro.tcp.congestion import cc_names
+
+from _util import emit, once
+from bench_demo2_hb_frequency import campaign_jobs
+
+SPEC = CampaignSpec(
+    scenario="failover",
+    base={"total_bytes": 30_000_000, "fault_at_s": 2.0},
+    grid={"cc": list(cc_names())},
+    trials=1, seed=3,
+    options=RunOptions(run_until_s=60.0))
+
+
+def run_matrix():
+    result = run_campaign(SPEC, jobs=campaign_jobs())
+    return result.records
+
+
+def _ms(ns):
+    return f"{ns / 1e6:.3f}" if ns is not None else "-"
+
+
+def render(records) -> str:
+    rows = []
+    for record in sorted(records, key=lambda r: r["params"]["cc"]):
+        takeover = record["failover_time_ns"]
+        resumed = record["client_resumed_at_ns"]
+        takeover_at = record["takeover_at_ns"]
+        recovery = (resumed - takeover_at
+                    if resumed is not None and takeover_at is not None
+                    else None)
+        rows.append([
+            record["params"]["cc"],
+            _ms(takeover),
+            _ms(recovery),
+            f"{record['goodput_bytes_per_s'] / 1e6:.3f}",
+            "yes" if record["stream_intact"] else "NO",
+        ])
+    table = format_table(
+        ["cc", "takeover (ms)", "post-handoff recovery (ms)",
+         "goodput (MB/s)", "stream intact"], rows)
+    return "\n".join([banner("Failover by congestion-control algorithm"),
+                      table])
+
+
+def test_cc_failover_matrix(benchmark):
+    records = once(benchmark, run_matrix)
+    emit("cc_failover", render(records))
+    takeovers = set()
+    for record in records:
+        cc = record["params"]["cc"]
+        assert record["status"] == "ok", (cc, record.get("error"))
+        assert record["stream_intact"], cc
+        takeovers.add(record["failover_time_ns"])
+    # Detection rides on heartbeats, not data: takeover latency must not
+    # depend on the congestion-control algorithm.
+    assert len(takeovers) == 1, takeovers

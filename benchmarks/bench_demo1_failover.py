@@ -8,6 +8,7 @@ disruption in the service and the client would have to re-connect".
 
 from repro.faults.faults import HwCrash
 from repro.metrics.report import banner, format_duration, format_table
+from repro.scenarios.options import RunOptions
 from repro.scenarios.runner import run_baseline_failover, run_failover_experiment
 
 from _util import emit, once
@@ -19,10 +20,11 @@ FAULT_AT_S = 1.0
 def run_demo1():
     sttcp = run_failover_experiment(
         lambda tb, sp, sb: HwCrash(tb.primary),
-        total_bytes=TOTAL, fault_at_s=FAULT_AT_S, run_until_s=60, seed=3)
+        total_bytes=TOTAL, fault_at_s=FAULT_AT_S,
+        options=RunOptions(seed=3, run_until_s=60))
     baseline = run_baseline_failover(
-        total_bytes=TOTAL, fault_at_s=FAULT_AT_S, run_until_s=60,
-        liveness_timeout_s=2.0, seed=3)
+        total_bytes=TOTAL, fault_at_s=FAULT_AT_S, liveness_timeout_s=2.0,
+        options=RunOptions(seed=3, run_until_s=60))
     return sttcp, baseline
 
 

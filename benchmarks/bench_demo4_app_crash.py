@@ -7,6 +7,7 @@
 
 from repro.faults.faults import AppCrashWithCleanup, AppHang
 from repro.metrics.report import banner, format_duration, format_table
+from repro.scenarios.options import RunOptions
 from repro.scenarios.runner import run_failover_experiment
 from repro.sim.core import seconds
 from repro.sttcp.config import SttcpConfig
@@ -20,12 +21,12 @@ CONFIG = SttcpConfig(max_delay_fin_ns=seconds(5))
 def run_demo4():
     hang = run_failover_experiment(
         lambda tb, sp, sb: AppHang(sp),
-        total_bytes=30_000_000, fault_at_s=1.0, run_until_s=60, seed=5,
-        config=CONFIG)
+        total_bytes=30_000_000, fault_at_s=1.0,
+        options=RunOptions(seed=5, run_until_s=60), config=CONFIG)
     cleanup = run_failover_experiment(
         lambda tb, sp, sb: AppCrashWithCleanup(sp),
-        total_bytes=30_000_000, fault_at_s=1.0, run_until_s=60, seed=5,
-        config=CONFIG)
+        total_bytes=30_000_000, fault_at_s=1.0,
+        options=RunOptions(seed=5, run_until_s=60), config=CONFIG)
     return hang, cleanup
 
 

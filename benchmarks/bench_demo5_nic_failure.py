@@ -7,6 +7,7 @@ servers disambiguate using HB progress counters and gateway pings
 
 from repro.faults.faults import NicFailure
 from repro.metrics.report import banner, format_duration, format_table
+from repro.scenarios.options import RunOptions
 from repro.scenarios.runner import run_failover_experiment
 from repro.sttcp.events import EventKind
 
@@ -16,10 +17,12 @@ from _util import emit, once
 def run_demo5():
     primary_nic = run_failover_experiment(
         lambda tb, sp, sb: NicFailure(tb.primary.nics[0]),
-        total_bytes=30_000_000, fault_at_s=1.0, run_until_s=60, seed=6)
+        total_bytes=30_000_000, fault_at_s=1.0,
+        options=RunOptions(seed=6, run_until_s=60))
     backup_nic = run_failover_experiment(
         lambda tb, sp, sb: NicFailure(tb.backup.nics[0]),
-        total_bytes=30_000_000, fault_at_s=1.0, run_until_s=60, seed=6)
+        total_bytes=30_000_000, fault_at_s=1.0,
+        options=RunOptions(seed=6, run_until_s=60))
     return primary_nic, backup_nic
 
 

@@ -14,7 +14,7 @@ Run:  python examples/app_crash_tolerance.py
 
 from repro.faults import AppCrashWithCleanup, AppHang
 from repro.metrics import format_duration
-from repro.scenarios import run_failover_experiment
+from repro.scenarios import RunOptions, run_failover_experiment
 from repro.sim import seconds
 from repro.sttcp import EventKind, SttcpConfig
 
@@ -44,14 +44,14 @@ def main() -> None:
 
     hang = run_failover_experiment(
         lambda tb, sp, sb: AppHang(sp),
-        total_bytes=30_000_000, fault_at_s=1.0, run_until_s=60, seed=5,
-        config=CONFIG)
+        total_bytes=30_000_000, fault_at_s=1.0,
+        options=RunOptions(seed=5, run_until_s=60), config=CONFIG)
     report(hang, "scenario 1: application hangs, socket stays open (no FIN)")
 
     cleanup = run_failover_experiment(
         lambda tb, sp, sb: AppCrashWithCleanup(sp),
-        total_bytes=30_000_000, fault_at_s=1.0, run_until_s=60, seed=5,
-        config=CONFIG)
+        total_bytes=30_000_000, fault_at_s=1.0,
+        options=RunOptions(seed=5, run_until_s=60), config=CONFIG)
     report(cleanup, "scenario 2: OS cleanup closes the socket (FIN)")
 
     print("\nIn both scenarios the TCP layer stayed up and heartbeats kept"

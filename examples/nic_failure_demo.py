@@ -11,7 +11,7 @@ Run:  python examples/nic_failure_demo.py
 
 from repro.faults import NicFailure
 from repro.metrics import format_duration
-from repro.scenarios import run_failover_experiment
+from repro.scenarios import RunOptions, run_failover_experiment
 from repro.sttcp import EventKind
 
 
@@ -45,12 +45,14 @@ def main() -> None:
 
     part1 = run_failover_experiment(
         lambda tb, sp, sb: NicFailure(tb.primary.nics[0]),
-        total_bytes=30_000_000, fault_at_s=1.0, run_until_s=60, seed=6)
+        total_bytes=30_000_000, fault_at_s=1.0,
+        options=RunOptions(seed=6, run_until_s=60))
     report(part1, part1.testbed.pair.backup, "part 1: primary NIC fails")
 
     part2 = run_failover_experiment(
         lambda tb, sp, sb: NicFailure(tb.backup.nics[0]),
-        total_bytes=30_000_000, fault_at_s=1.0, run_until_s=60, seed=6)
+        total_bytes=30_000_000, fault_at_s=1.0,
+        options=RunOptions(seed=6, run_until_s=60))
     report(part2, part2.testbed.pair.primary, "part 2: backup NIC fails")
 
     print("\nOne HB channel would have made these cases indistinguishable"

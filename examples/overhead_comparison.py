@@ -15,7 +15,8 @@ FILE_SIZE = 100_000_000
 
 
 def file_transfer(enable_sttcp: bool) -> FileClient:
-    tb = build_testbed(seed=5, enable_sttcp=enable_sttcp)
+    tb = build_testbed(seed=5,
+                       mode="sttcp" if enable_sttcp else "baseline")
     FileServer(tb.primary, "fs-p", port=80).start()
     if enable_sttcp:
         FileServer(tb.backup, "fs-b", port=80).start()
@@ -29,7 +30,8 @@ def file_transfer(enable_sttcp: bool) -> FileClient:
 
 
 def echo_rtt(enable_sttcp: bool) -> float:
-    tb = build_testbed(seed=5, enable_sttcp=enable_sttcp)
+    tb = build_testbed(seed=5,
+                       mode="sttcp" if enable_sttcp else "baseline")
     EchoServer(tb.primary, "echo-p", port=80).start()
     if enable_sttcp:
         EchoServer(tb.backup, "echo-b", port=80).start()

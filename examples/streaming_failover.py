@@ -10,7 +10,8 @@ Run:  python examples/streaming_failover.py
 
 from repro.faults import HwCrash
 from repro.metrics import format_duration
-from repro.scenarios import run_baseline_failover, run_failover_experiment
+from repro.scenarios import (RunOptions, run_baseline_failover,
+                            run_failover_experiment)
 from repro.sim import millis, seconds
 
 TOTAL = 30_000_000
@@ -34,15 +35,16 @@ def main() -> None:
 
     sttcp = run_failover_experiment(
         lambda tb, sp, sb: HwCrash(tb.primary),
-        total_bytes=TOTAL, fault_at_s=FAULT_AT_S, run_until_s=60, seed=3)
+        total_bytes=TOTAL, fault_at_s=FAULT_AT_S,
+        options=RunOptions(seed=3, run_until_s=60))
     show_progress(sttcp.monitor, "with ST-TCP (client unmodified)")
     print(f"  resets: {sttcp.client.reset_count}, "
           f"glitch: {format_duration(sttcp.glitch_ns)}, "
           f"stream intact: {sttcp.stream_intact}")
 
     baseline = run_baseline_failover(
-        total_bytes=TOTAL, fault_at_s=FAULT_AT_S, run_until_s=60,
-        liveness_timeout_s=2.0, seed=3)
+        total_bytes=TOTAL, fault_at_s=FAULT_AT_S, liveness_timeout_s=2.0,
+        options=RunOptions(seed=3, run_until_s=60))
     show_progress(baseline.monitor,
                   "hot standby without ST-TCP (client must reconnect)")
     print(f"  reconnects: {baseline.client.reconnect_count}, "

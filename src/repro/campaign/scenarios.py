@@ -21,6 +21,14 @@ Built-in scenarios:
 ``workload``
     :func:`repro.workloads.runner.run_workload_failover` — N
     connections over M client hosts through a mid-run fault.
+``cc_ident``
+    :func:`repro.scenarios.ccident.run_cc_ident` — stream under a chosen
+    congestion-control algorithm on a lossy link, then classify the
+    algorithm back from the cwnd timeline alone.
+
+Every scenario accepts a ``cc`` parameter (usually a grid dimension:
+``--grid cc=tahoe,reno,newreno,cubic``) selecting the congestion-control
+algorithm for every TCP endpoint in the trial's testbed.
 
 Custom scenarios register with :func:`register_scenario`; note that
 worker processes are forked, so register before ``run_campaign`` is
@@ -157,6 +165,13 @@ def _pop_config(params: dict):
     return SttcpConfig(**fields) if fields else None
 
 
+def _apply_cc(params: dict, opts):
+    """Fold an optional ``cc`` trial parameter (grid dimension) into the
+    run options; every scenario accepts it."""
+    cc = params.pop("cc", None)
+    return opts.with_(cc=str(cc)) if cc is not None else opts
+
+
 def _reject_unknown(params: dict, scenario: str) -> None:
     if params:
         raise ValueError(
@@ -217,12 +232,12 @@ def _run_failover(trial: TrialSpec) -> dict:
     total_bytes = int(params.pop("total_bytes", 30_000_000))
     fault_at_s = float(params.pop("fault_at_s", 1.0))
     request_chunk = int(params.pop("request_chunk", 0))
+    opts = _apply_cc(params, trial.options.with_(seed=trial.seed))
     _reject_unknown(params, "failover")
 
-    opts = trial.options.with_(seed=trial.seed)
     tb = _warm_testbed(
-        ("failover", repr(config), opts.trace_categories), opts,
-        lambda: build_testbed(seed=opts.seed, config=config,
+        ("failover", repr(config), opts.cc, opts.trace_categories), opts,
+        lambda: build_testbed(seed=opts.seed, config=config, cc=opts.cc,
                               trace_categories=opts.trace_categories))
     record = _base_record(trial)
     record["oracle"] = "clean" if opts.check else "off"
@@ -252,12 +267,12 @@ def _run_baseline(trial: TrialSpec) -> dict:
     total_bytes = int(params.pop("total_bytes", 30_000_000))
     fault_at_s = float(params.pop("fault_at_s", 1.0))
     liveness_timeout_s = float(params.pop("liveness_timeout_s", 2.0))
+    opts = _apply_cc(params, trial.options.with_(seed=trial.seed))
     _reject_unknown(params, "baseline")
 
-    opts = trial.options.with_(seed=trial.seed)
     tb = _warm_testbed(
-        ("baseline", opts.trace_categories), opts,
-        lambda: build_testbed(seed=opts.seed, mode="baseline",
+        ("baseline", opts.cc, opts.trace_categories), opts,
+        lambda: build_testbed(seed=opts.seed, mode="baseline", cc=opts.cc,
                               trace_categories=opts.trace_categories))
     record = _base_record(trial)
     record["oracle"] = "clean" if opts.check else "off"
@@ -297,12 +312,13 @@ def _run_workload(trial: TrialSpec) -> dict:
         mean_interarrival_s=float(params.pop("churn_ms", 20.0)) / 1000.0)
     num_clients = int(params.pop("num_clients", 8))
     fault_at_s = float(params.pop("fault_at_s", 1.0))
+    opts = _apply_cc(params, trial.options.with_(seed=trial.seed))
     _reject_unknown(params, "workload")
 
-    opts = trial.options.with_(seed=trial.seed)
     tb = _warm_testbed(
-        ("workload", repr(config), num_clients, opts.trace_categories), opts,
-        lambda: build_testbed(seed=opts.seed, config=config,
+        ("workload", repr(config), num_clients, opts.cc,
+         opts.trace_categories), opts,
+        lambda: build_testbed(seed=opts.seed, config=config, cc=opts.cc,
                               num_clients=num_clients,
                               trace_categories=opts.trace_categories))
     record = _base_record(trial)
@@ -329,9 +345,34 @@ def _run_workload(trial: TrialSpec) -> dict:
     return record
 
 
+def _run_cc_ident(trial: TrialSpec) -> dict:
+    from repro.scenarios.ccident import run_cc_ident
+
+    params = dict(trial.params)
+    cc = str(params.pop("cc", "reno"))
+    total_bytes = int(params.pop("total_bytes", 4_000_000))
+    loss_rate = float(params.pop("loss_rate", 0.01))
+    _reject_unknown(params, "cc_ident")
+
+    opts = trial.options.with_(seed=trial.seed, cc=cc)
+    record = _base_record(trial)
+    record["oracle"] = "off"
+    result = run_cc_ident(cc, seed=opts.seed, total_bytes=total_bytes,
+                          loss_rate=loss_rate,
+                          run_until_s=opts.run_until_s,
+                          trace_categories=opts.trace_categories)
+    record["cc"] = cc
+    record["guess"] = result.guess
+    record["correct"] = result.correct
+    record["features"] = result.features
+    record["bytes_received"] = result.bytes_received
+    return record
+
+
 register_scenario("failover", _run_failover)
 register_scenario("baseline", _run_baseline)
 register_scenario("workload", _run_workload)
+register_scenario("cc_ident", _run_cc_ident)
 
 
 def execute_trial(trial: TrialSpec) -> dict:

@@ -32,16 +32,17 @@ import sys
 
 from repro.metrics.report import banner, format_duration, format_table
 from repro.obs.export import OBS_LEVELS
+from repro.tcp.congestion import cc_names
 
 
 def _run_options(args, run_until_s: float = 60.0):
     """The shared RunOptions every demo hands its runner — one place maps
-    CLI flags (--seed/--obs-out/--obs-level/--check) onto the API."""
+    CLI flags (--seed/--obs-out/--obs-level/--check/--cc) onto the API."""
     from repro.scenarios.options import RunOptions
 
     return RunOptions(seed=args.seed, run_until_s=run_until_s,
                       obs_level=args.obs_level if args.obs_out else None,
-                      check=args.check)
+                      check=args.check, cc=args.cc)
 
 
 def _export_obs(obs, args, subdir: str = "") -> None:
@@ -122,7 +123,8 @@ def _demo3(args) -> int:
     times = {}
     for enabled in (True, False):
         tb = build_testbed(seed=args.seed,
-                           mode="sttcp" if enabled else "baseline")
+                           mode="sttcp" if enabled else "baseline",
+                           cc=args.cc)
         obs = (ObsSession(tb.world, level=args.obs_level)
                if args.obs_out else None)
         # Demo 3 builds its testbed inline, so it attaches the oracle
@@ -318,6 +320,10 @@ def main(argv=None) -> int:
                        help="validate the run against the protocol "
                             "invariant oracle (docs/invariants.md); "
                             "exit 2 on any violation")
+        p.add_argument("--cc", choices=cc_names(), default=None,
+                       help="congestion-control algorithm for every TCP "
+                            "endpoint (default: the TcpConfig default, "
+                            "reno; see docs/congestion.md)")
         if name == "demo2":
             p.add_argument("--hb", type=int, nargs="+",
                            default=[200, 500, 1000],

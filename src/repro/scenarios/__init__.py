@@ -17,7 +17,7 @@ from repro.scenarios.builder import (
     Testbed,
     build_testbed,
 )
-from repro.scenarios.options import RunOptions, resolve_run_options
+from repro.scenarios.options import RunOptions
 from repro.scenarios.runner import (
     BaselineResult,
     FailoverResult,
@@ -35,7 +35,6 @@ __all__ = [
     "RunOptions",
     "Testbed",
     "build_testbed",
-    "resolve_run_options",
     "run_baseline_failover",
     "run_failover_experiment",
 ]

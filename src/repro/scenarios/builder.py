@@ -18,8 +18,8 @@ addresses (and stays the gateway); extra clients get addresses from
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import NamedTuple, Optional, Union
+from dataclasses import dataclass, field, replace
+from typing import NamedTuple, Optional
 
 from repro.net.addresses import IPAddress, MacAddress
 from repro.net.cable import Cable
@@ -47,18 +47,6 @@ MODES = ("sttcp", "baseline")
 # locally-administered base.
 _EXTRA_CLIENT_IP_BASE = IPAddress("10.0.1.1").value
 _EXTRA_CLIENT_MAC_BASE = MacAddress("02:00:00:01:00:00").value
-
-
-def _resolve_mode(mode: "Union[str, bool, None]", enable_sttcp: bool) -> str:
-    """Normalize the mode parameter; bools are accepted for back compat."""
-    if mode is None:
-        mode = enable_sttcp
-    if isinstance(mode, bool):
-        return "sttcp" if mode else "baseline"
-    if mode not in MODES:
-        raise ValueError(f"mode must be one of {MODES} (or a bool), "
-                         f"got {mode!r}")
-    return mode
 
 
 @dataclass(frozen=True)
@@ -235,9 +223,9 @@ def _cable_to_switch(world: World, nic: Nic, switch: Switch,
 def build_testbed(seed: int = 0,
                   config: Optional[SttcpConfig] = None,
                   tcp_config: Optional[TcpConfig] = None,
-                  mode: "Union[str, bool, None]" = None,
+                  mode: str = "sttcp",
                   num_clients: int = 1,
-                  enable_sttcp: bool = True,
+                  cc: Optional[str] = None,
                   bandwidth_bps: int = 100_000_000,
                   propagation_delay_ns: int = 1_000,
                   backup_frame_cost_ns: int = 0,
@@ -250,9 +238,13 @@ def build_testbed(seed: int = 0,
 
     ``mode`` selects the server side: ``"sttcp"`` (the paper's pair) or
     ``"baseline"`` (same physical topology, no ST-TCP — the
-    non-fault-tolerant baseline of Demo 1/3).  A bool is accepted for back
-    compat with the deprecated ``enable_sttcp`` flag, which remains as a
-    shim (prefer ``mode=``).
+    non-fault-tolerant baseline of Demo 1/3).
+
+    ``cc`` selects the congestion-control algorithm for every TCP
+    endpoint (client, primary, backup — and therefore the backup's
+    suppressed replica connections): ``None`` keeps whatever
+    ``tcp_config`` says, any registered name from
+    :func:`repro.tcp.congestion.cc_names` overrides it.
 
     ``num_clients`` attaches that many client hosts to the switch; all get
     the static serviceIP→multiEA ARP entry, client 0 keeps the canonical
@@ -275,7 +267,11 @@ def build_testbed(seed: int = 0,
     """
     if num_clients < 1:
         raise ValueError(f"num_clients must be >= 1, got {num_clients}")
-    resolved_mode = _resolve_mode(mode, enable_sttcp)
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+    if cc is not None:
+        tcp_config = replace(tcp_config or TcpConfig(), cc=cc)
+        tcp_config.validate()  # fail fast on an unknown algorithm
     addrs = addresses or Addresses()
     world = World(seed=seed, trace_categories=trace_categories)
     switch = Switch(world, egress_filtering=egress_filtering)
@@ -332,7 +328,7 @@ def build_testbed(seed: int = 0,
 
     serial_link: Optional[SerialLink] = None
     pair: Optional[SttcpPair] = None
-    if resolved_mode == "sttcp":
+    if mode == "sttcp":
         primary_serial = primary.add_serial_port()
         backup_serial = backup.add_serial_port()
         if config.use_serial_hb:

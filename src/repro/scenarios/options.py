@@ -8,12 +8,9 @@ keyword set — ``seed=...``, ``obs_level=...``, ``check=...``,
 :func:`repro.scenarios.runner.run_baseline_failover`,
 :func:`repro.workloads.runner.run_workload_failover` and the CLI, so an
 experiment's "how to run" is one composable object instead of a keyword
-cloud.
-
-The old per-runner keywords still work: each runner accepts them as thin
-back-compat shims (deprecated — prefer ``options=RunOptions(...)``) and
-folds explicitly-passed values over the supplied options via
-:func:`resolve_run_options`.
+cloud.  ``options=RunOptions(...)`` is the only run API: the old
+per-runner keyword shims (and their ``resolve_run_options`` merger) were
+removed after their deprecation release.
 """
 
 from __future__ import annotations
@@ -22,8 +19,9 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.obs.export import OBS_LEVELS
+from repro.tcp.congestion import CC_ALGORITHMS
 
-__all__ = ["RunOptions", "resolve_run_options", "DEFAULT_TRACE_CATEGORIES"]
+__all__ = ["RunOptions", "DEFAULT_TRACE_CATEGORIES"]
 
 # Tight enough for long benchmarks, rich enough to debug failures.  The
 # canonical definition lives here; ``repro.scenarios.builder`` re-exports
@@ -47,6 +45,11 @@ class RunOptions:
     ``check``
         Attach the :class:`~repro.check.oracle.InvariantOracle` for the
         whole run and raise on any violation.
+    ``cc``
+        Congestion-control algorithm for every TCP endpoint in the
+        testbed: ``None`` (keep whatever the supplied ``TcpConfig`` says —
+        the default config says ``"reno"``) or a registered name from
+        :func:`repro.tcp.congestion.cc_names`.
     ``trace_categories``
         Trace-log category filter handed to the testbed builder
         (``None`` records everything).
@@ -56,6 +59,7 @@ class RunOptions:
     run_until_s: float = 60.0
     obs_level: Optional[str] = None
     check: bool = False
+    cc: Optional[str] = None
     trace_categories: Optional[frozenset] = field(
         default_factory=lambda: DEFAULT_TRACE_CATEGORIES)
 
@@ -64,22 +68,11 @@ class RunOptions:
             raise ValueError(
                 f"obs_level must be None or one of {OBS_LEVELS}, "
                 f"got {self.obs_level!r}")
+        if self.cc is not None and self.cc not in CC_ALGORITHMS:
+            raise ValueError(
+                f"cc must be None or one of "
+                f"{sorted(CC_ALGORITHMS)}, got {self.cc!r}")
 
     def with_(self, **changes) -> "RunOptions":
         """A copy with the given fields replaced."""
         return replace(self, **changes)
-
-
-def resolve_run_options(options: Optional[RunOptions] = None,
-                        **legacy) -> RunOptions:
-    """Merge deprecated per-runner keywords over an options object.
-
-    ``legacy`` holds the runner's old keyword arguments with ``None``
-    meaning "not passed"; any non-``None`` value overrides the
-    corresponding :class:`RunOptions` field, so old call sites keep their
-    exact behaviour while new ones pass ``options=`` alone.
-    """
-    opts = options if options is not None else RunOptions()
-    overrides = {key: value for key, value in legacy.items()
-                 if value is not None}
-    return replace(opts, **overrides) if overrides else opts

@@ -21,7 +21,7 @@ from repro.metrics.timeline import FailoverTimeline, build_timeline
 from repro.obs.export import ObsSession
 from repro.scenarios.baselines import ReconnectingStreamClient
 from repro.scenarios.builder import Testbed, build_testbed
-from repro.scenarios.options import RunOptions, resolve_run_options
+from repro.scenarios.options import RunOptions
 from repro.sttcp.config import SttcpConfig
 
 __all__ = ["FailoverResult", "run_failover_experiment",
@@ -65,12 +65,8 @@ def run_failover_experiment(
         make_fault: Callable[[Testbed, StreamServer, StreamServer], Fault],
         total_bytes: int = 50_000_000,
         fault_at_s: float = 2.0,
-        run_until_s: Optional[float] = None,
-        seed: Optional[int] = None,
         config: Optional[SttcpConfig] = None,
         request_chunk: int = 0,
-        obs_level: Optional[str] = None,
-        check: Optional[bool] = None,
         options: Optional[RunOptions] = None,
         testbed: Optional[Testbed] = None,
         **build_kwargs) -> FailoverResult:
@@ -80,30 +76,30 @@ def run_failover_experiment(
     ``testbed`` skips the build entirely and runs the experiment on the
     supplied (pristine, correctly-seeded) testbed — the warm-trial path
     (:mod:`repro.campaign.warm`) passes thawed snapshots here.  The caller
-    owns the seed/config match; ``build_kwargs`` are ignored.
+    owns the seed/config/cc match; ``build_kwargs`` are ignored.
 
     ``options`` (:class:`~repro.scenarios.options.RunOptions`) is the one
-    shared knob surface for seed / run length / observability / checking.
-    ``run_until_s``, ``seed``, ``obs_level`` and ``check`` remain as
-    deprecated per-keyword shims: when passed they override the
-    corresponding options field (prefer ``options=``).
+    shared knob surface for seed / run length / observability / checking /
+    congestion control; there are no per-keyword shims any more.
 
-    With ``obs_level`` set (one of :data:`repro.obs.export.OBS_LEVELS`)
-    an :class:`~repro.obs.export.ObsSession` is attached for the whole run
+    With ``options.obs_level`` set (one of
+    :data:`repro.obs.export.OBS_LEVELS`) an
+    :class:`~repro.obs.export.ObsSession` is attached for the whole run
     and returned on the result, already finalized against the failover
     timeline.
 
-    ``check=True`` attaches the :class:`~repro.check.oracle.InvariantOracle`
-    (with full wire-topology hints) for the whole run and raises
+    ``options.check=True`` attaches the
+    :class:`~repro.check.oracle.InvariantOracle` (with full wire-topology
+    hints) for the whole run and raises
     :class:`~repro.check.oracle.InvariantViolationError` if any invariant
     in ``docs/invariants.md`` is breached."""
-    opts = resolve_run_options(options, seed=seed, run_until_s=run_until_s,
-                               obs_level=obs_level, check=check)
+    opts = options if options is not None else RunOptions()
     if testbed is not None:
         tb = testbed
     else:
         build_kwargs.setdefault("trace_categories", opts.trace_categories)
-        tb = build_testbed(seed=opts.seed, config=config, **build_kwargs)
+        tb = build_testbed(seed=opts.seed, config=config, cc=opts.cc,
+                           **build_kwargs)
     obs = ObsSession(tb.world, level=opts.obs_level) if opts.obs_level else None
     oracle = (InvariantOracle(tb.world, CheckTopology.from_testbed(tb))
               .attach() if opts.check else None)
@@ -156,11 +152,7 @@ class BaselineResult:
 
 def run_baseline_failover(total_bytes: int = 50_000_000,
                           fault_at_s: float = 2.0,
-                          run_until_s: Optional[float] = None,
-                          seed: Optional[int] = None,
                           liveness_timeout_s: float = 2.0,
-                          obs_level: Optional[str] = None,
-                          check: Optional[bool] = None,
                           options: Optional[RunOptions] = None,
                           testbed: Optional[Testbed] = None,
                           **build_kwargs) -> BaselineResult:
@@ -171,22 +163,21 @@ def run_baseline_failover(total_bytes: int = 50_000_000,
     re-request.  The fault is a HW crash of the primary.
 
     ``options`` is the shared :class:`~repro.scenarios.options.RunOptions`
-    surface; ``run_until_s`` / ``seed`` / ``obs_level`` / ``check`` are
-    deprecated shims that override it when passed.
+    surface (no per-keyword shims).
 
-    ``check=True`` attaches the invariant oracle *without* topology
-    hints — in a plain hot-standby world the standby is entitled to
-    speak on the service port, so the ST-TCP wire-role invariants do
+    ``options.check=True`` attaches the invariant oracle *without*
+    topology hints — in a plain hot-standby world the standby is entitled
+    to speak on the service port, so the ST-TCP wire-role invariants do
     not apply."""
     from repro.faults.faults import HwCrash
 
-    opts = resolve_run_options(options, seed=seed, run_until_s=run_until_s,
-                               obs_level=obs_level, check=check)
+    opts = options if options is not None else RunOptions()
     if testbed is not None:
         tb = testbed
     else:
         build_kwargs.setdefault("trace_categories", opts.trace_categories)
-        tb = build_testbed(seed=opts.seed, mode="baseline", **build_kwargs)
+        tb = build_testbed(seed=opts.seed, mode="baseline", cc=opts.cc,
+                           **build_kwargs)
     obs = ObsSession(tb.world, level=opts.obs_level) if opts.obs_level else None
     oracle = InvariantOracle(tb.world).attach() if opts.check else None
     StreamServer(tb.primary, "server-primary", port=80).start()

@@ -1,13 +1,24 @@
 """A complete user-space TCP implementation for the simulator.
 
-Implements handshake, sliding-window data transfer, flow control, Reno
-congestion control, RTO with exponential backoff, fast retransmit, persist
-probes, and FIN/RST teardown — the substrate every ST-TCP mechanism acts
-on (see DESIGN.md substitution table).
+Implements handshake, sliding-window data transfer, flow control,
+pluggable congestion control (Tahoe / Reno / NewReno / CUBIC, see
+docs/congestion.md), RTO with exponential backoff, fast retransmit,
+persist probes, and FIN/RST teardown — the substrate every ST-TCP
+mechanism acts on (see DESIGN.md substitution table).
 """
 
 from repro.tcp.buffers import ReceiveBuffer, RetainBuffer, SendBuffer
-from repro.tcp.congestion import RenoCongestionControl
+from repro.tcp.congestion import (
+    CC_ALGORITHMS,
+    CongestionControl,
+    CubicCongestionControl,
+    NewRenoCongestionControl,
+    RenoCongestionControl,
+    TahoeCongestionControl,
+    cc_names,
+    make_congestion_control,
+    register_congestion_control,
+)
 from repro.tcp.connection import TcpConfig, TcpConnection
 from repro.tcp.rtt import RttEstimator
 from repro.tcp.segment import TCP_HEADER_BYTES, TcpFlags, TcpSegment
@@ -29,12 +40,20 @@ from repro.tcp.stack import TcpStack
 from repro.tcp.states import TcpState
 
 __all__ = [
+    "CC_ALGORITHMS",
+    "CongestionControl",
+    "CubicCongestionControl",
+    "NewRenoCongestionControl",
     "SEQ_MASK",
     "SEQ_MOD",
     "TCP_HEADER_BYTES",
     "Listener",
     "ReceiveBuffer",
     "RenoCongestionControl",
+    "TahoeCongestionControl",
+    "cc_names",
+    "make_congestion_control",
+    "register_congestion_control",
     "RetainBuffer",
     "RttEstimator",
     "SendBuffer",

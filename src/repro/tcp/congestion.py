@@ -1,23 +1,72 @@
-"""TCP Reno congestion control: slow start, congestion avoidance, fast
-retransmit / fast recovery (RFC 5681).
+"""Pluggable TCP congestion control: Tahoe, Reno, NewReno, CUBIC.
+
+Every algorithm implements the :class:`CongestionControl` interface; the
+connection machinery in :mod:`repro.tcp.connection` calls only the hook
+surface (``on_new_ack`` / ``on_dupack`` / ``on_timeout`` /
+``on_retransmit`` / ``on_exit_recovery`` / ``send_window``) and reads
+``cwnd`` / ``ssthresh`` for the observability probes, so selecting an
+algorithm is purely a matter of :data:`TcpConfig.cc <repro.tcp.connection.TcpConfig>`.
 
 The backup's suppressed connection runs the *same* congestion machinery as
 the primary — its cwnd evolves from the shared client acks — so at takeover
 the backup's send rate is already warmed up, one of the reasons ST-TCP
-failover looks like a glitch rather than a fresh slow-start.
+failover looks like a glitch rather than a fresh slow-start.  That warm-up
+property holds for every algorithm here, because the backup replica is
+built from the same :class:`TcpConfig` (including ``cc``) as the primary's
+connection.
+
+Determinism: the only clock an algorithm may read is the ``clock`` object
+handed to it (anything with a ``now`` attribute in integer nanoseconds —
+the simulator itself in production, a trivial stub in tests).  No
+wall-clock, no RNG: equal event sequences against equal virtual clocks
+give equal window trajectories, which is what makes the CC-identification
+scenario (:mod:`repro.scenarios.ccident`) possible.
 """
 
 from __future__ import annotations
 
-__all__ = ["RenoCongestionControl"]
+from typing import Optional
+
+__all__ = [
+    "CongestionControl",
+    "TahoeCongestionControl",
+    "RenoCongestionControl",
+    "NewRenoCongestionControl",
+    "CubicCongestionControl",
+    "CC_ALGORITHMS",
+    "register_congestion_control",
+    "make_congestion_control",
+    "cc_names",
+    "DEFAULT_CC",
+]
+
+DEFAULT_CC = "reno"
 
 
-class RenoCongestionControl:
-    """Per-connection Reno state machine."""
+class CongestionControl:
+    """Abstract per-connection congestion-control state machine.
+
+    Common state (all integers, picklable — world snapshots carry live
+    connections):
+
+    ``cwnd`` / ``ssthresh``
+        Congestion window and slow-start threshold in bytes.
+    ``dupacks``
+        Consecutive duplicate acks seen since the last new ack.
+    ``in_fast_recovery``
+        True between a fast retransmit and the ack that covers
+        ``_recovery_point``.
+    ``fast_retransmits`` / ``timeouts``
+        Event counters, exported via :meth:`export_state`.
+    """
+
+    #: Registry key; subclasses override.
+    name = "abstract"
 
     DUPACK_THRESHOLD = 3
 
-    def __init__(self, mss: int, initial_window_segments: int = 10):
+    def __init__(self, mss: int, initial_window_segments: int = 10,
+                 clock=None):
         if mss <= 0:
             raise ValueError(f"mss must be positive, got {mss}")
         self.mss = mss
@@ -29,25 +78,74 @@ class RenoCongestionControl:
         self.fast_retransmits = 0
         self.timeouts = 0
         self._acked_accum = 0      # fractional cwnd growth in CA
+        self._clock = clock
 
-    # ------------------------------------------------------------------ acks
+    # ------------------------------------------------------------------ hooks
 
-    def on_new_ack(self, newly_acked: int, snd_una: int) -> None:
-        """A cumulative ack advanced ``snd_una`` by ``newly_acked`` bytes."""
+    def on_new_ack(self, newly_acked: int, snd_una: int) -> bool:
+        """A cumulative ack advanced ``snd_una`` by ``newly_acked`` bytes.
+
+        Returns True when the caller should immediately retransmit the
+        segment now at the head of the send queue (NewReno partial-ack
+        retransmit); False otherwise.
+        """
+        raise NotImplementedError
+
+    def on_dupack(self, flight_size: int, snd_nxt: int) -> bool:
+        """Register a duplicate ack; returns True when the caller should
+        fast-retransmit the segment at snd_una."""
+        raise NotImplementedError
+
+    def on_timeout(self, flight_size: int) -> None:
+        """RTO fired: collapse to one segment and restart slow start."""
+        self.timeouts += 1
+        self.ssthresh = max(flight_size // 2, 2 * self.mss)
+        self.cwnd = self.mss
         self.dupacks = 0
-        if self.in_fast_recovery:
-            if snd_una >= self._recovery_point:
-                # Full recovery: deflate to ssthresh.  CA credit from
-                # before the loss event is stale against the new, smaller
-                # cwnd — discard it (RFC 5681: growth restarts from the
-                # post-recovery window).
-                self.in_fast_recovery = False
-                self.cwnd = self.ssthresh
-                self._acked_accum = 0
-            else:
-                # Partial ack: stay in recovery (NewReno-lite).
-                self.cwnd = max(self.ssthresh, self.cwnd - newly_acked + self.mss)
-            return
+        self.in_fast_recovery = False
+        self._acked_accum = 0
+
+    def on_retransmit(self, offset: int, kind: str) -> None:
+        """A segment at stream ``offset`` was retransmitted (``kind`` is
+        ``"head"`` for fast/partial-ack retransmits, ``"rto"`` for timeout
+        go-back-N).  Default: bookkeeping-free no-op."""
+
+    def on_exit_recovery(self) -> None:
+        """Fast recovery completed (the ack covered ``_recovery_point``).
+
+        Resets ``dupacks`` so a dupack burst straddling the exit cannot
+        re-trigger fast retransmit one dupack early.
+        """
+        self.in_fast_recovery = False
+        self.dupacks = 0
+
+    # ----------------------------------------------------------------- query
+
+    def send_window(self, peer_window: int) -> int:
+        """Usable window = min(cwnd, receiver's advertised window)."""
+        return min(self.cwnd, peer_window)
+
+    def export_state(self) -> dict:
+        """Stable observability surface: algorithm name plus the window
+        state every implementation shares."""
+        return {
+            "cc": self.name,
+            "cwnd": self.cwnd,
+            "ssthresh": self.ssthresh,
+            "in_fast_recovery": self.in_fast_recovery,
+            "fast_retransmits": self.fast_retransmits,
+            "timeouts": self.timeouts,
+        }
+
+    # -------------------------------------------------------------- internal
+
+    @property
+    def now_ns(self) -> int:
+        """Virtual time in ns (0 when no clock was provided)."""
+        return self._clock.now if self._clock is not None else 0
+
+    def _grow_slow_start_or_ca(self, newly_acked: int) -> None:
+        """Shared Reno-style additive growth outside recovery."""
         if self.cwnd < self.ssthresh:
             # Slow start: one MSS per acked MSS (capped by bytes acked).
             self.cwnd += min(newly_acked, self.mss)
@@ -58,9 +156,35 @@ class RenoCongestionControl:
                 self._acked_accum -= self.cwnd
                 self.cwnd += self.mss
 
+
+class RenoCongestionControl(CongestionControl):
+    """RFC 5681 Reno with the historical "NewReno-lite" partial-ack
+    deflation this simulator has always shipped: a partial ack deflates
+    cwnd but does *not* retransmit the next hole (that waits for three
+    more dupacks or the RTO)."""
+
+    name = "reno"
+
+    def on_new_ack(self, newly_acked: int, snd_una: int) -> bool:
+        self.dupacks = 0
+        if self.in_fast_recovery:
+            if snd_una >= self._recovery_point:
+                # Full recovery: deflate to ssthresh.  CA credit from
+                # before the loss event is stale against the new, smaller
+                # cwnd — discard it (RFC 5681: growth restarts from the
+                # post-recovery window).
+                self.on_exit_recovery()
+                self.cwnd = self.ssthresh
+                self._acked_accum = 0
+            else:
+                # Partial ack: stay in recovery (NewReno-lite).
+                self.cwnd = max(self.ssthresh,
+                                self.cwnd - newly_acked + self.mss)
+            return False
+        self._grow_slow_start_or_ca(newly_acked)
+        return False
+
     def on_dupack(self, flight_size: int, snd_nxt: int) -> bool:
-        """Register a duplicate ack; returns True when the caller should
-        fast-retransmit the segment at snd_una."""
         if self.in_fast_recovery:
             # Each further dupack inflates cwnd by one MSS.
             self.cwnd += self.mss
@@ -75,19 +199,242 @@ class RenoCongestionControl:
             return True
         return False
 
-    # --------------------------------------------------------------- timeout
+
+class TahoeCongestionControl(CongestionControl):
+    """Original Tahoe: loss (three dupacks or RTO) always collapses cwnd
+    to one MSS and restarts slow start.  There is no fast-recovery
+    inflation — after the fast retransmit, further dupacks are ignored
+    until a new ack arrives."""
+
+    name = "tahoe"
+
+    def __init__(self, mss: int, initial_window_segments: int = 10,
+                 clock=None):
+        super().__init__(mss, initial_window_segments, clock)
+        # After a fast retransmit Tahoe waits for the retransmission to be
+        # acked; dupacks in that window carry no information (they predate
+        # the retransmit) and must not re-trigger loss handling.
+        self._await_new_ack = False
+
+    def on_new_ack(self, newly_acked: int, snd_una: int) -> bool:
+        self.dupacks = 0
+        self._await_new_ack = False
+        self._grow_slow_start_or_ca(newly_acked)
+        return False
+
+    def on_dupack(self, flight_size: int, snd_nxt: int) -> bool:
+        if self._await_new_ack:
+            return False
+        self.dupacks += 1
+        if self.dupacks == self.DUPACK_THRESHOLD:
+            self.ssthresh = max(flight_size // 2, 2 * self.mss)
+            self.cwnd = self.mss
+            self._acked_accum = 0
+            self.fast_retransmits += 1
+            self._await_new_ack = True
+            return True
+        return False
 
     def on_timeout(self, flight_size: int) -> None:
-        """RTO fired: collapse to one segment and restart slow start."""
+        super().on_timeout(flight_size)
+        self._await_new_ack = False
+
+
+class NewRenoCongestionControl(CongestionControl):
+    """RFC 6582 NewReno: a partial ack during fast recovery immediately
+    retransmits the next hole (return True from :meth:`on_new_ack`) and
+    stays in recovery until the ack covers the recovery point."""
+
+    name = "newreno"
+
+    def __init__(self, mss: int, initial_window_segments: int = 10,
+                 clock=None):
+        super().__init__(mss, initial_window_segments, clock)
+        self.partial_retransmits = 0
+
+    def on_new_ack(self, newly_acked: int, snd_una: int) -> bool:
+        self.dupacks = 0
+        if self.in_fast_recovery:
+            if snd_una >= self._recovery_point:
+                self.on_exit_recovery()
+                self.cwnd = self.ssthresh
+                self._acked_accum = 0
+                return False
+            # Partial ack: deflate by the amount acked, add back one MSS,
+            # and retransmit the next hole right now (RFC 6582 Sec. 3.2).
+            self.cwnd = max(self.ssthresh,
+                            self.cwnd - newly_acked + self.mss)
+            self.partial_retransmits += 1
+            return True
+        self._grow_slow_start_or_ca(newly_acked)
+        return False
+
+    def on_dupack(self, flight_size: int, snd_nxt: int) -> bool:
+        if self.in_fast_recovery:
+            self.cwnd += self.mss
+            return False
+        self.dupacks += 1
+        if self.dupacks == self.DUPACK_THRESHOLD:
+            self.ssthresh = max(flight_size // 2, 2 * self.mss)
+            self.cwnd = self.ssthresh + self.DUPACK_THRESHOLD * self.mss
+            self.in_fast_recovery = True
+            self._recovery_point = snd_nxt
+            self.fast_retransmits += 1
+            return True
+        return False
+
+    def export_state(self) -> dict:
+        state = super().export_state()
+        state["partial_retransmits"] = self.partial_retransmits
+        return state
+
+
+class CubicCongestionControl(CongestionControl):
+    """RFC 8312-style CUBIC on the simulator's virtual clock.
+
+    Above ``ssthresh`` the window tracks the cubic
+    ``W(t) = C * (t - K)^3 + W_max`` (t in seconds since the current
+    congestion-avoidance epoch began, W in segments), with
+    ``K = cbrt(W_max * (1 - beta) / C)`` so the curve plateaus exactly at
+    the pre-loss window.  Loss multiplies the window by ``beta = 0.7``
+    (versus Reno's 0.5) — the deflation ratio and the convex late-epoch
+    growth are the fingerprints the CC-identification scenario keys on.
+
+    Simplifications, deliberate and documented in docs/congestion.md:
+    slow start and the fast-retransmit / recovery mechanics are
+    Reno-style (no HyStart, no TCP-friendly region), growth is capped at
+    one MSS per ack, and the epoch clock is the deterministic simulator
+    clock — never wall time.
+    """
+
+    name = "cubic"
+
+    BETA = 0.7          # multiplicative decrease factor
+    SCALING_C = 0.4     # cubic scaling constant (segments / s^3)
+
+    def __init__(self, mss: int, initial_window_segments: int = 10,
+                 clock=None):
+        super().__init__(mss, initial_window_segments, clock)
+        self._w_max = 0.0          # window (in segments) at the last loss
+        self._epoch_start_ns = -1  # CA epoch origin; -1 = not in an epoch
+        self._k = 0.0              # seconds from epoch start to the plateau
+
+    # ------------------------------------------------------------ epoch math
+
+    def _begin_epoch(self) -> None:
+        self._epoch_start_ns = self.now_ns
+        if self._w_max > 0.0:
+            self._k = (self._w_max * (1.0 - self.BETA)
+                       / self.SCALING_C) ** (1.0 / 3.0)
+        else:
+            self._k = 0.0
+
+    def _cubic_target(self) -> int:
+        t = (self.now_ns - self._epoch_start_ns) / 1e9
+        w = self.SCALING_C * (t - self._k) ** 3 + self._w_max
+        return int(w * self.mss)
+
+    def _on_loss(self) -> None:
+        self._w_max = self.cwnd / self.mss
+        self.ssthresh = max(int(self.cwnd * self.BETA), 2 * self.mss)
+        self._epoch_start_ns = -1
+
+    # ------------------------------------------------------------------ hooks
+
+    def on_new_ack(self, newly_acked: int, snd_una: int) -> bool:
+        self.dupacks = 0
+        if self.in_fast_recovery:
+            if snd_una >= self._recovery_point:
+                self.on_exit_recovery()
+                self.cwnd = self.ssthresh
+                self._acked_accum = 0
+            else:
+                self.cwnd = max(self.ssthresh,
+                                self.cwnd - newly_acked + self.mss)
+            return False
+        if self.cwnd < self.ssthresh:
+            # Reno-style slow start below ssthresh.
+            self.cwnd += min(newly_acked, self.mss)
+            return False
+        if self._epoch_start_ns < 0:
+            # First CA ack of this epoch: anchor the cubic curve.  When
+            # the window somehow grew past the last W_max (e.g. slow
+            # start overshoot after an RTO), re-anchor on the current
+            # window so the curve never pulls cwnd backwards.
+            if self.cwnd / self.mss > self._w_max:
+                self._w_max = self.cwnd / self.mss
+            self._begin_epoch()
+        target = self._cubic_target()
+        if target > self.cwnd:
+            # Track the cubic curve, at most one MSS per ack.
+            self.cwnd = min(target, self.cwnd + self.mss)
+        return False
+
+    def on_dupack(self, flight_size: int, snd_nxt: int) -> bool:
+        if self.in_fast_recovery:
+            self.cwnd += self.mss
+            return False
+        self.dupacks += 1
+        if self.dupacks == self.DUPACK_THRESHOLD:
+            self._on_loss()
+            self.cwnd = self.ssthresh + self.DUPACK_THRESHOLD * self.mss
+            self.in_fast_recovery = True
+            self._recovery_point = snd_nxt
+            self.fast_retransmits += 1
+            return True
+        return False
+
+    def on_timeout(self, flight_size: int) -> None:
+        self._on_loss()
         self.timeouts += 1
-        self.ssthresh = max(flight_size // 2, 2 * self.mss)
         self.cwnd = self.mss
         self.dupacks = 0
         self.in_fast_recovery = False
         self._acked_accum = 0
 
-    # ----------------------------------------------------------------- query
+    def on_exit_recovery(self) -> None:
+        super().on_exit_recovery()
+        # Congestion avoidance resumes on a fresh cubic epoch.
+        self._begin_epoch()
 
-    def send_window(self, peer_window: int) -> int:
-        """Usable window = min(cwnd, receiver's advertised window)."""
-        return min(self.cwnd, peer_window)
+
+# -------------------------------------------------------------------- registry
+
+CC_ALGORITHMS: dict[str, type] = {}
+
+
+def register_congestion_control(name: str, cls: type,
+                                replace: bool = False) -> None:
+    """Register a :class:`CongestionControl` subclass under ``name`` so
+    ``TcpConfig(cc=name)`` (and everything plumbed above it — RunOptions,
+    the CLI, campaign grids) can select it."""
+    if not name or not isinstance(name, str):
+        raise ValueError(f"invalid congestion-control name: {name!r}")
+    if name in CC_ALGORITHMS and not replace:
+        raise ValueError(f"congestion control {name!r} already registered")
+    if not (isinstance(cls, type) and issubclass(cls, CongestionControl)):
+        raise TypeError(f"{cls!r} is not a CongestionControl subclass")
+    CC_ALGORITHMS[name] = cls
+
+
+def cc_names() -> tuple:
+    """Registered algorithm names, sorted (stable CLI/choices order)."""
+    return tuple(sorted(CC_ALGORITHMS))
+
+
+def make_congestion_control(name: str, mss: int,
+                            initial_window_segments: int = 10,
+                            clock=None) -> CongestionControl:
+    """Instantiate the registered algorithm ``name``."""
+    try:
+        cls = CC_ALGORITHMS[name]
+    except KeyError:
+        raise ValueError(f"unknown congestion control {name!r}; "
+                         f"registered: {', '.join(cc_names())}") from None
+    return cls(mss, initial_window_segments, clock=clock)
+
+
+register_congestion_control("tahoe", TahoeCongestionControl)
+register_congestion_control("reno", RenoCongestionControl)
+register_congestion_control("newreno", NewRenoCongestionControl)
+register_congestion_control("cubic", CubicCongestionControl)

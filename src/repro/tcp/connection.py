@@ -36,7 +36,8 @@ from repro.sim.core import millis, seconds
 from repro.sim.timers import DeadlineTimer, Timer
 from repro.sim.world import World
 from repro.tcp.buffers import ReceiveBuffer, SendBuffer
-from repro.tcp.congestion import RenoCongestionControl
+from repro.tcp.congestion import (CC_ALGORITHMS, DEFAULT_CC,
+                                  make_congestion_control)
 from repro.tcp.rtt import RttEstimator
 from repro.tcp.segment import TcpFlags, TcpSegment
 from repro.tcp.seq import SEQ_MASK, SEQ_MOD, seq_add, seq_sub
@@ -65,6 +66,7 @@ class TcpConfig:
     initial_window_segments: int = 10
     persist_min_ns: int = millis(500)
     persist_max_ns: int = seconds(60)
+    cc: str = DEFAULT_CC
 
     def validate(self) -> None:
         """Raise ValueError on inconsistent settings."""
@@ -72,6 +74,9 @@ class TcpConfig:
             raise ValueError(f"mss must be positive: {self.mss}")
         if self.send_buffer_bytes < self.mss or self.recv_buffer_bytes < self.mss:
             raise ValueError("buffers must hold at least one MSS")
+        if self.cc not in CC_ALGORITHMS:
+            raise ValueError(f"unknown congestion control {self.cc!r}; "
+                             f"registered: {', '.join(sorted(CC_ALGORITHMS))}")
 
 
 class TcpConnection:
@@ -110,8 +115,14 @@ class TcpConnection:
         self.peer_fin_consumed = False
         self.rst_sent = False
 
-        self.cc = RenoCongestionControl(self.config.mss,
-                                        self.config.initial_window_segments)
+        self.cc = make_congestion_control(self.config.cc, self.config.mss,
+                                          self.config.initial_window_segments,
+                                          clock=world.sim)
+        # Timeline rows carry the algorithm name only when it is not the
+        # default — absence means "reno", which keeps the committed golden
+        # traces byte-identical for default runs.
+        self._cc_extra = ({} if self.cc.name == DEFAULT_CC
+                          else {"cc": self.cc.name})
         self.rtt = RttEstimator(self.config.initial_rto_ns,
                                 self.config.min_rto_ns, self.config.max_rto_ns)
         # The RTO timer is restarted on every new ack; DeadlineTimer makes
@@ -510,7 +521,7 @@ class TcpConnection:
             if timed_end is not None and data_ack_off >= timed_end:
                 self.rtt.on_sample(self.world.sim._now - self._timed_at)
                 self._timed_end = None
-            self.cc.on_new_ack(newly_acked, self.snd_una_off)
+            partial_rtx = self.cc.on_new_ack(newly_acked, self.snd_una_off)
             # reset_backoff's no-backoff early-exit inlined (keep in
             # sync): the dirty flag is false on virtually every ack.
             rtt = self.rtt
@@ -521,6 +532,13 @@ class TcpConnection:
             else:
                 self._rtx_timer.start(rtt._rto)
             self.peer_window = segment.window
+            if partial_rtx and not self._all_acked():
+                # NewReno partial ack: the hole just past snd_una is
+                # presumed lost; retransmit it without leaving recovery
+                # (RFC 6582 Sec. 3.2) and re-arm the RTO from it.
+                self._trace("partial-ack-retransmit", at=self.snd_una_off)
+                self._retransmit_head()
+                self._restart_rtx()
             if self._in_batch:
                 self._batch_writable = True
             else:
@@ -754,7 +772,8 @@ class TcpConnection:
                         una=self.snd_una_off, nxt=self.snd_nxt_off,
                         rcv_nxt=self.recv_buffer.rcv_next,
                         mss=self.config.mss,
-                        ssthresh=self.cc.ssthresh)
+                        ssthresh=self.cc.ssthresh,
+                        **self._cc_extra)
         self.transmit(segment)
 
     def _send_syn(self) -> None:
@@ -939,6 +958,7 @@ class TcpConnection:
             self._enter_closed("retransmission limit exceeded", reset=True)
             return
         self.cc.on_timeout(max(self.flight_size, self.config.mss))
+        self.cc.on_retransmit(self.snd_una_off, "rto")
         self.rtt.on_backoff()
         self.world.probes.fire("tcp.retransmit", self.name, kind="rto",
                                off=self.snd_una_off, rto=self.rtt.rto_ns)
@@ -957,6 +977,7 @@ class TcpConnection:
     def _retransmit_head(self) -> None:
         """Retransmit the earliest unacknowledged segment."""
         self.retransmissions += 1
+        self.cc.on_retransmit(self.snd_una_off, "head")
         self.world.probes.fire("tcp.retransmit", self.name, kind="head",
                                off=self.snd_una_off)
         if self.snd_una_off < self.snd_nxt_off:

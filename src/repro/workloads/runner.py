@@ -21,7 +21,7 @@ from repro.metrics.monitor import ClientStreamMonitor
 from repro.metrics.timeline import FailoverTimeline, build_timeline
 from repro.obs.export import ObsSession
 from repro.scenarios.builder import Testbed, build_testbed
-from repro.scenarios.options import RunOptions, resolve_run_options
+from repro.scenarios.options import RunOptions
 from repro.sim.core import seconds
 from repro.sttcp.config import SttcpConfig
 from repro.workloads.engine import WorkloadEngine, WorkloadSpec
@@ -68,10 +68,6 @@ def run_workload_failover(
         num_clients: int = 32,
         config: Optional[SttcpConfig] = None,
         options: Optional[RunOptions] = None,
-        seed: Optional[int] = None,
-        run_until_s: Optional[float] = None,
-        obs_level: Optional[str] = None,
-        check: Optional[bool] = None,
         testbed: Optional[Testbed] = None,
         **build_kwargs) -> WorkloadResult:
     """Offer ``spec`` over ``num_clients`` hosts, fail the primary mid-run.
@@ -80,20 +76,18 @@ def run_workload_failover(
     testbed and returns the fault to inject at ``fault_at_s``.
 
     ``options`` is the one knob surface shared with the scenario runners
-    (:class:`~repro.scenarios.options.RunOptions`); ``seed`` /
-    ``run_until_s`` / ``obs_level`` / ``check`` are accepted as
-    deprecated shims and override the options fields when passed.
+    (:class:`~repro.scenarios.options.RunOptions`); there are no
+    per-keyword shims any more.
     """
     spec = spec or WorkloadSpec()
-    opts = resolve_run_options(options, seed=seed, run_until_s=run_until_s,
-                               obs_level=obs_level, check=check)
+    opts = options if options is not None else RunOptions()
     if testbed is not None:
         # Warm-trial path: run on the supplied pristine testbed (see
-        # repro.campaign.warm); the caller owns the seed/config match.
+        # repro.campaign.warm); the caller owns the seed/config/cc match.
         tb = testbed
     else:
         build_kwargs.setdefault("trace_categories", opts.trace_categories)
-        tb = build_testbed(seed=opts.seed, config=config,
+        tb = build_testbed(seed=opts.seed, config=config, cc=opts.cc,
                            num_clients=num_clients, **build_kwargs)
     obs = ObsSession(tb.world, level=opts.obs_level) if opts.obs_level else None
     oracle = (InvariantOracle(tb.world, CheckTopology.from_testbed(tb))

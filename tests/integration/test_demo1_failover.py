@@ -8,6 +8,7 @@ the client must reconnect.
 import pytest
 
 from repro.faults.faults import HwCrash, OsCrash
+from repro.scenarios.options import RunOptions
 from repro.scenarios.runner import run_baseline_failover, run_failover_experiment
 from repro.sim.core import seconds
 from repro.sttcp.events import EventKind
@@ -19,7 +20,8 @@ TOTAL = 30_000_000
 def demo1():
     return run_failover_experiment(
         lambda tb, sp, sb: HwCrash(tb.primary),
-        total_bytes=TOTAL, fault_at_s=1.0, run_until_s=40, seed=3)
+        total_bytes=TOTAL, fault_at_s=1.0,
+        options=RunOptions(seed=3, run_until_s=40))
 
 
 def test_every_byte_delivered_exactly_once(demo1):
@@ -60,7 +62,8 @@ def test_failover_timeline_is_coherent(demo1):
 def test_os_crash_is_equivalent_to_hw_crash():
     result = run_failover_experiment(
         lambda tb, sp, sb: OsCrash(tb.primary),
-        total_bytes=TOTAL, fault_at_s=1.0, run_until_s=40, seed=4)
+        total_bytes=TOTAL, fault_at_s=1.0,
+        options=RunOptions(seed=4, run_until_s=40))
     assert result.stream_intact
     assert result.testbed.pair.backup.events.has(EventKind.PEER_CRASH_DETECTED)
 
@@ -70,10 +73,11 @@ def test_baseline_shows_the_contrast():
     outage — the paper's Demo-1 comparison."""
     sttcp = run_failover_experiment(
         lambda tb, sp, sb: HwCrash(tb.primary),
-        total_bytes=TOTAL, fault_at_s=1.0, run_until_s=40, seed=3)
+        total_bytes=TOTAL, fault_at_s=1.0,
+        options=RunOptions(seed=3, run_until_s=40))
     baseline = run_baseline_failover(total_bytes=TOTAL, fault_at_s=1.0,
-                                     run_until_s=60, liveness_timeout_s=2.0,
-                                     seed=3)
+                                     liveness_timeout_s=2.0,
+                                     options=RunOptions(seed=3, run_until_s=60))
     assert baseline.client.reconnect_count >= 1     # client-visible outage
     assert sttcp.client.reset_count == 0            # ST-TCP: none
     assert baseline.disruption_ns > sttcp.glitch_ns * 2

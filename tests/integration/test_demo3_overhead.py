@@ -14,7 +14,8 @@ SIZE = 20_000_000
 
 
 def transfer_time(enable_sttcp: bool, seed: int = 5) -> int:
-    tb = build_testbed(seed=seed, enable_sttcp=enable_sttcp)
+    tb = build_testbed(seed=seed,
+                       mode="sttcp" if enable_sttcp else "baseline")
     FileServer(tb.primary, "fs-p", port=80).start()
     if enable_sttcp:
         FileServer(tb.backup, "fs-b", port=80).start()

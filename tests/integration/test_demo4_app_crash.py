@@ -5,6 +5,7 @@ FIN-disagreement cases of Sec. 4.2.2.
 import pytest
 
 from repro.faults.faults import AppCrashWithCleanup, AppHang
+from repro.scenarios.options import RunOptions
 from repro.scenarios.runner import run_failover_experiment
 from repro.sim.core import seconds
 from repro.sttcp.config import SttcpConfig
@@ -19,8 +20,8 @@ def hang_result():
     """Scenario 1: primary app crashes, socket NOT closed (no FIN)."""
     return run_failover_experiment(
         lambda tb, sp, sb: AppHang(sp),
-        total_bytes=TOTAL, fault_at_s=1.0, run_until_s=60, seed=5,
-        config=CONFIG)
+        total_bytes=TOTAL, fault_at_s=1.0,
+        options=RunOptions(seed=5, run_until_s=60), config=CONFIG)
 
 
 @pytest.fixture(scope="module")
@@ -28,8 +29,8 @@ def cleanup_result():
     """Scenario 2: OS cleans the app up and closes the socket (FIN)."""
     return run_failover_experiment(
         lambda tb, sp, sb: AppCrashWithCleanup(sp),
-        total_bytes=TOTAL, fault_at_s=1.0, run_until_s=60, seed=5,
-        config=CONFIG)
+        total_bytes=TOTAL, fault_at_s=1.0,
+        options=RunOptions(seed=5, run_until_s=60), config=CONFIG)
 
 
 class TestScenario1NoFin:
@@ -86,8 +87,8 @@ class TestBackupAppFailures:
     def test_backup_hang_primary_goes_non_ft(self):
         result = run_failover_experiment(
             lambda tb, sp, sb: AppHang(sb),
-            total_bytes=TOTAL, fault_at_s=1.0, run_until_s=60, seed=5,
-            config=CONFIG)
+            total_bytes=TOTAL, fault_at_s=1.0,
+            options=RunOptions(seed=5, run_until_s=60), config=CONFIG)
         assert result.stream_intact
         primary = result.testbed.pair.primary
         assert primary.mode == "non-fault-tolerant"
@@ -103,8 +104,8 @@ class TestBackupAppFailures:
         failure and goes non-FT; the client sees nothing."""
         result = run_failover_experiment(
             lambda tb, sp, sb: AppCrashWithCleanup(sb),
-            total_bytes=TOTAL, fault_at_s=1.0, run_until_s=60, seed=5,
-            config=CONFIG)
+            total_bytes=TOTAL, fault_at_s=1.0,
+            options=RunOptions(seed=5, run_until_s=60), config=CONFIG)
         assert result.stream_intact
         backup_events = result.testbed.pair.backup.events
         assert backup_events.has(EventKind.FIN_SUPPRESSED)
@@ -118,8 +119,8 @@ class TestNormalClosureNotDelayed:
         the backup has failed - the FIN is not delayed by MaxDelayFIN'."""
         result = run_failover_experiment(
             lambda tb, sp, sb: AppHang(sp),        # fault far in the future
-            total_bytes=1_000_000, fault_at_s=50.0, run_until_s=30, seed=5,
-            config=CONFIG)
+            total_bytes=1_000_000, fault_at_s=50.0,
+            options=RunOptions(seed=5, run_until_s=30), config=CONFIG)
         client = result.client
         assert client.received == 1_000_000
         # The whole exchange, including close, finished long before

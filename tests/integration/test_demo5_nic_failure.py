@@ -8,6 +8,7 @@ survives; the servers use HB progress counters and gateway pings to decide
 import pytest
 
 from repro.faults.faults import CableCut, NicFailure
+from repro.scenarios.options import RunOptions
 from repro.scenarios.runner import run_failover_experiment
 from repro.sim.core import seconds
 from repro.sttcp.events import EventKind
@@ -19,14 +20,16 @@ TOTAL = 30_000_000
 def primary_nic_result():
     return run_failover_experiment(
         lambda tb, sp, sb: NicFailure(tb.primary.nics[0]),
-        total_bytes=TOTAL, fault_at_s=1.0, run_until_s=60, seed=6)
+        total_bytes=TOTAL, fault_at_s=1.0,
+        options=RunOptions(seed=6, run_until_s=60))
 
 
 @pytest.fixture(scope="module")
 def backup_nic_result():
     return run_failover_experiment(
         lambda tb, sp, sb: NicFailure(tb.backup.nics[0]),
-        total_bytes=TOTAL, fault_at_s=1.0, run_until_s=60, seed=6)
+        total_bytes=TOTAL, fault_at_s=1.0,
+        options=RunOptions(seed=6, run_until_s=60))
 
 
 class TestPrimaryNicFailure:
@@ -75,7 +78,8 @@ class TestBackupNicFailure:
 def test_cable_cut_equivalent_to_nic_failure():
     result = run_failover_experiment(
         lambda tb, sp, sb: CableCut(tb.primary_cable),
-        total_bytes=TOTAL, fault_at_s=1.0, run_until_s=60, seed=6)
+        total_bytes=TOTAL, fault_at_s=1.0,
+        options=RunOptions(seed=6, run_until_s=60))
     assert result.stream_intact
     assert result.testbed.pair.backup.events.has(EventKind.NIC_FAILURE_DETECTED)
 

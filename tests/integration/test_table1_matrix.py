@@ -5,6 +5,7 @@ import pytest
 
 from repro.faults.faults import (AppCrashWithCleanup, AppHang, HwCrash,
                                  NicFailure)
+from repro.scenarios.options import RunOptions
 from repro.scenarios.runner import run_failover_experiment
 from repro.sim.core import seconds
 from repro.sttcp.config import SttcpConfig
@@ -38,8 +39,9 @@ MATRIX = [
                          MATRIX, ids=[m[0] for m in MATRIX])
 def test_single_failure_masked_and_classified(row_id, fault, kind, recovery):
     result = run_failover_experiment(fault, total_bytes=TOTAL,
-                                     fault_at_s=1.0, run_until_s=60,
-                                     seed=3, config=CONFIG)
+                                     fault_at_s=1.0,
+                                     options=RunOptions(seed=3, run_until_s=60),
+                                     config=CONFIG)
     # The ST-TCP guarantee: the client never notices a single failure.
     assert result.stream_intact, f"{row_id}: stream damaged"
     pair = result.testbed.pair

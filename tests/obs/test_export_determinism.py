@@ -11,14 +11,15 @@ import json
 from repro.faults.faults import HwCrash
 from repro.obs.export import OBS_LEVELS, ObsSession, describe_frame, \
     jsonl_line
+from repro.scenarios.options import RunOptions
 from repro.scenarios.runner import run_failover_experiment
 
 
 def run_small(obs_level, seed=7):
     return run_failover_experiment(
         lambda tb, sp, sb: HwCrash(tb.primary),
-        total_bytes=200_000, fault_at_s=0.5, run_until_s=5,
-        seed=seed, obs_level=obs_level)
+        total_bytes=200_000, fault_at_s=0.5,
+        options=RunOptions(seed=seed, run_until_s=5, obs_level=obs_level))
 
 
 def test_same_seed_runs_export_byte_identical(tmp_path):

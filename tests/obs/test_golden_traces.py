@@ -24,14 +24,15 @@ GOLDEN_DIR = pathlib.Path(__file__).resolve().parent.parent / "goldens"
 GOLDEN_ARTIFACTS = ("frames.jsonl", "tcp_timeline.jsonl")
 
 
-def _failover(tmp_path):
+def _failover(tmp_path, cc=None):
     from repro.faults.faults import HwCrash
+    from repro.scenarios.options import RunOptions
     from repro.scenarios.runner import run_failover_experiment
 
     result = run_failover_experiment(
         lambda tb, sp, sb: HwCrash(tb.primary),
-        total_bytes=60_000, fault_at_s=0.5, run_until_s=3,
-        seed=7, obs_level="frames")
+        total_bytes=60_000, fault_at_s=0.5,
+        options=RunOptions(seed=7, run_until_s=3, obs_level="frames", cc=cc))
     return result.obs.write(tmp_path)
 
 
@@ -90,3 +91,14 @@ def test_exports_match_committed_goldens(name, tmp_path):
             pytest.fail(
                 f"{name}/{artifact} length diverges from golden "
                 f"({len(want_lines)} golden rows vs {len(got_lines)} got)")
+
+
+def test_explicit_reno_matches_default_goldens(tmp_path):
+    """``cc="reno"`` is the default spelled out: selecting it explicitly
+    must leave every committed golden byte-identical (the congestion-
+    control refactor's A/B guarantee — no behaviour drift, and no ``cc``
+    field leaking onto the default timeline)."""
+    paths = _failover(tmp_path, cc="reno")
+    for artifact in GOLDEN_ARTIFACTS:
+        golden = GOLDEN_DIR / "failover-hwcrash-seed7" / artifact
+        assert pathlib.Path(paths[artifact]).read_bytes() == golden.read_bytes()

@@ -1,9 +1,15 @@
-"""Hypothesis invariants for Reno congestion control and RTT estimation."""
+"""Hypothesis invariants for the congestion-control machines and RTT
+estimation.  Every registered algorithm must honour the window-floor
+invariants; the per-algorithm properties pin the behaviours the
+CC-identification scenario keys on (docs/congestion.md)."""
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.sim.core import millis, seconds
-from repro.tcp.congestion import RenoCongestionControl
+from repro.tcp.congestion import (RenoCongestionControl,
+                                  TahoeCongestionControl, cc_names,
+                                  make_congestion_control)
 from repro.tcp.rtt import RttEstimator
 
 MSS = 1460
@@ -17,13 +23,25 @@ events = st.lists(
     min_size=1, max_size=100)
 
 
-@given(events)
-@settings(max_examples=200)
-def test_cwnd_always_positive_and_ssthresh_floor(sequence):
-    cc = RenoCongestionControl(MSS)
+class TickClock:
+    """Deterministic virtual clock: one fixed step per event."""
+
+    def __init__(self, step_ns=1_000_000):
+        self.now = 0
+        self.step_ns = step_ns
+
+    def tick(self):
+        self.now += self.step_ns
+
+
+def drive(cc, sequence, clock=None):
+    """Feed an abstract (kind, arg) event sequence into a CC machine the
+    way the connection would, yielding the machine after every event."""
     snd_una = 0
     snd_nxt = 20 * MSS
     for kind, arg in sequence:
+        if clock is not None:
+            clock.tick()
         if kind == "ack":
             snd_una += arg
             snd_nxt = max(snd_nxt, snd_una)
@@ -32,10 +50,88 @@ def test_cwnd_always_positive_and_ssthresh_floor(sequence):
             cc.on_dupack(max(snd_nxt - snd_una, MSS), snd_nxt)
         else:
             cc.on_timeout(max(snd_nxt - snd_una, MSS))
+        yield cc
+
+
+@pytest.mark.parametrize("name", cc_names())
+@given(events)
+@settings(max_examples=100)
+def test_cwnd_always_positive_and_ssthresh_floor(name, sequence):
+    """Every registered algorithm: cwnd never drops below one MSS,
+    ssthresh never below two, and send_window is an exact min()."""
+    clock = TickClock()
+    cc = make_congestion_control(name, MSS, clock=clock)
+    for cc in drive(cc, sequence, clock):
         assert cc.cwnd >= MSS
         assert cc.ssthresh >= 2 * MSS
         assert cc.send_window(10 ** 9) == cc.cwnd
         assert cc.send_window(0) == 0
+
+
+@pytest.mark.parametrize("name", cc_names())
+@given(events)
+@settings(max_examples=60)
+def test_loss_event_is_multiplicative_decrease(name, sequence):
+    """Any loss event (third dupack or RTO) must leave ssthresh at no
+    more than the larger of the pre-loss cwnd and flight: multiplicative
+    decrease, whatever the factor (0.5 for the Reno family, 0.7 for
+    CUBIC)."""
+    clock = TickClock()
+    cc = make_congestion_control(name, MSS, clock=clock)
+    snd_una = 0
+    snd_nxt = 20 * MSS
+    for kind, arg in sequence:
+        clock.tick()
+        before = cc.cwnd
+        retrans = cc.fast_retransmits + cc.timeouts
+        if kind == "ack":
+            snd_una += arg
+            snd_nxt = max(snd_nxt, snd_una)
+            cc.on_new_ack(arg, snd_una)
+        else:
+            flight = max(snd_nxt - snd_una, MSS)
+            if kind == "dupack":
+                cc.on_dupack(flight, snd_nxt)
+            else:
+                cc.on_timeout(flight)
+            if cc.fast_retransmits + cc.timeouts > retrans:
+                assert cc.ssthresh <= max(before, flight, 2 * MSS)
+
+
+@given(events)
+@settings(max_examples=100)
+def test_tahoe_never_inflates_after_fast_retransmit(sequence):
+    """Tahoe has no fast recovery: between a fast retransmit and the next
+    new ack, cwnd stays pinned at one MSS no matter how many further
+    dupacks arrive."""
+    cc = TahoeCongestionControl(MSS)
+    awaiting = False
+    for i, (kind, arg) in enumerate(sequence):
+        rtx_before = cc.fast_retransmits
+        next(drive(cc, [(kind, arg)]))
+        if kind == "ack":
+            awaiting = False
+        elif kind == "timeout":
+            awaiting = False
+        elif cc.fast_retransmits > rtx_before:
+            awaiting = True
+        if awaiting and kind == "dupack":
+            assert cc.cwnd == MSS
+
+
+@given(events)
+@settings(max_examples=100)
+def test_cubic_is_deterministic_per_virtual_clock(sequence):
+    """Equal event sequences against equal virtual clocks give equal
+    window trajectories — the property the identification scenario (and
+    the warm-snapshot campaign path) depends on."""
+    def trajectory():
+        clock = TickClock()
+        cc = make_congestion_control("cubic", MSS, clock=clock)
+        return [(c.cwnd, c.ssthresh, c.in_fast_recovery)
+                for c in drive(cc, sequence, clock)]
+
+    assert trajectory() == trajectory()
 
 
 @given(st.lists(st.integers(min_value=0, max_value=int(2e9)),

@@ -1,11 +1,13 @@
 """Tests for the non-ST-TCP hot-standby baseline (Demo 1's comparison)."""
 
+from repro.scenarios.options import RunOptions
 from repro.scenarios.runner import run_baseline_failover
 
 
 def test_baseline_client_recovers_by_reconnecting():
     result = run_baseline_failover(total_bytes=20_000_000, fault_at_s=1.0,
-                                   run_until_s=40, liveness_timeout_s=2.0)
+                                   liveness_timeout_s=2.0,
+                                   options=RunOptions(run_until_s=40))
     client = result.client
     assert client.received == 20_000_000
     assert client.completed_at is not None
@@ -15,7 +17,8 @@ def test_baseline_client_recovers_by_reconnecting():
 
 def test_baseline_disruption_includes_app_timeout():
     result = run_baseline_failover(total_bytes=20_000_000, fault_at_s=1.0,
-                                   run_until_s=40, liveness_timeout_s=2.0)
+                                   liveness_timeout_s=2.0,
+                                   options=RunOptions(run_until_s=40))
     # The client cannot even start recovering before its liveness timeout:
     # the disruption is at least that long.
     assert result.disruption_ns >= 2_000_000_000
@@ -23,6 +26,7 @@ def test_baseline_disruption_includes_app_timeout():
 
 def test_baseline_without_failure_completes_without_reconnect():
     result = run_baseline_failover(total_bytes=5_000_000, fault_at_s=30.0,
-                                   run_until_s=20, liveness_timeout_s=2.0)
+                                   liveness_timeout_s=2.0,
+                                   options=RunOptions(run_until_s=20))
     assert result.client.received == 5_000_000
     assert result.client.reconnect_count == 0

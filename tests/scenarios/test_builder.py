@@ -62,7 +62,7 @@ def test_power_strip_reaches_all_hosts():
 
 
 def test_baseline_testbed_has_no_sttcp():
-    tb = build_testbed(seed=1, enable_sttcp=False)
+    tb = build_testbed(seed=1, mode="baseline")
     assert tb.pair is None
     assert tb.serial_link is None
 

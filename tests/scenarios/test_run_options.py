@@ -1,16 +1,18 @@
 """The unified RunOptions surface and the redesigned builder parameters.
 
-These pin the API contract of the redesign: ``options=RunOptions(...)``
-is the one knob surface, the old per-runner keywords still override it
-(back-compat shims), ``build_testbed(mode=...)`` replaces the boolean
-``enable_sttcp``, and multi-client testbeds get a generated address plan.
+These pin the API contract post-redesign: ``options=RunOptions(...)`` is
+the one knob surface (the pre-``RunOptions`` per-keyword shims are gone),
+``build_testbed(mode=...)`` takes only the mode *strings*, multi-client
+testbeds get a generated address plan, and the congestion-control
+algorithm rides on ``RunOptions.cc`` / ``build_testbed(cc=...)`` all the
+way into every TCP endpoint (see docs/congestion.md).
 """
 
 import pytest
 
 from repro.faults.faults import HwCrash
 from repro.scenarios import (DEFAULT_TRACE_CATEGORIES, LoggerAttachment,
-                             RunOptions, build_testbed, resolve_run_options,
+                             RunOptions, build_testbed,
                              run_baseline_failover, run_failover_experiment)
 
 
@@ -22,6 +24,7 @@ def test_run_options_defaults():
     assert opts.run_until_s == 60.0
     assert opts.obs_level is None
     assert opts.check is False
+    assert opts.cc is None
     assert opts.trace_categories == DEFAULT_TRACE_CATEGORIES
 
 
@@ -30,27 +33,25 @@ def test_run_options_rejects_bad_obs_level():
         RunOptions(obs_level="everything")
 
 
+def test_run_options_rejects_unknown_cc():
+    with pytest.raises(ValueError):
+        RunOptions(cc="vegas")
+
+
 def test_with_copies_and_replaces():
     opts = RunOptions(seed=1)
-    changed = opts.with_(seed=9, check=True)
-    assert (changed.seed, changed.check) == (9, True)
-    assert (opts.seed, opts.check) == (1, False)  # original untouched
+    changed = opts.with_(seed=9, check=True, cc="cubic")
+    assert (changed.seed, changed.check, changed.cc) == (9, True, "cubic")
+    assert (opts.seed, opts.check, opts.cc) == (1, False, None)
 
 
-def test_resolve_legacy_keywords_override_options():
-    opts = RunOptions(seed=1, run_until_s=10.0)
-    merged = resolve_run_options(opts, seed=7, run_until_s=None,
-                                 obs_level="counters", check=None)
-    assert merged.seed == 7                 # explicitly passed -> wins
-    assert merged.run_until_s == 10.0       # not passed -> options kept
-    assert merged.obs_level == "counters"
-    assert merged.check is False
-
-
-def test_resolve_without_options_uses_defaults():
-    merged = resolve_run_options(None, seed=None, check=True)
-    assert merged.seed == RunOptions().seed
-    assert merged.check is True
+def test_legacy_per_runner_keywords_are_gone():
+    """The pre-RunOptions shims were retired: passing the old keywords
+    must fail loudly instead of being silently merged."""
+    with pytest.raises(TypeError):
+        run_failover_experiment(
+            lambda tb, sp, sb: HwCrash(tb.primary),
+            total_bytes=100_000, fault_at_s=0.5, seed=5, run_until_s=5.0)
 
 
 def test_runner_accepts_options_object():
@@ -62,18 +63,44 @@ def test_runner_accepts_options_object():
     assert result.testbed.world.sim.now == 5_000_000_000
 
 
+# ------------------------------------------------------------------- cc
+
+def test_options_cc_reaches_every_endpoint():
+    result = run_failover_experiment(
+        lambda tb, sp, sb: HwCrash(tb.primary),
+        total_bytes=100_000, fault_at_s=0.5,
+        options=RunOptions(seed=5, run_until_s=5.0, cc="cubic"))
+    assert result.stream_intact
+    for host in (result.testbed.primary, result.testbed.backup,
+                 result.testbed.client):
+        assert host.tcp.config.cc == "cubic"
+        for conn in host.tcp.connections:
+            assert conn.cc.name == "cubic"
+
+
+def test_builder_cc_sets_tcp_config():
+    tb = build_testbed(seed=1, cc="tahoe")
+    assert tb.primary.tcp.config.cc == "tahoe"
+    assert tb.client.tcp.config.cc == "tahoe"
+
+
+def test_builder_rejects_unknown_cc():
+    with pytest.raises(ValueError):
+        build_testbed(seed=1, cc="vegas")
+
+
 # ----------------------------------------------------------------- mode
 
-def test_mode_baseline_matches_enable_sttcp_false():
-    via_mode = build_testbed(seed=1, mode="baseline")
-    via_bool = build_testbed(seed=1, enable_sttcp=False)
-    assert via_mode.pair is None and via_bool.pair is None
-    assert via_mode.serial_link is None
+def test_mode_baseline_builds_without_pair():
+    tb = build_testbed(seed=1, mode="baseline")
+    assert tb.pair is None
+    assert tb.serial_link is None
 
 
-def test_mode_accepts_bool_for_back_compat():
-    assert build_testbed(seed=1, mode=True).pair is not None
-    assert build_testbed(seed=1, mode=False).pair is None
+def test_mode_rejects_non_string():
+    """The bool-mode back-compat shim was retired with the redesign."""
+    with pytest.raises(ValueError):
+        build_testbed(seed=1, mode=True)
 
 
 def test_mode_rejects_unknown_string():
@@ -128,9 +155,9 @@ def test_add_logger_returns_named_result():
 def test_baseline_export_carries_fault_marker():
     """Regression: the baseline runner used to finalize its ObsSession
     without a timeline, so baseline exports lacked the fault instant."""
-    result = run_baseline_failover(total_bytes=100_000, fault_at_s=0.5,
-                                   run_until_s=8, seed=4,
-                                   obs_level="counters")
+    result = run_baseline_failover(
+        total_bytes=100_000, fault_at_s=0.5,
+        options=RunOptions(seed=4, run_until_s=8, obs_level="counters"))
     assert result.timeline is not None
     assert result.timeline.fault_at == 500_000_000
     gauges = result.obs.metrics.snapshot()["gauges"]

@@ -1,12 +1,32 @@
-"""Unit tests for Reno congestion control."""
+"""Unit tests for the congestion-control machines and their registry."""
 
-from repro.tcp.congestion import RenoCongestionControl
+import pytest
+
+from repro.tcp.congestion import (CC_ALGORITHMS, CubicCongestionControl,
+                                  NewRenoCongestionControl,
+                                  RenoCongestionControl,
+                                  TahoeCongestionControl, cc_names,
+                                  make_congestion_control,
+                                  register_congestion_control)
 
 MSS = 1000
 
 
+class FakeClock:
+    """Stand-in for the simulator: just a settable ``now`` (ns)."""
+
+    def __init__(self, now=0):
+        self.now = now
+
+
 def make(iw=10):
     return RenoCongestionControl(MSS, initial_window_segments=iw)
+
+
+def enter_recovery(cc, flight=8 * MSS):
+    for _ in range(3):
+        cc.on_dupack(flight, snd_nxt=flight)
+    assert cc.in_fast_recovery or isinstance(cc, TahoeCongestionControl)
 
 
 def test_initial_window():
@@ -128,3 +148,189 @@ def test_bad_mss_rejected():
     import pytest
     with pytest.raises(ValueError):
         RenoCongestionControl(0)
+
+
+# ------------------------------------------------------------------ Tahoe
+
+def test_tahoe_collapses_to_one_mss_on_third_dupack():
+    cc = TahoeCongestionControl(MSS, initial_window_segments=10)
+    flight = 8 * MSS
+    assert not cc.on_dupack(flight, snd_nxt=flight)
+    assert not cc.on_dupack(flight, snd_nxt=flight)
+    assert cc.on_dupack(flight, snd_nxt=flight)
+    assert cc.cwnd == MSS
+    assert cc.ssthresh == flight // 2
+    assert cc.fast_retransmits == 1
+
+
+def test_tahoe_ignores_dupacks_until_new_ack():
+    """No fast-recovery inflation: post-retransmit dupacks are stale."""
+    cc = TahoeCongestionControl(MSS, initial_window_segments=10)
+    flight = 8 * MSS
+    for _ in range(3):
+        cc.on_dupack(flight, snd_nxt=flight)
+    for _ in range(5):
+        assert not cc.on_dupack(flight, snd_nxt=flight)
+        assert cc.cwnd == MSS               # never inflates
+    cc.on_new_ack(MSS, snd_una=flight)      # retransmission acked
+    assert cc.cwnd == 2 * MSS               # slow start resumes
+
+
+def test_tahoe_timeout_clears_await_flag():
+    cc = TahoeCongestionControl(MSS, initial_window_segments=10)
+    flight = 8 * MSS
+    for _ in range(3):
+        cc.on_dupack(flight, snd_nxt=flight)
+    cc.on_timeout(flight)
+    # A fresh dupack burst after the RTO counts again.
+    for _ in range(2):
+        assert not cc.on_dupack(flight, snd_nxt=flight)
+    assert cc.on_dupack(flight, snd_nxt=flight)
+
+
+# ---------------------------------------------------------------- NewReno
+
+def test_newreno_partial_ack_requests_retransmit():
+    cc = NewRenoCongestionControl(MSS, initial_window_segments=10)
+    flight = 8 * MSS
+    for _ in range(3):
+        cc.on_dupack(flight, snd_nxt=flight)
+    assert cc.in_fast_recovery
+    # Partial ack: below the recovery point -> retransmit the next hole.
+    assert cc.on_new_ack(2 * MSS, snd_una=2 * MSS) is True
+    assert cc.in_fast_recovery
+    assert cc.partial_retransmits == 1
+    # Full ack: exit, no retransmit.
+    assert cc.on_new_ack(flight - 2 * MSS, snd_una=flight) is False
+    assert not cc.in_fast_recovery
+    assert cc.cwnd == cc.ssthresh
+
+
+def test_newreno_partial_ack_deflates_by_amount_acked():
+    cc = NewRenoCongestionControl(MSS, initial_window_segments=10)
+    flight = 8 * MSS
+    for _ in range(3):
+        cc.on_dupack(flight, snd_nxt=flight)
+    cwnd = cc.cwnd
+    cc.on_new_ack(2 * MSS, snd_una=2 * MSS)
+    assert cc.cwnd == max(cc.ssthresh, cwnd - 2 * MSS + MSS)
+
+
+def test_reno_partial_ack_never_requests_retransmit():
+    """The historical behaviour NewReno improves on: Reno deflates but
+    waits for more dupacks (or the RTO) to fill the next hole."""
+    cc = make(iw=10)
+    flight = 8 * MSS
+    for _ in range(3):
+        cc.on_dupack(flight, snd_nxt=flight)
+    assert cc.on_new_ack(2 * MSS, snd_una=2 * MSS) is False
+    assert cc.in_fast_recovery
+
+
+# ------------------------------------------------------------------ CUBIC
+
+def test_cubic_loss_deflates_by_beta():
+    cc = CubicCongestionControl(MSS, initial_window_segments=10,
+                                clock=FakeClock())
+    flight = 10 * MSS
+    for _ in range(3):
+        cc.on_dupack(flight, snd_nxt=flight)
+    assert cc.ssthresh == int(10 * MSS * 0.7)
+    assert cc.cwnd == cc.ssthresh + 3 * MSS
+
+
+def test_cubic_window_tracks_virtual_clock():
+    """After recovery the window follows W(t): flat near the plateau,
+    then convex growth — driven purely by the supplied clock."""
+    clock = FakeClock()
+    cc = CubicCongestionControl(MSS, initial_window_segments=10, clock=clock)
+    flight = 10 * MSS
+    for _ in range(3):
+        cc.on_dupack(flight, snd_nxt=flight)
+    cc.on_new_ack(flight, snd_una=flight)       # exit recovery, new epoch
+    w_exit = cc.cwnd
+    # Immediately after the epoch starts the curve is below W_max: acks
+    # grow the window toward it but never past the plateau this early.
+    cc.on_new_ack(MSS, snd_una=11 * MSS)
+    assert w_exit <= cc.cwnd <= int(cc._w_max * MSS) + MSS
+    # Far beyond K the cubic term dominates: the window beats W_max.
+    clock.now += 20_000_000_000  # +20 virtual seconds
+    for off in range(12, 40):
+        cc.on_new_ack(MSS, snd_una=off * MSS)
+    assert cc.cwnd > int(cc._w_max * MSS)
+
+
+def test_cubic_is_deterministic_for_equal_clock_sequences():
+    def run():
+        clock = FakeClock()
+        cc = CubicCongestionControl(MSS, initial_window_segments=10,
+                                    clock=clock)
+        trace = []
+        flight = 10 * MSS
+        for step in range(50):
+            clock.now += 30_000_000  # 30 virtual ms per step
+            if step in (17, 18, 19):
+                cc.on_dupack(flight, snd_nxt=flight)
+            else:
+                cc.on_new_ack(MSS, snd_una=step * MSS)
+            trace.append((cc.cwnd, cc.ssthresh, cc.in_fast_recovery))
+        return trace
+
+    assert run() == run()
+
+
+# --------------------------------------------------------------- registry
+
+def test_registry_contains_all_four():
+    assert cc_names() == ("cubic", "newreno", "reno", "tahoe")
+
+
+def test_make_congestion_control_dispatches():
+    for name, cls in CC_ALGORITHMS.items():
+        cc = make_congestion_control(name, MSS, 4, clock=FakeClock())
+        assert isinstance(cc, cls)
+        assert cc.name == name
+        assert cc.cwnd == 4 * MSS
+
+
+def test_make_unknown_name_raises():
+    with pytest.raises(ValueError, match="vegas"):
+        make_congestion_control("vegas", MSS)
+
+
+def test_register_rejects_duplicates_and_non_subclasses():
+    with pytest.raises(ValueError):
+        register_congestion_control("reno", RenoCongestionControl)
+    with pytest.raises(TypeError):
+        register_congestion_control("notacc", dict)
+
+
+def test_export_state_is_stable_surface():
+    for name in cc_names():
+        state = make_congestion_control(name, MSS).export_state()
+        assert state["cc"] == name
+        for key in ("cwnd", "ssthresh", "in_fast_recovery",
+                    "fast_retransmits", "timeouts"):
+            assert key in state
+
+
+# ----------------------------------------- recovery-exit dupack regression
+
+@pytest.mark.parametrize("name", ["reno", "newreno", "cubic"])
+def test_dupacks_reset_on_recovery_exit(name):
+    """Regression: ``dupacks`` survived a full-ack recovery exit, so a
+    dupack burst straddling the exit could re-trigger fast retransmit one
+    dupack early.  ``on_exit_recovery`` must zero the counter."""
+    cc = make_congestion_control(name, MSS, 10, clock=FakeClock())
+    flight = 8 * MSS
+    for _ in range(3):
+        cc.on_dupack(flight, snd_nxt=flight)
+    assert cc.in_fast_recovery
+    cc.on_new_ack(flight, snd_una=flight)     # full ack: exit recovery
+    assert not cc.in_fast_recovery
+    assert cc.dupacks == 0
+    # Two post-exit dupacks must NOT re-trigger; the third must.
+    assert not cc.on_dupack(flight, snd_nxt=2 * flight)
+    assert not cc.on_dupack(flight, snd_nxt=2 * flight)
+    assert cc.on_dupack(flight, snd_nxt=2 * flight)
+    assert cc.fast_retransmits == 2

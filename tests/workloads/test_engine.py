@@ -11,6 +11,7 @@ Covers the two acceptance properties of the workload subsystem:
   violations (the oracle is attached for the whole run).
 """
 
+from repro.scenarios.options import RunOptions
 from repro.workloads import WorkloadSpec, run_workload_failover
 
 
@@ -20,8 +21,10 @@ def run_small(seed, kind="stream", obs_level=None, check=False,
                         bytes_per_conn=30_000, kv_ops=5,
                         mean_interarrival_s=0.01)
     return run_workload_failover(spec, num_clients=num_clients,
-                                 fault_at_s=0.5, seed=seed, run_until_s=10,
-                                 obs_level=obs_level, check=check)
+                                 fault_at_s=0.5,
+                                 options=RunOptions(seed=seed, run_until_s=10,
+                                                    obs_level=obs_level,
+                                                    check=check))
 
 
 # ------------------------------------------------------------- determinism
