@@ -72,15 +72,24 @@ def run_workload(params: dict, seed: int = 3) -> dict:
     from repro.scenarios.options import RunOptions
     from repro.workloads import WorkloadSpec, run_workload_failover
 
+    from repro.sim import gcctl
+
     spec = WorkloadSpec(kind="stream",
                         connections=params["connections"],
                         bytes_per_conn=params["bytes_per_conn"],
                         mean_interarrival_s=params["mean_interarrival_s"])
+    # Freeze the import graph *outside* the timed window so the runner's
+    # gc_freeze collect below only scans the fresh testbed, not the
+    # whole interpreter heap.
+    gcctl.freeze_baseline()
     start = time.perf_counter()
     result = run_workload_failover(
         spec, num_clients=params["num_clients"],
         fault_at_s=params["fault_at_s"],
-        options=RunOptions(seed=seed, run_until_s=params["run_until_s"]),
+        # gc_freeze: the bench process exits after measuring, so the
+        # testbed graph is frozen out of every safe-point collection.
+        options=RunOptions(seed=seed, run_until_s=params["run_until_s"],
+                           gc_freeze=True),
         egress_filtering=params.get("egress_filtering", False))
     wall_s = time.perf_counter() - start
     sim = result.testbed.world.sim
@@ -99,8 +108,77 @@ def run_workload(params: dict, seed: int = 3) -> dict:
 
 def measure(params: dict, repeats: int = 2) -> dict:
     """Best-of-N timing (the kernel is deterministic; wall clock is not)."""
-    runs = [run_workload(params) for _ in range(repeats)]
+    from repro.sim import gcctl
+
+    runs = []
+    for _ in range(repeats):
+        runs.append(run_workload(params))
+        # Each run froze its testbed into the permanent generation
+        # (gc_freeze); thaw between repeats so dead testbeds are
+        # reclaimed instead of accumulating for the process lifetime.
+        gcctl.thaw_baseline()
     return min(runs, key=lambda r: r["wall_s"])
+
+
+def run_churn_probe(params: dict, seed: int = 3) -> dict:
+    """One *instrumented* (untimed) run: the memory-churn dimension.
+
+    Runs the same workload under ``tracemalloc`` and reports what the
+    allocator saw per processed event.  ``net_blocks_per_event`` is the
+    growth of ``sys.getallocatedblocks()`` across the run divided by the
+    event count — with the recycle pools and GC orchestration working it
+    amortizes the one-time testbed build to a small constant, and any
+    per-event retention regression (a holder that stops releasing, a
+    path that stops recycling) shows up as a step.  Peak memory is
+    reported both as tracemalloc's traced high-water mark and the
+    process ``ru_maxrss``.  GC counter deltas and the pool depths ride
+    along for the CI artifact.
+    """
+    import gc
+    import resource
+    import tracemalloc
+
+    from repro.net import pool
+    from repro.scenarios.options import RunOptions
+    from repro.sim import gcctl
+    from repro.workloads import WorkloadSpec, run_workload_failover
+
+    spec = WorkloadSpec(kind="stream",
+                        connections=params["connections"],
+                        bytes_per_conn=params["bytes_per_conn"],
+                        mean_interarrival_s=params["mean_interarrival_s"])
+    pool.clear()
+    gc.collect()
+    gc_before = gcctl.stats()
+    blocks_before = sys.getallocatedblocks()
+    tracemalloc.start()
+    result = run_workload_failover(
+        spec, num_clients=params["num_clients"],
+        fault_at_s=params["fault_at_s"],
+        options=RunOptions(seed=seed, run_until_s=params["run_until_s"]),
+        egress_filtering=params.get("egress_filtering", False))
+    traced_current, traced_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    blocks_after = sys.getallocatedblocks()
+    gc_after = gcctl.stats()
+    events = result.testbed.world.sim.events_processed
+    return {
+        "events": events,
+        "net_blocks_per_event": round(
+            (blocks_after - blocks_before) / max(events, 1), 4),
+        "net_blocks": blocks_after - blocks_before,
+        "traced_peak_kb": traced_peak // 1024,
+        "traced_current_kb": traced_current // 1024,
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "gc_collections": [a - b for a, b in
+                           zip(gc_after["collections"],
+                               gc_before["collections"])],
+        "gc_collected": [a - b for a, b in
+                         zip(gc_after["collected"], gc_before["collected"])],
+        "safe_point_collects": (gc_after["safe_point_collects"]
+                                - gc_before["safe_point_collects"]),
+        "pools": gc_after["pools"],
+    }
 
 
 def seed_trajectory(data: dict) -> list:
@@ -131,6 +209,14 @@ def main(argv=None) -> int:
                         help="exit non-zero if the measured events/sec "
                              "falls below this floor (the CI regression "
                              "gate; calibrate per runner class)")
+    parser.add_argument("--churn", action="store_true",
+                        help="also run the instrumented memory-churn probe "
+                             "(always on for --quick)")
+    parser.add_argument("--churn-ceiling", type=float,
+                        metavar="BLOCKS_PER_EVENT",
+                        help="exit non-zero if net allocated blocks per "
+                             "event exceeds this ceiling (the allocation "
+                             "regression gate; implies the churn probe)")
     args = parser.parse_args(argv)
 
     if args.scaling:
@@ -145,6 +231,13 @@ def main(argv=None) -> int:
                       fault_at_s=0.5, run_until_s=20.0,
                       egress_filtering=True)
     record = measure(params, repeats=args.repeats)
+    want_churn = (args.quick or args.churn or args.record
+                  or args.churn_ceiling is not None)
+    if want_churn:
+        # The churn probe runs *after* (and outside) the timed repeats:
+        # tracemalloc roughly halves throughput, so its run is never the
+        # one that produces events/sec.
+        record["churn"] = run_churn_probe(params)
     print(json.dumps({"workload": params, "result": record}, indent=2))
 
     if args.quick:
@@ -161,11 +254,13 @@ def main(argv=None) -> int:
             print("FAIL: not every connection kept its stream intact",
                   file=sys.stderr)
             return 1
-        return check_floor(record, args.floor)
+        return (check_floor(record, args.floor)
+                or check_churn(record, args.churn_ceiling))
 
     if args.record:
         append_trajectory(args.record, params, record)
-    return check_floor(record, args.floor)
+    return (check_floor(record, args.floor)
+            or check_churn(record, args.churn_ceiling))
 
 
 def check_floor(record: dict, floor: "int | None") -> int:
@@ -173,6 +268,18 @@ def check_floor(record: dict, floor: "int | None") -> int:
     if floor is not None and record["events_per_sec"] < floor:
         print(f"FAIL: {record['events_per_sec']} events/sec is below the "
               f"perf floor of {floor}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def check_churn(record: dict, ceiling: "float | None") -> int:
+    """The allocation regression gate: net blocks/event under ``ceiling``."""
+    if ceiling is None:
+        return 0
+    per_event = record["churn"]["net_blocks_per_event"]
+    if per_event > ceiling:
+        print(f"FAIL: {per_event} net allocated blocks per event exceeds "
+              f"the churn ceiling of {ceiling}", file=sys.stderr)
         return 1
     return 0
 

@@ -69,8 +69,13 @@ def add_sweep_args(parser) -> None:
     parser.add_argument("--profile", metavar="DIR", default=None,
                         help="cProfile every worker and dump one "
                              "worker-<id>.pstats per worker process into "
-                             "DIR (created if missing; inspect with "
-                             "`python -m pstats`)")
+                             "DIR (created if missing); the per-worker "
+                             "dumps are then merged into merged.pstats "
+                             "and printed as one aggregated report")
+    parser.add_argument("--profile-top", type=int, default=25, metavar="N",
+                        help="rows in the aggregated profile report, "
+                             "sorted by cumulative time; 0 suppresses the "
+                             "printed report (default: 25)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-trial progress lines")
 
@@ -153,11 +158,35 @@ def run_sweep(args) -> int:
             fh.write(result.to_jsonl())
         print(f"trial records -> {args.jsonl}")
     if profile_dir:
-        dumps = sorted(glob.glob(os.path.join(profile_dir,
-                                              "worker-*.pstats")))
-        print(f"profiles -> {profile_dir} "
-              f"({len(dumps)} worker stats file(s))")
+        _profile_report(profile_dir, getattr(args, "profile_top", 25))
     return 0 if not result.failed else 1
+
+
+def _profile_report(profile_dir: str, top: int) -> None:
+    """Merge the per-worker pstats dumps into one whole-campaign view.
+
+    Each worker process profiles only its own share of the trials; the
+    merged file (and the printed top-N table, sorted by cumulative time)
+    is the campaign-wide cost ranking — the thing one actually wants when
+    hunting a sweep-level hot spot across N workers.
+    """
+    import pstats
+
+    dumps = sorted(glob.glob(os.path.join(profile_dir, "worker-*.pstats")))
+    if not dumps:
+        print(f"profiles -> {profile_dir} (no worker stats files)")
+        return
+    stats = pstats.Stats(dumps[0], stream=sys.stdout)
+    for dump in dumps[1:]:
+        stats.add(dump)
+    merged = os.path.join(profile_dir, "merged.pstats")
+    stats.dump_stats(merged)
+    print(f"profiles -> {profile_dir} ({len(dumps)} worker stats file(s), "
+          f"merged -> merged.pstats)")
+    if top > 0:
+        print(f"\naggregated profile (all workers, top {top} by "
+              f"cumulative time):")
+        stats.sort_stats("cumulative").print_stats(top)
 
 
 def _fmt_ns(ns) -> str:

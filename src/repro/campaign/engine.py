@@ -39,6 +39,7 @@ from typing import Callable, Optional
 
 from repro.campaign.scenarios import execute_trial
 from repro.campaign.spec import CampaignSpec, TrialSpec, expand
+from repro.sim import gcctl
 
 __all__ = ["CampaignResult", "run_campaign"]
 
@@ -65,7 +66,7 @@ def _gc_batched(every: int = 4):
         nonlocal counter
         counter += 1
         if counter % every == 0:
-            gc.collect()
+            gcctl.collect_full()
 
     try:
         yield tick
@@ -252,6 +253,11 @@ def _worker_main(worker_id: int, inbox, results,
     from repro.campaign import warm as warm_mod
 
     warm_mod.set_enabled(warm_enabled)
+    # The worker's import graph and pool plumbing live until the process
+    # exits: freeze them out of every later collection.  (The in-process
+    # jobs=1 path must NOT freeze — it runs inside a long-lived host
+    # interpreter whose heap it does not own.)
+    gcctl.freeze_baseline()
     with _profiled(profile_dir, worker_id), _gc_batched() as gc_tick:
         while True:
             chunk = inbox.get()

@@ -16,7 +16,13 @@ from __future__ import annotations
 
 from typing import Protocol, runtime_checkable
 
+from bisect import insort
+from heapq import heappush
+
 from repro.net.frame import EthernetFrame
+from repro.net.packet import IPPacket
+from repro.net.pool import FRAME_POOL, release_frame, release_packet
+from repro.sim.core import EventHandle
 from repro.sim.world import World
 
 __all__ = ["Cable", "CableEndpoint"]
@@ -35,8 +41,17 @@ class CableEndpoint(Protocol):
 class Cable:
     """A full-duplex link with bandwidth, latency, loss and cut semantics."""
 
-    # No __slots__: tests stub ``transmit`` on individual cable instances
-    # to model targeted frame drops.
+    # Slots for every regular attribute (the flood sink loop touches
+    # several per cable per frame, and slot loads skip the dict probe),
+    # plus ``__dict__`` so tests can still stub ``transmit`` on individual
+    # cable instances to model targeted frame drops.  A pristine cable's
+    # instance dict stays empty — the switch uses that as a cheap
+    # "nothing stubbed here" test (see ``Switch._forward``).
+    __slots__ = ("_world", "_sim", "_ends", "bandwidth_bps",
+                 "propagation_delay_ns", "_loss_rate", "name", "_rng",
+                 "_cut", "_tx_free_at", "frames_delivered", "frames_lost",
+                 "bytes_delivered", "_deliver_label",
+                 "__dict__", "__weakref__")
 
     def __init__(self, world: World, a: CableEndpoint, b: CableEndpoint,
                  bandwidth_bps: int = 100_000_000,
@@ -52,7 +67,7 @@ class Cable:
         self._ends = (a, b)
         self.bandwidth_bps = bandwidth_bps
         self.propagation_delay_ns = propagation_delay_ns
-        self.loss_rate = loss_rate
+        self._loss_rate = loss_rate
         self.name = name or f"cable:{a.name}<->{b.name}"
         self._rng = world.rng.stream(f"cable.{self.name}")
         self._cut = False
@@ -84,6 +99,23 @@ class Cable:
     # -------------------------------------------------------------- failure
 
     @property
+    def loss_rate(self) -> float:
+        """Independent per-frame drop probability (assignable).
+
+        The setter bumps ``World.net_epoch``: the switch's flood planner
+        pre-classifies clean cables at cache-build time (see
+        ``Switch._build_flood_targets``), so every wire-state mutation —
+        loss, cut, power gates — must invalidate those caches.  Hot paths
+        read the ``_loss_rate`` slot directly.
+        """
+        return self._loss_rate
+
+    @loss_rate.setter
+    def loss_rate(self, rate: float) -> None:
+        self._loss_rate = rate
+        self._world.net_epoch += 1
+
+    @property
     def is_cut(self) -> bool:
         """True while the cable is severed."""
         return self._cut
@@ -91,11 +123,15 @@ class Cable:
     def cut(self) -> None:
         """Sever the cable; all in-flight and future frames are lost."""
         self._cut = True
+        # Wire-state change: invalidate cached flood plans (clean cables
+        # are pre-classified at cache-build time).
+        self._world.net_epoch += 1
         self._world.trace.record("fault", self.name, "cable cut")
 
     def repair(self) -> None:
         """Restore a cut cable."""
         self._cut = False
+        self._world.net_epoch += 1
         self._world.trace.record("fault", self.name, "cable repaired")
 
     # ------------------------------------------------------------- transmit
@@ -105,9 +141,14 @@ class Cable:
 
         Never blocks: queueing is expressed as added delay.  Loss and cuts
         silently drop — exactly what real Ethernet does.
+
+        Claims: the caller's claim on a pooled frame transfers to the
+        cable — it is released when the frame is dropped (cut, loss, cut
+        while in flight) or after the final delivery to the far end.
         """
         if self._cut:
             self.frames_lost += 1
+            release_frame(frame)
             return
         ends = self._ends
         direction = 0 if sender is ends[0] else 1
@@ -120,13 +161,49 @@ class Cable:
         tx_time = (frame.size_bytes * 8 * 1_000_000_000) // self.bandwidth_bps
         self._tx_free_at[direction] = start + tx_time
         arrival_delay = (start - now) + tx_time + self.propagation_delay_ns
-        if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
+        if self._loss_rate > 0.0 and self._rng.random() < self._loss_rate:
             self.frames_lost += 1
             self._world.probes.fire("eth.frame_lost", self.name, "frame lost",
                                     size=frame.size_bytes)
+            release_frame(frame)
             return
-        sim.schedule(arrival_delay, self._deliver, ends[1 - direction], frame,
-                     label=self._deliver_label)
+        # sim.post inlined (keep in sync): deliveries are never cancelled,
+        # so the event record comes from the kernel free list, and this
+        # runs once per unicast frame on the wire — the post() frame plus
+        # *args packing are measurable at fleet scale.
+        time = now + arrival_delay
+        pool = sim._handle_pool
+        if pool:
+            handle = pool.pop()
+            handle.time = time
+            handle.callback = self._deliver
+            handle.args = (ends[1 - direction], frame)
+            handle.label = self._deliver_label
+            handle._fired = False
+        else:
+            handle = EventHandle.__new__(EventHandle)
+            handle.time = time
+            handle.callback = self._deliver
+            handle.args = (ends[1 - direction], frame)
+            handle.label = self._deliver_label
+            handle._cancelled = False
+            handle._fired = False
+            handle._owner = sim
+            handle._pooled = True
+        sim._seq += 1
+        entry = (time, sim._seq, handle)
+        s0 = time >> 12               # == L0_GRAIN_BITS
+        if s0 - sim._cur0 < 1024:     # == WHEEL_SLOTS
+            if s0 != sim._active_slot:
+                bucket = sim._wheel0[s0 & 1023]
+                if not bucket:
+                    heappush(sim._l0_slots, s0)
+                bucket.append(entry)
+            else:
+                insort(sim._active, entry, sim._active_idx)
+        else:
+            sim._route_far(entry, time)
+        sim._size += 1
 
     def plan_transmit(self, sender: CableEndpoint,
                       frame: EthernetFrame) -> "tuple[int, CableEndpoint] | None":
@@ -156,12 +233,15 @@ class Cable:
         tx_time = (frame.size_bytes * 8 * 1_000_000_000) // self.bandwidth_bps
         self._tx_free_at[direction] = start + tx_time
         arrival_delay = (start - now) + tx_time + self.propagation_delay_ns
-        if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
+        if self._loss_rate > 0.0 and self._rng.random() < self._loss_rate:
             self.frames_lost += 1
             self._world.probes.fire("eth.frame_lost", self.name, "frame lost",
                                     size=frame.size_bytes)
             return None
         return arrival_delay, ends[1 - direction]
+
+    # plan_transmit carries NO claim: flood planning keeps the frame's
+    # single claim with the arrival-time group event (see Switch._forward).
 
     def deliver_planned(self, receiver: CableEndpoint,
                         frame: EthernetFrame) -> None:
@@ -172,10 +252,31 @@ class Cable:
     def _deliver(self, receiver: CableEndpoint, frame: EthernetFrame) -> None:
         if self._cut:  # cut while the frame was in flight
             self.frames_lost += 1
+            release_frame(frame)
             return
         self.frames_delivered += 1
         self.bytes_delivered += frame.size_bytes
         receiver.receive_frame(frame)
+        # Delivery complete: drop the wire claim.  Receivers that keep the
+        # frame past this event (switch ingress, deferred CPU processing)
+        # retained their own claim inside receive_frame.  release_frame
+        # inlined (keep in sync): final delivery is usually the last
+        # claim, and this runs once per unicast frame on the wire.
+        claims = frame._claims
+        if claims == 1:
+            frame._claims = 0
+            payload = frame.payload
+            frame.payload = None
+            if len(FRAME_POOL) < 256:  # == FRAME_POOL_MAX
+                FRAME_POOL.append(frame)
+            if type(payload) is IPPacket:
+                pclaims = payload._claims
+                if pclaims > 1:
+                    payload._claims = pclaims - 1
+                elif pclaims:
+                    release_packet(payload)
+        elif claims:
+            frame._claims = claims - 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "CUT" if self._cut else "up"

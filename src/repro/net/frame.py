@@ -46,7 +46,8 @@ class EthernetFrame:
     times per hop.
     """
 
-    __slots__ = ("dst", "src", "ethertype", "payload", "size_bytes")
+    __slots__ = ("dst", "src", "ethertype", "payload", "size_bytes",
+                 "_claims")
 
     def __init__(self, dst: MacAddress, src: MacAddress, ethertype: str,
                  payload: Any):
@@ -54,6 +55,7 @@ class EthernetFrame:
         self.src = src
         self.ethertype = ethertype
         self.payload = payload
+        self._claims = 0  # 0 = GC-owned; >0 = pooled (see repro.net.pool)
         payload_size = getattr(payload, "size_bytes", None)
         if payload_size is None:
             payload_size = len(payload)

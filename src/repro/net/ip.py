@@ -16,6 +16,7 @@ from repro.net.arp import ArpTable
 from repro.net.frame import EtherType, EthernetFrame
 from repro.net.nic import Nic
 from repro.net.packet import IPPacket
+from repro.net.pool import FRAME_POOL, PACKET_POOL, demote_frame
 from repro.sim.world import World
 
 __all__ = ["Interface", "IpStack"]
@@ -23,6 +24,9 @@ __all__ = ["Interface", "IpStack"]
 
 class Interface:
     """A NIC plus its IP configuration (primary address + aliases)."""
+
+    __slots__ = ("_world", "nic", "network", "prefix_len", "addresses",
+                 "addr_values", "arp", "__weakref__")
 
     def __init__(self, world: World, nic: Nic, network: IPAddress,
                  prefix_len: int):
@@ -76,6 +80,14 @@ class IpStack:
     Hosts are end systems, not routers: packets addressed to someone else
     are dropped (counted in :attr:`packets_not_for_us`).
     """
+
+    # Slots for the attributes the per-packet send/receive path reads,
+    # plus ``__dict__`` so tests can still attach instrumentation.
+    __slots__ = ("_world", "name", "interfaces", "_default_gateway",
+                 "_protocols", "_send_cache", "_cache_route_epoch",
+                 "_loopback_label", "_packet_taps", "_promiscuous_taps",
+                 "packets_sent", "packets_received", "packets_not_for_us",
+                 "packets_unroutable", "__dict__", "__weakref__")
 
     def __init__(self, world: World, name: str):
         self._world = world
@@ -171,20 +183,53 @@ class IpStack:
             nic, mac, src_ip = plan
             if nic is None:
                 packet = IPPacket(src or dst, dst, protocol, payload)
-                self._world.sim.call_soon(self._deliver_up, packet,
-                                          label=self._loopback_label)
+                self._world.sim.post(0, self._deliver_up, packet,
+                                     label=self._loopback_label)
                 return
-            packet = IPPacket(src if src is not None else src_ip,
-                              dst, protocol, payload)
             self.packets_sent += 1
-            # Nic.send inlined (keep in sync): one frame per data segment
-            # on an established flow goes through here, so the call frame
-            # plus re-checks are worth skipping.  Unusual NICs (injected
-            # power gate) take the full method.
-            frame = EthernetFrame(mac, nic.mac, EtherType.IPV4, packet)
             if nic._failed or nic._cable is None or not nic.host_up:
                 return
-            if nic.power_gate is not None:
+            # pool.acquire_packet / acquire_frame inlined (keep in sync):
+            # one packet + one frame per data segment on an established
+            # flow goes through here, so the wrappers come from the
+            # recycle pools — no allocator traffic, no call frame.  Both
+            # carry one creator claim that Cable.transmit consumes (it is
+            # released on drop, or after final delivery, cascading
+            # frame -> packet -> segment; see repro.net.pool).
+            payload_size = getattr(payload, "size_bytes", None)
+            if payload_size is None:
+                payload_size = len(payload)
+            if PACKET_POOL:
+                packet = PACKET_POOL.pop()
+                packet.src = src if src is not None else src_ip
+                packet.dst = dst
+                packet.protocol = protocol
+                packet.payload = payload
+                packet.ttl = 64
+                packet.size_bytes = 20 + payload_size  # == IP_HEADER_BYTES
+            else:
+                packet = IPPacket(src if src is not None else src_ip,
+                                  dst, protocol, payload)
+            packet._claims = 1
+            # Nic.send inlined (keep in sync): unusual NICs (injected
+            # power gate) take the full method.
+            if FRAME_POOL:
+                frame = FRAME_POOL.pop()
+                frame.dst = mac
+                frame.src = nic.mac
+                frame.ethertype = EtherType.IPV4
+                frame.payload = packet
+                size = 18 + packet.size_bytes  # == ETHERNET_HEADER_BYTES
+                frame.size_bytes = size if size >= 64 else 64
+            else:
+                frame = EthernetFrame(mac, nic.mac, EtherType.IPV4, packet)
+            frame._claims = 1
+            if "transmit" in nic._cable.__dict__:
+                # Per-instance stubbed transmit (tests drop/duplicate/
+                # reorder frames at will): claim accounting cannot follow
+                # the stub, so the chain leaves the managed regime.
+                demote_frame(frame)
+            if nic._power_gate is not None:
                 nic.send(frame)
                 return
             nic.frames_sent += 1
@@ -258,6 +303,14 @@ class IpStack:
         if type(packet) is not IPPacket and not isinstance(packet, IPPacket):
             return
         if self._promiscuous_taps:
+            # Taps may retain what they observe (the stream logger, test
+            # fixtures keep whole packets): demote the wrapper chain to
+            # GC-owned so the pools never recycle an object a tap saw.
+            if packet._claims:
+                packet._claims = 0
+                inner = packet.payload
+                if getattr(inner, "_claims", 0):
+                    inner._claims = 0
             for tap in self._promiscuous_taps:
                 tap(packet)
         # owns() inlined (keep in sync): once per delivered packet.
@@ -275,6 +328,13 @@ class IpStack:
         # The method itself stays for the loopback/local-delivery events.
         self.packets_received += 1
         if self._packet_taps:
+            # Same demotion as the promiscuous taps above: tap observers
+            # may keep the packet past this event, so it must not recycle.
+            if packet._claims:
+                packet._claims = 0
+                inner = packet.payload
+                if getattr(inner, "_claims", 0):
+                    inner._claims = 0
             for tap in self._packet_taps:
                 tap(packet)
         handler = self._protocols.get(packet.protocol)
@@ -287,6 +347,11 @@ class IpStack:
     def _deliver_up(self, packet: IPPacket) -> None:
         self.packets_received += 1
         if self._packet_taps:
+            if packet._claims:  # tap observers may retain: see receive_frame
+                packet._claims = 0
+                inner = packet.payload
+                if getattr(inner, "_claims", 0):
+                    inner._claims = 0
             for tap in self._packet_taps:
                 tap(packet)
         handler = self._protocols.get(packet.protocol)

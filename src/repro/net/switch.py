@@ -13,12 +13,18 @@ by both the primary's and the backup's NIC (Figure 2 of the paper).
 
 from __future__ import annotations
 
+from bisect import insort
+from heapq import heappush
 from typing import Optional
 
 from repro.net.addresses import MacAddress
 from repro.net.cable import Cable
 from repro.net.frame import EthernetFrame
 from repro.net.nic import Nic
+from repro.net.packet import IPPacket
+from repro.net.pool import (FRAME_POOL, demote_frame, release_frame,
+                            release_packet)
+from repro.sim.core import EventHandle
 from repro.sim.world import World
 
 __all__ = ["Switch", "SwitchPort"]
@@ -76,6 +82,15 @@ class Switch:
     not a transparent optimisation; see docs/scheduler.md.
     """
 
+    # Slots for the attributes the per-frame fabric path reads (plus
+    # ``__dict__`` so tests can still attach whatever they like).
+    __slots__ = ("_world", "name", "forwarding_delay_ns", "egress_filtering",
+                 "ports", "_mac_table", "_mac_by_value", "_mirror_port",
+                 "frames_forwarded", "frames_flooded", "frames_mirrored",
+                 "frames_egress_filtered", "_fwd_label", "_flood_label",
+                 "_flood_cache", "_cache_net_epoch",
+                 "__dict__", "__weakref__")
+
     def __init__(self, world: World, name: str = "switch",
                  forwarding_delay_ns: int = 2_000,
                  egress_filtering: bool = False):
@@ -85,6 +100,11 @@ class Switch:
         self.egress_filtering = egress_filtering
         self.ports: list[SwitchPort] = []
         self._mac_table: dict[MacAddress, SwitchPort] = {}
+        # Demux fast path: the same learned ports keyed by the raw 48-bit
+        # int.  Hashing an int beats calling MacAddress.__hash__/__eq__
+        # (Python-level) once per frame crossing the fabric; _mac_table
+        # is kept in step for the mac_table API.
+        self._mac_by_value: dict[int, SwitchPort] = {}
         # SPAN/mirror port: receives a copy of every forwarded unicast
         # frame.  Used by the old-architecture ablation, where the backup
         # also taps the primary->client traffic (paper Sec. 3).
@@ -119,11 +139,58 @@ class Switch:
         self._mirror_port = port
 
     def _ingress(self, port: SwitchPort, frame: EthernetFrame) -> None:
-        # Learn the source unless it is (bogusly) multicast.
-        if not frame.src.is_multicast:
+        # Learn the source unless it is (bogusly) multicast.  The bit
+        # test and the already-learned check are inlined (keep in sync
+        # with MacAddress.is_multicast): in steady state every frame's
+        # source is known, so this is one int-dict probe per frame.
+        src_value = frame.src._value
+        if not (src_value >> 40) & 0x01 and \
+                self._mac_by_value.get(src_value) is not port:
+            self._mac_by_value[src_value] = port
             self._mac_table[frame.src] = port
-        self._world.sim.schedule(self.forwarding_delay_ns, self._forward,
-                                 port, frame, label=self._fwd_label)
+        # The frame outlives the delivering event (the fabric holds it
+        # until _forward runs), so take the switch's own claim on pooled
+        # frames; _forward settles it (pool.retain inlined).
+        claims = frame._claims
+        if claims:
+            frame._claims = claims + 1
+        # sim.post inlined (keep in sync): forwards are never cancelled,
+        # so the event record comes from the kernel free list, and this
+        # runs once per frame entering the fabric.
+        sim = self._world.sim
+        time = sim._now + self.forwarding_delay_ns
+        pool = sim._handle_pool
+        if pool:
+            handle = pool.pop()
+            handle.time = time
+            handle.callback = self._forward
+            handle.args = (port, frame)
+            handle.label = self._fwd_label
+            handle._fired = False
+        else:
+            handle = EventHandle.__new__(EventHandle)
+            handle.time = time
+            handle.callback = self._forward
+            handle.args = (port, frame)
+            handle.label = self._fwd_label
+            handle._cancelled = False
+            handle._fired = False
+            handle._owner = sim
+            handle._pooled = True
+        sim._seq += 1
+        entry = (time, sim._seq, handle)
+        s0 = time >> 12               # == L0_GRAIN_BITS
+        if s0 - sim._cur0 < 1024:     # == WHEEL_SLOTS
+            if s0 != sim._active_slot:
+                bucket = sim._wheel0[s0 & 1023]
+                if not bucket:
+                    heappush(sim._l0_slots, s0)
+                bucket.append(entry)
+            else:
+                insort(sim._active, entry, sim._active_idx)
+        else:
+            sim._route_far(entry, time)
+        sim._size += 1
 
     def _forward(self, ingress: SwitchPort, frame: EthernetFrame) -> None:
         probes = self._world.probes
@@ -132,43 +199,67 @@ class Switch:
             probes.fire("eth.frame", self.name, frame=frame,
                         ingress=ingress.index)
         dst = frame.dst
-        if not dst.is_multicast:
-            learned = self._mac_table.get(dst)
+        dst_value = dst._value
+        if not (dst_value >> 40) & 0x01:  # is_multicast inlined
+            learned = self._mac_by_value.get(dst_value)
             if learned is not None and learned is not ingress:
                 self.frames_forwarded += 1
                 if probes.wants_map["eth.forward"]:
                     probes.fire("eth.forward", self.name, "forward",
                                 dst=str(dst), port=learned.index)
                 # SwitchPort.transmit inlined (keep in sync): one call
-                # per forwarded unicast frame.
+                # per forwarded unicast frame.  Claims: the fabric's claim
+                # transfers into cable.transmit; a SPAN copy needs its own
+                # (taken *before* the main transmit, which may drop and
+                # recycle the frame).  A stubbed per-instance transmit may
+                # re-send or swallow the frame any number of times, so a
+                # managed frame headed into one is demoted to GC-owned.
                 cable = learned._cable
-                if cable is not None:
-                    cable.transmit(learned, frame)
-                if (self._mirror_port is not None
-                        and self._mirror_port is not learned
-                        and self._mirror_port is not ingress):
+                mirror = self._mirror_port
+                if (mirror is not None and mirror is not learned
+                        and mirror is not ingress):
+                    if frame._claims:
+                        mcable = mirror._cable
+                        if ((cable is not None
+                             and "transmit" in cable.__dict__)
+                                or (mcable is not None
+                                    and "transmit" in mcable.__dict__)):
+                            demote_frame(frame)
+                    if cable is not None:
+                        claims = frame._claims
+                        if claims:
+                            frame._claims = claims + 1
+                        cable.transmit(learned, frame)
                     self.frames_mirrored += 1
-                    self._mirror_port.transmit(frame)
+                    mirror.transmit(frame)
+                elif cable is not None:
+                    if frame._claims and "transmit" in cable.__dict__:
+                        demote_frame(frame)
+                    cable.transmit(learned, frame)
+                else:
+                    release_frame(frame)
                 return
             if learned is ingress:
+                release_frame(frame)
                 return  # destination is on the ingress segment; drop
         # Multicast, broadcast, or unknown unicast: flood (batched).
         self.frames_flooded += 1
         if probes.wants_map["eth.flood"]:
             probes.fire("eth.flood", self.name, "flood", dst=str(dst))
-        if self.egress_filtering:
-            epoch = self._world.net_epoch
-            if epoch != self._cache_net_epoch:
-                self._flood_cache.clear()
-                self._cache_net_epoch = epoch
-            key = (ingress.index, dst._value)
-        else:
-            key = ingress.index
+        # Sink classification below depends on the far-end address
+        # filters, so the cache is destination-keyed and epoch-checked in
+        # both modes (net_epoch covers multicast joins/leaves and
+        # promiscuous flips; topology changes clear the dict directly).
+        epoch = self._world.net_epoch
+        if epoch != self._cache_net_epoch:
+            self._flood_cache.clear()
+            self._cache_net_epoch = epoch
+        key = (ingress.index, dst_value)
         cached = self._flood_cache.get(key)
         if cached is None:
             cached = self._flood_cache[key] = \
                 self._build_flood_targets(ingress, dst)
-        targets, filtered = cached
+        targets, sinks, filtered = cached
         self.frames_egress_filtered += filtered
         # The per-target transmission plan below is Cable.plan_transmit
         # inlined (keep the two in sync) — at fleet scale this loop is the
@@ -176,7 +267,8 @@ class Switch:
         # the wire size out and skip a function call per port.
         sim = self._world.sim
         now = sim._now
-        size_bits_scaled = frame.size_bytes * 8 * 1_000_000_000
+        size = frame.size_bytes
+        size_bits_scaled = size * 8 * 1_000_000_000
         # The fleet's cables share one or two bandwidth classes and (when
         # idle) one arrival time, so consecutive ports almost always repeat
         # the previous port's serialization time and delay group — track
@@ -186,11 +278,18 @@ class Switch:
         last_delay = -1
         group: list = []
         groups: dict[int, list] = {}
-        for port, cable, direction, receiver, free_at, prop, bandwidth, pair \
-                in targets:
-            if "transmit" in cable.__dict__:
+        for port, cable, cdict, direction, receiver, free_at, prop, \
+                bandwidth, pair in targets:
+            if cdict and "transmit" in cdict:
                 # Tests stub transmit on individual cable instances to
-                # model targeted drops; honour the stub per-frame.
+                # model targeted drops, duplicates or reorders; honour the
+                # stub per-frame (``cdict`` is the cable's instance dict,
+                # prefetched at cache-build time — empty on a pristine
+                # cable, see Cable.__slots__).  The stub may forward the
+                # frame zero or several times, so claim accounting cannot
+                # follow it: demote the whole chain to GC-owned first.
+                if frame._claims:
+                    demote_frame(frame)
                 cable.transmit(port, frame)
                 continue
             if cable._cut:
@@ -203,10 +302,10 @@ class Switch:
             start = now if now >= free else free
             free_at[direction] = start + tx_time
             delay = start - now + tx_time + prop
-            if cable.loss_rate > 0.0 and cable._rng.random() < cable.loss_rate:
+            if cable._loss_rate > 0.0 and cable._rng.random() < cable._loss_rate:
                 cable.frames_lost += 1
                 probes.fire("eth.frame_lost", cable.name, "frame lost",
-                            size=frame.size_bytes)
+                            size=size)
                 continue
             if delay != last_delay:
                 g = groups.get(delay)
@@ -215,22 +314,149 @@ class Switch:
                 group = g
                 last_delay = delay
             group.append(pair)
+        # Sink fast lane: ports whose far-end NIC's address filter is
+        # known to reject ``dst``.  Their delivery has no observable
+        # effect beyond counters, so the wire-side effects (FIFO
+        # serialization, loss draw, cut) and the accounting both run
+        # eagerly here and the deliver-then-discard event is skipped
+        # entirely.  Per-cable RNG consumption is unchanged (each cable
+        # appears in exactly one of the two lists).  Anything unusual —
+        # a stubbed transmit, a cut or lossy cable, an injected power
+        # gate — falls back to a real scheduled delivery group.
+        delivered_sinks = 0
+        for cdict, cable, free_at, direction, receiver, bandwidth, odd \
+                in sinks:
+            # One credited sink delivery per iteration: this loop is the
+            # hottest code at fleet scale (a multicast heartbeat floods to
+            # every client port, all of them sinks), so the per-frame
+            # validation is two truthiness tests.  ``odd`` was resolved at
+            # cache-build time (cut / lossy / power-gated); every mutation
+            # of that state bumps ``World.net_epoch`` and rebuilds this
+            # list.  ``cdict`` — the cable's prefetched instance dict,
+            # empty on a pristine cable — covers stubbed ``transmit``,
+            # which tests may install at any moment without a hook.  Both
+            # route through the full-semantics slow path, which re-checks
+            # everything properly.
+            if odd or cdict:
+                self._plan_slow_target(cable, free_at, direction, receiver,
+                                       frame, now, size_bits_scaled, groups)
+                continue
+            if bandwidth != last_bw:
+                tx_time = size_bits_scaled // bandwidth
+                last_bw = bandwidth
+            free = free_at[direction]
+            free_at[direction] = (now if now >= free else free) + tx_time
+            cable.frames_delivered += 1
+            cable.bytes_delivered += size
+            delivered_sinks += 1
+            if receiver.host_up and not receiver._failed:
+                receiver.frames_filtered += 1
+        if delivered_sinks:
+            # The skipped deliveries are still logical events (see
+            # credit_events): throughput metrics stay apples-to-apples.
+            sim.credit_events(delivered_sinks)
+        # Claims settlement for pooled frames: each scheduled group event
+        # owns one claim ( _deliver_flood releases it); the fabric's own
+        # claim covers the first group, extra groups retain, zero groups
+        # release outright.
+        claims = frame._claims
+        if claims:
+            n_groups = len(groups)
+            if n_groups == 0:
+                release_frame(frame)
+            elif n_groups > 1:
+                frame._claims = claims + n_groups - 1
+        # sim.post inlined (keep in sync): one kernel-owned event per
+        # arrival-time group (usually a single group per flooded frame).
+        deliver_flood = self._deliver_flood
+        flood_label = self._flood_label
         for delay, group in groups.items():
-            sim.schedule(delay, self._deliver_flood, group, frame,
-                         label=self._flood_label)
+            time = now + delay
+            pool = sim._handle_pool
+            if pool:
+                handle = pool.pop()
+                handle.time = time
+                handle.callback = deliver_flood
+                handle.args = (group, frame)
+                handle.label = flood_label
+                handle._fired = False
+            else:
+                handle = EventHandle.__new__(EventHandle)
+                handle.time = time
+                handle.callback = deliver_flood
+                handle.args = (group, frame)
+                handle.label = flood_label
+                handle._cancelled = False
+                handle._fired = False
+                handle._owner = sim
+                handle._pooled = True
+            sim._seq += 1
+            entry = (time, sim._seq, handle)
+            s0 = time >> 12           # == L0_GRAIN_BITS
+            if s0 - sim._cur0 < 1024:  # == WHEEL_SLOTS
+                if s0 != sim._active_slot:
+                    bucket = sim._wheel0[s0 & 1023]
+                    if not bucket:
+                        heappush(sim._l0_slots, s0)
+                    bucket.append(entry)
+                else:
+                    insort(sim._active, entry, sim._active_idx)
+            else:
+                sim._route_far(entry, time)
+            sim._size += 1
+
+    def _plan_slow_target(self, cable, free_at, direction, receiver, frame,
+                          now, size_bits_scaled, groups) -> None:
+        """Full wire semantics for a sink that turned unusual after the
+        flood cache was built (stub, cut, loss, power gate): plan the
+        delivery exactly as the main target loop does and append it to the
+        arrival-time groups."""
+        if "transmit" in cable.__dict__:
+            # Honour per-instance stubs; the sender is the switch-port end.
+            # The stub may forward zero or several times: demote first.
+            if frame._claims:
+                demote_frame(frame)
+            cable.transmit(cable._ends[direction], frame)
+            return
+        if cable._cut:
+            cable.frames_lost += 1
+            return
+        tx_time = size_bits_scaled // cable.bandwidth_bps
+        free = free_at[direction]
+        start = now if now >= free else free
+        free_at[direction] = start + tx_time
+        if cable._loss_rate > 0.0 and cable._rng.random() < cable._loss_rate:
+            cable.frames_lost += 1
+            self._world.probes.fire("eth.frame_lost", cable.name,
+                                    "frame lost", size=frame.size_bytes)
+            return
+        delay = start - now + tx_time + cable.propagation_delay_ns
+        g = groups.get(delay)
+        if g is None:
+            groups[delay] = g = []
+        g.append((cable, receiver))
 
     def _build_flood_targets(self, ingress: SwitchPort,
-                             dst: MacAddress) -> tuple[list, int]:
-        """Resolve the egress set for a flood from ``ingress``: every other
-        cabled port as (port, cable, direction, far endpoint, plus the
-        cable's construction-time constants — its ``_tx_free_at`` list,
-        propagation delay and bandwidth — plus a prebuilt (cable,
+                             dst: MacAddress) -> tuple[list, list, int]:
+        """Resolve the egress set for a flood from ``ingress`` as
+        ``(targets, sinks, filtered)``.
+
+        ``targets`` holds every other cabled port whose far end might act
+        on the frame: (port, cable, the cable's instance dict — empty
+        unless a test stubbed something — direction, far endpoint, plus
+        the cable's construction-time constants — its ``_tx_free_at``
+        list, propagation delay and bandwidth — plus a prebuilt (cable,
         receiver) delivery pair, pre-fetched so the per-frame loop skips
-        the attribute lookups and tuple allocation), minus — when
-        :attr:`egress_filtering` is on — ports whose far-end NIC would
-        discard ``dst`` anyway.  Cached by ``_forward``; the filtered
-        count rides along so the counter stays per-frame."""
+        the attribute lookups and tuple allocation).  ``sinks`` holds the
+        ports whose far end is a plain NIC whose address filter rejects
+        ``dst``: their delivery is pure accounting, handled eagerly by
+        ``_forward`` without a scheduled event (filter changes bump
+        ``World.net_epoch``, which invalidates this cache).  When
+        :attr:`egress_filtering` is on, would-be-filtered ports are
+        dropped entirely instead; the filtered count rides along so the
+        counter stays per-frame."""
         targets = []
+        sinks = []
         filtered = 0
         for port in self.ports:
             if port is ingress:
@@ -245,10 +471,24 @@ class Switch:
                 if accepts is not None and not accepts(dst):
                     filtered += 1
                     continue
-            targets.append((port, cable, direction, receiver,
+            if (type(receiver) is Nic and not receiver._promiscuous
+                    and dst._value not in receiver._accept_values):
+                # ``odd`` pre-resolves the cut/lossy/power-gated test: all
+                # three mutate only through hooks that bump World.net_epoch
+                # (Cable.cut/repair, the loss_rate and power_gate property
+                # setters), which rebuilds this cache, so the per-frame
+                # sink loop needs no attribute checks.  Stubbed transmit
+                # has no hook; the loop tests the prefetched instance dict.
+                odd = (cable._cut or cable._loss_rate > 0.0
+                       or receiver._power_gate is not None)
+                sinks.append((cable.__dict__, cable, cable._tx_free_at,
+                              direction, receiver, cable.bandwidth_bps,
+                              odd))
+                continue
+            targets.append((port, cable, cable.__dict__, direction, receiver,
                             cable._tx_free_at, cable.propagation_delay_ns,
                             cable.bandwidth_bps, (cable, receiver)))
-        return targets, filtered
+        return targets, sinks, filtered
 
     def _deliver_flood(self, group: list, frame: EthernetFrame) -> None:
         """Deliver one arrival-time group of a flooded frame.  One
@@ -272,7 +512,7 @@ class Switch:
             # port is worth the duplication.  Anything unusual — custom
             # power gate, promiscuous mode, non-NIC endpoint, or an
             # accepted frame — takes the full method.
-            if type(receiver) is Nic and receiver.power_gate is None \
+            if type(receiver) is Nic and receiver._power_gate is None \
                     and not receiver._promiscuous:
                 if receiver._failed or not receiver.host_up:
                     continue
@@ -280,6 +520,24 @@ class Switch:
                     receiver.frames_filtered += 1
                     continue
             receiver.receive_frame(frame)
+        # All group deliveries ran synchronously above: drop this group
+        # event's claim (receivers that kept the segment retained it).
+        # release_frame inlined (keep in sync): once per flood group.
+        claims = frame._claims
+        if claims == 1:
+            frame._claims = 0
+            payload = frame.payload
+            frame.payload = None
+            if len(FRAME_POOL) < 256:  # == FRAME_POOL_MAX
+                FRAME_POOL.append(frame)
+            if type(payload) is IPPacket:
+                pclaims = payload._claims
+                if pclaims > 1:
+                    payload._claims = pclaims - 1
+                elif pclaims:
+                    release_packet(payload)
+        elif claims:
+            frame._claims = claims - 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Switch {self.name} ports={len(self.ports)}>"

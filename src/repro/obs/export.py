@@ -195,6 +195,17 @@ class ObsSession:
                 "snapshot": self.metrics.snapshot(),
                 "events": self.events}
 
+    @staticmethod
+    def gc_report() -> dict:
+        """Interpreter-GC and recycle-pool counters
+        (:func:`repro.sim.gcctl.stats`).  Process-local wall-clock-ish
+        state — **never** part of the exported artifacts, which must stay
+        byte-identical across runs; callers that want the churn picture
+        (the allocation benchmark, capacity dashboards) fetch it
+        explicitly."""
+        from repro.sim import gcctl
+        return gcctl.stats()
+
     # -------------------------------------------------------------- export
 
     def write(self, out_dir: str) -> dict[str, str]:

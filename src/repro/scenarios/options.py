@@ -53,6 +53,13 @@ class RunOptions:
     ``trace_categories``
         Trace-log category filter handed to the testbed builder
         (``None`` records everything).
+    ``gc_freeze``
+        After the testbed is built (or supplied), collect once and
+        ``gc.freeze()`` the surviving heap into the permanent generation
+        (:func:`repro.sim.gcctl.freeze_baseline`).  Only for runs whose
+        testbed lives until the process exits — benchmarks, one-shot CLI
+        experiments; frozen cycles are never reclaimed, so per-trial
+        loops must leave this off.
     """
 
     seed: int = 3
@@ -62,6 +69,7 @@ class RunOptions:
     cc: Optional[str] = None
     trace_categories: Optional[frozenset] = field(
         default_factory=lambda: DEFAULT_TRACE_CATEGORIES)
+    gc_freeze: bool = False
 
     def __post_init__(self) -> None:
         if self.obs_level is not None and self.obs_level not in OBS_LEVELS:

@@ -83,7 +83,7 @@ class EventHandle:
     """
 
     __slots__ = ("time", "callback", "args", "_cancelled", "_fired", "label",
-                 "_owner")
+                 "_owner", "_pooled")
 
     def __init__(self, time: int, callback: Callable[..., Any],
                  args: tuple, label: str = "",
@@ -95,6 +95,10 @@ class EventHandle:
         self._cancelled = False
         self._fired = False
         self._owner = owner
+        # Kernel-owned records acquired by Simulator.post() are recycled
+        # into a free list the moment they fire; handles returned to
+        # callers are not (the caller may hold the reference forever).
+        self._pooled = False
 
     def cancel(self) -> None:
         """Prevent the callback from running.  Idempotent."""
@@ -151,7 +155,7 @@ class Simulator:
                  "_cancelled_in_queue", "_size", "_cur0", "_l1_start",
                  "_wheel0", "_wheel1", "_l0_slots", "_l1_slots",
                  "_overflow", "_active", "_active_idx", "_active_slot",
-                 "_far_min", "_tick_end")
+                 "_far_min", "_tick_end", "_handle_pool", "_bucket_pool")
 
     #: log2 of the level-0 bucket width: 4096 ns per slot.
     L0_GRAIN_BITS = 12
@@ -170,6 +174,12 @@ class Simulator:
     #: Queues smaller than this are never compacted — rebuilding a tiny
     #: queue costs more than carrying its tombstones to the pop.
     COMPACT_MIN_QUEUE = 64
+
+    #: Free-list bounds (see docs/performance.md, "Allocation & GC").
+    #: Excess records beyond the cap fall back to the allocator; the caps
+    #: bound pool memory while covering steady-state in-flight counts.
+    HANDLE_POOL_MAX = 512
+    BUCKET_POOL_MAX = 64
 
     def __init__(self) -> None:
         self._now: int = 0
@@ -207,6 +217,12 @@ class Simulator:
         # Callbacks to run once all events of the current instant have
         # executed, before the clock advances (see at_tick_end).
         self._tick_end: list = []
+        # Free lists (docs/performance.md, "Allocation & GC"): recycled
+        # EventHandle records for fire-and-forget posts, and recycled
+        # wheel-bucket lists (one list is retired per activated slot —
+        # nearly one per event at fleet scale).
+        self._handle_pool: list[EventHandle] = []
+        self._bucket_pool: list[list] = []
 
     # ------------------------------------------------------------------ time
 
@@ -264,6 +280,7 @@ class Simulator:
         handle._cancelled = False
         handle._fired = False
         handle._owner = self
+        handle._pooled = False
         # Routing inlined from _route: this is the hottest call in the
         # simulator (once per scheduled event).
         self._seq += 1
@@ -281,6 +298,63 @@ class Simulator:
             self._route_far(entry, time)
         self._size += 1
         return handle
+
+    def post(self, delay: int, callback: Callable[..., Any],
+             *args: Any, label: str = "") -> None:
+        """Run ``callback(*args)`` after ``delay`` nanoseconds — the
+        fire-and-forget sibling of :meth:`schedule`.
+
+        No handle is returned, so the event record is *kernel-owned*: it
+        is acquired from a free list and recycled the instant the callback
+        fires, making steady-state posting allocation-free.  Ordering,
+        validation and tick semantics are identical to :meth:`schedule`
+        (same (time, seq) entry routing).  Use it for the delivery-style
+        events that are never cancelled — cable deliveries, switch
+        forwards, loopback dispatch; anything that may need ``cancel()``
+        must use :meth:`schedule`.
+        """
+        if type(delay) is not int and not isinstance(delay, int):
+            raise SimulationError(
+                f"delay must be an int (nanoseconds), got {type(delay).__name__}; "
+                f"use seconds()/millis()/micros() helpers")
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        time = self._now + delay
+        pool = self._handle_pool
+        if pool:
+            handle = pool.pop()
+            handle.time = time
+            handle.callback = callback
+            handle.args = args
+            handle.label = label
+            handle._fired = False
+            # _cancelled stays False (pooled handles are unreachable from
+            # user code, so cancel() can never touch them), _owner stays
+            # self, _pooled stays True.
+        else:
+            handle = EventHandle.__new__(EventHandle)
+            handle.time = time
+            handle.callback = callback
+            handle.args = args
+            handle.label = label
+            handle._cancelled = False
+            handle._fired = False
+            handle._owner = self
+            handle._pooled = True
+        self._seq += 1
+        entry = (time, self._seq, handle)
+        s0 = time >> 12               # == L0_GRAIN_BITS
+        if s0 - self._cur0 < 1024:    # == WHEEL_SLOTS
+            if s0 != self._active_slot:
+                bucket = self._wheel0[s0 & 1023]
+                if not bucket:
+                    heappush(self._l0_slots, s0)
+                bucket.append(entry)
+            else:
+                insort(self._active, entry, self._active_idx)
+        else:
+            self._route_far(entry, time)
+        self._size += 1
 
     def schedule_at(self, time: int, callback: Callable[..., Any],
                     *args: Any, label: str = "") -> EventHandle:
@@ -437,14 +511,22 @@ class Simulator:
 
     def _activate_l0(self, s0: int) -> None:
         """Make level-0 slot ``s0`` (already sorted/purged) the active
-        bucket and advance the cursor to it."""
+        bucket and advance the cursor to it.  The retired active list is
+        cleared (dropping its consumed entries so recycled lists pin no
+        callbacks or frames) and recycled as a future wheel bucket."""
         heappop(self._l0_slots)
-        bucket = self._wheel0[s0 & 1023]
-        self._wheel0[s0 & 1023] = []
+        idx = s0 & 1023
+        bucket = self._wheel0[idx]
+        pool = self._bucket_pool
+        self._wheel0[idx] = pool.pop() if pool else []
         self._move_cursor(bucket[0][0])
         self._active_slot = s0
+        old = self._active
         self._active = bucket          # sorted by (time, seq)
         self._active_idx = 0
+        if len(pool) < 64:             # == BUCKET_POOL_MAX
+            old.clear()
+            pool.append(old)
 
     def _advance(self, until: Optional[int]) -> bool:
         """Activate the bucket holding the next live event.
@@ -463,14 +545,60 @@ class Simulator:
                         and self._active[self._active_idx][0] > until):
                     return False
                 return True
-            s0 = self._purge_slot_heap(self._l0_slots, self._wheel0)
-            t0 = self._wheel0[s0 & 1023][0][0] if s0 is not None else None
+            # _purge_slot_heap(L0) inlined (keep in sync): at fleet scale
+            # events are sparse relative to the 4.1 us slot grain, so
+            # nearly every queue pop comes through here and activates a
+            # fresh bucket — the helper-call frames are measurable.
+            slots = self._l0_slots
+            wheel = self._wheel0
+            s0 = None
+            while slots:
+                s = slots[0]
+                bucket = wheel[s & 1023]
+                if not bucket:
+                    heappop(slots)
+                    continue
+                if len(bucket) > 1:
+                    bucket.sort()
+                if bucket[0][2]._cancelled:
+                    dead = 1
+                    n = len(bucket)
+                    while dead < n and bucket[dead][2]._cancelled:
+                        dead += 1
+                    del bucket[:dead]
+                    self._cancelled_in_queue -= dead
+                    self._size -= dead
+                    if not bucket:
+                        heappop(slots)
+                        continue
+                s0 = s
+                break
+            t0 = wheel[s0 & 1023][0][0] if s0 is not None else None
             # Fast path: nothing in the outer tiers can precede the L0
             # candidate, so activate it without touching them.
+            # (_activate_l0 inlined, keep in sync.)
             if t0 is not None and t0 < self._far_min:
                 if until is not None and t0 > until:
                     return False
-                self._activate_l0(s0)
+                heappop(slots)
+                idx = s0 & 1023
+                bucket = wheel[idx]
+                pool = self._bucket_pool
+                wheel[idx] = pool.pop() if pool else []
+                # _move_cursor inlined.
+                sc = t0 >> 12
+                if sc > self._cur0:
+                    self._cur0 = sc
+                    s1 = t0 >> 22
+                    if s1 > self._l1_start:
+                        self._l1_start = s1
+                self._active_slot = s0
+                old = self._active
+                self._active = bucket
+                self._active_idx = 0
+                if len(pool) < 64:     # == BUCKET_POOL_MAX
+                    old.clear()
+                    pool.append(old)
                 return True
             # Full cross-tier peek.
             s1 = self._purge_slot_heap(self._l1_slots, self._wheel1)
@@ -579,6 +707,15 @@ class Simulator:
                     self._now = time
                     handle._fired = True
                     handle.callback(*handle.args)
+                    if handle._pooled:
+                        # Kernel-owned record (see post()): break the refs
+                        # so the free list pins no callbacks or frames,
+                        # then recycle.
+                        handle.callback = None
+                        handle.args = None
+                        pool = self._handle_pool
+                        if len(pool) < 512:  # == HANDLE_POOL_MAX
+                            pool.append(handle)
                     executed += 1
                     if executed >= limit:
                         break
@@ -591,6 +728,59 @@ class Simulator:
                     # schedule at the current instant.
                     self._run_tick_end()
                     continue
+                # _advance's L0 fast path inlined (keep in sync): at fleet
+                # scale nearly every bucket activation comes through here —
+                # one _advance frame per event adds up.  Anything unusual
+                # (L0 empty, far bound in play) falls back to the method.
+                slots = self._l0_slots
+                wheel = self._wheel0
+                s0 = None
+                while slots:
+                    s = slots[0]
+                    bucket = wheel[s & 1023]
+                    if not bucket:
+                        heappop(slots)
+                        continue
+                    if len(bucket) > 1:
+                        bucket.sort()
+                    if bucket[0][2]._cancelled:
+                        dead = 1
+                        n = len(bucket)
+                        while dead < n and bucket[dead][2]._cancelled:
+                            dead += 1
+                        del bucket[:dead]
+                        self._cancelled_in_queue -= dead
+                        self._size -= dead
+                        if not bucket:
+                            heappop(slots)
+                            continue
+                    s0 = s
+                    break
+                if s0 is not None:
+                    bucket = wheel[s0 & 1023]
+                    t0 = bucket[0][0]
+                    if t0 < self._far_min:
+                        if t0 > stop:
+                            break
+                        heappop(slots)
+                        bidx = s0 & 1023
+                        pool = self._bucket_pool
+                        wheel[bidx] = pool.pop() if pool else []
+                        # _move_cursor inlined.
+                        sc = t0 >> 12
+                        if sc > self._cur0:
+                            self._cur0 = sc
+                            sl1 = t0 >> 22
+                            if sl1 > self._l1_start:
+                                self._l1_start = sl1
+                        self._active_slot = s0
+                        old = self._active
+                        self._active = bucket
+                        self._active_idx = 0
+                        if len(pool) < 64:     # == BUCKET_POOL_MAX
+                            old.clear()
+                            pool.append(old)
+                        continue
                 if not self._advance(until):
                     break
         finally:

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.obs.bus import ProbeBus
+from repro.sim import gcctl
 from repro.sim.core import Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceLog
@@ -60,14 +61,17 @@ class World:
     def run(self, until: Optional[int] = None,
             max_events: Optional[int] = None) -> int:
         """Delegate to :meth:`Simulator.run`, marking the episode on the
-        ``sim.run`` probe for observers."""
-        processed = self.sim.run(until=until, max_events=max_events)
+        ``sim.run`` probe for observers.  The cyclic GC is quiesced for
+        the duration of the drive (see :mod:`repro.sim.gcctl`)."""
+        with gcctl.quiesce():
+            processed = self.sim.run(until=until, max_events=max_events)
         self.probes.fire("sim.run", "world", events=processed)
         return processed
 
     def run_for(self, duration: int) -> int:
-        """Delegate to :meth:`Simulator.run_for`."""
-        return self.sim.run_for(duration)
+        """Delegate to :meth:`Simulator.run_for` (GC quiesced)."""
+        with gcctl.quiesce():
+            return self.sim.run_for(duration)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<World t={self.now_s:.6f}s seed={self.rng.seed}>"

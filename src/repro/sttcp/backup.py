@@ -28,7 +28,7 @@ from typing import Any, Optional
 from repro.net.addresses import IPAddress
 from repro.sim.timers import Timer
 from repro.tcp.connection import TcpConnection
-from repro.tcp.segment import TcpSegment
+from repro.tcp.segment import TcpSegment, release_segment
 from repro.tcp.sockets import Socket
 from repro.sttcp.control import (AppFailureNotice, ConnClosed, ConnInit,
                                  FetchReply, FetchRequest)
@@ -171,6 +171,12 @@ class BackupEngine(SttcpEngine):
             return False
         queue = self._pending_segments.setdefault(key, [])
         if len(queue) < _MAX_BUFFERED_SEGMENTS:
+            # The tap buffer keeps the segment until the replica exists
+            # (or the key is disposed): claim pooled segments
+            # (pool.retain inlined), released on replay/dispose.
+            claims = segment._claims
+            if claims:
+                segment._claims = claims + 1
             queue.append(segment)
         return True
 
@@ -243,6 +249,7 @@ class BackupEngine(SttcpEngine):
         listener.on_accept(socket)
         for segment in self._pending_segments.pop(init.key, []):
             conn.segment_arrived(segment)
+            release_segment(segment)  # the tap buffer's claim
 
     def _suppressor(self, mc: ManagedBackupConn):
         def suppress(segment: TcpSegment) -> None:
@@ -253,6 +260,10 @@ class BackupEngine(SttcpEngine):
             if segment.fin and not mc.suppressed_fin:
                 mc.suppressed_fin = True
                 self.emit(EventKind.FIN_SUPPRESSED, key=mc.key)
+            # The suppressor stands in for the wire: drop the creator
+            # claim the transmit path would otherwise consume, so the
+            # replica's pooled segments recycle instead of piling up.
+            release_segment(segment)
         return suppress
 
     # ----------------------------------------------------------- heartbeat
@@ -433,7 +444,8 @@ class BackupEngine(SttcpEngine):
                 # the client.
                 mc.conn.transmit = lambda seg: None
                 mc.conn.abort()
-        self._pending_segments.pop(key, None)
+        for segment in self._pending_segments.pop(key, ()):
+            release_segment(segment)  # the tap buffer's claim
 
     # ------------------------------------------------------------ takeover
 

@@ -23,7 +23,7 @@ from repro.net.ip import IpStack
 from repro.net.packet import IPPacket, IPProtocol
 from repro.sim.world import World
 from repro.tcp.connection import TcpConfig, TcpConnection
-from repro.tcp.segment import TcpFlags, TcpSegment
+from repro.tcp.segment import TcpFlags, TcpSegment, release_segment
 from repro.tcp.seq import seq_add
 from repro.tcp.sockets import Listener, Socket
 
@@ -34,6 +34,14 @@ ConnKey = tuple  # (local_ip, local_port, remote_ip, remote_port)
 
 class TcpStack:
     """All TCP endpoints of one host."""
+
+    # Slots for the attributes the per-segment demux path reads, plus
+    # ``__dict__`` so tests can still attach instrumentation.
+    __slots__ = ("_world", "_ip", "name", "config", "_connections",
+                 "_conn_by_value", "_listeners", "_next_ephemeral",
+                 "_isn_rng", "_frozen", "segment_filter",
+                 "on_connection_accepted", "segments_demuxed", "rsts_sent",
+                 "__dict__", "__weakref__")
 
     EPHEMERAL_BASE = 49152
 
@@ -151,7 +159,10 @@ class TcpStack:
                           conn._delack_timer, conn._timewait_timer):
                 timer.stop()
             # Segments queued this instant but not yet flushed die with
-            # the host: a frozen stack processes nothing.
+            # the host: a frozen stack processes nothing.  Drop the demux
+            # queue's claims so pooled segments recycle instead of leaking.
+            for segment in conn._rx_pending:
+                release_segment(segment)
             conn._rx_pending.clear()
 
     # --------------------------------------------------------------- wiring
@@ -225,6 +236,12 @@ class TcpStack:
             # same-instant segments for one connection are processed in a
             # single coalesced pass (TcpConnection.segment_batch_arrived).
             pending = conn._rx_pending
+            # The demux queue keeps the segment past this delivery event:
+            # take a claim on pooled segments, dropped by the tick-end
+            # flush after processing (pool.retain inlined).
+            claims = segment._claims
+            if claims:
+                segment._claims = claims + 1
             pending.append(segment)
             if len(pending) == 1:
                 # at_tick_end inlined (keep in sync): registration is a

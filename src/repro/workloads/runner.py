@@ -22,6 +22,7 @@ from repro.metrics.timeline import FailoverTimeline, build_timeline
 from repro.obs.export import ObsSession
 from repro.scenarios.builder import Testbed, build_testbed
 from repro.scenarios.options import RunOptions
+from repro.sim import gcctl
 from repro.sim.core import seconds
 from repro.sttcp.config import SttcpConfig
 from repro.workloads.engine import WorkloadEngine, WorkloadSpec
@@ -89,6 +90,8 @@ def run_workload_failover(
         build_kwargs.setdefault("trace_categories", opts.trace_categories)
         tb = build_testbed(seed=opts.seed, config=config, cc=opts.cc,
                            num_clients=num_clients, **build_kwargs)
+    if opts.gc_freeze:
+        gcctl.freeze_baseline()
     obs = ObsSession(tb.world, level=opts.obs_level) if opts.obs_level else None
     oracle = (InvariantOracle(tb.world, CheckTopology.from_testbed(tb))
               .attach() if opts.check else None)

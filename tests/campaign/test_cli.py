@@ -53,13 +53,52 @@ def test_sweep_profile_dumps_per_worker_stats(tmp_path, capsys):
     rc = main(BASE_ARGS + ["--grid", "hb_period_ms=100", "--trials", "2",
                            "--jobs", "1", "--profile", str(profdir)])
     assert rc == 0
-    assert "profiles ->" in capsys.readouterr().out
+    printed = capsys.readouterr().out
+    assert "profiles ->" in printed
     dump = profdir / "worker-0.pstats"
     assert dump.exists()
     stats = pstats.Stats(str(dump))
     # The trial loop ran under the profiler: the scenario executor must
     # be among the recorded functions.
     assert any("execute_trial" in str(func) for func in stats.stats)
+    # The aggregated report: one merged dump plus a printed cumulative
+    # top-N table covering every worker's share of the campaign.
+    assert (profdir / "merged.pstats").exists()
+    assert "aggregated profile (all workers, top 25" in printed
+    assert "cumulative" in printed
+
+
+def test_sweep_profile_merges_multiple_workers(tmp_path, capsys):
+    import pstats
+
+    profdir = tmp_path / "profiles"
+    rc = main(BASE_ARGS + ["--grid", "hb_period_ms=100", "--trials", "2",
+                           "--jobs", "2", "--profile", str(profdir),
+                           "--profile-top", "5"])
+    assert rc == 0
+    printed = capsys.readouterr().out
+    dumps = sorted(profdir.glob("worker-*.pstats"))
+    assert len(dumps) == 2
+    assert "2 worker stats file(s)" in printed
+    assert "top 5 by cumulative time" in printed
+    merged = pstats.Stats(str(profdir / "merged.pstats"))
+    # The merge covers both workers: total call count is at least each
+    # individual dump's.
+    for dump in dumps:
+        assert merged.total_calls >= pstats.Stats(str(dump)).total_calls
+    assert any("execute_trial" in str(func) for func in merged.stats)
+
+
+def test_sweep_profile_top_zero_suppresses_report(tmp_path, capsys):
+    profdir = tmp_path / "profiles"
+    rc = main(BASE_ARGS + ["--grid", "hb_period_ms=100", "--trials", "1",
+                           "--jobs", "1", "--profile", str(profdir),
+                           "--profile-top", "0"])
+    assert rc == 0
+    printed = capsys.readouterr().out
+    assert "profiles ->" in printed
+    assert "aggregated profile" not in printed
+    assert (profdir / "merged.pstats").exists()
 
 
 def test_sweep_named_fault_and_monte_carlo(capsys):

@@ -58,6 +58,67 @@ def test_affine_chunks_never_straddle_a_grid_point():
             assert all(t.params == chunk[0].params for t in chunk)
 
 
+CUBIC_SPEC = CampaignSpec(
+    scenario="failover",
+    base={"total_bytes": 2_000_000, "fault_at_s": 0.1, "cc": "cubic"},
+    grid={"hb_period_ms": [100]},
+    trials=3, seed=11,
+    options=RunOptions(run_until_s=6.0),
+    timeout_s=120.0)
+
+
+def test_warm_cubic_campaign_matches_cold_and_leaks_no_pooled_segments():
+    """Warm trials share the worker's recycle pools (they live outside the
+    world snapshot), so three consecutive CUBIC trials exercise the full
+    interaction: thawed testbeds acquiring segments that previous trials
+    recycled.  The aggregate must still be byte-identical to cold runs,
+    and every pooled segment must sit scrubbed between trials — a leaked
+    claim would alias one trial's payload into the next."""
+    from repro.net import pool
+    from repro.tcp.segment import SEGMENT_POOL
+
+    pool.clear()
+    warm.get_cache().clear()
+    warm.reset_stats()
+    hot = run_campaign(CUBIC_SPEC, jobs=1)
+    stats = dict(warm.get_cache().stats)
+    assert stats["builds"] == 1 and stats["restores"] == 2
+    assert SEGMENT_POOL, "CUBIC trials recycled no segments"
+    assert all(s._claims == 0 and s.payload == b"" for s in SEGMENT_POOL)
+    assert all(f._claims == 0 and f.payload is None for f in pool.FRAME_POOL)
+    assert all(p._claims == 0 and p.payload is None for p in pool.PACKET_POOL)
+    cold = run_campaign(CUBIC_SPEC, jobs=1, warm=False)
+    assert hot.to_json() == cold.to_json()
+    assert hot.to_jsonl() == cold.to_jsonl()
+
+
+def test_thawed_testbed_carries_no_run_state():
+    """A trial mutates its testbed (clock advances, connections come and
+    go, CUBIC epochs anchor to sim time); the next trial's thaw must hand
+    back the pristine build — zero clock, zero connections — and fresh
+    connections in the thawed world must start outside any cubic epoch."""
+    from repro.scenarios.builder import build_testbed
+
+    cache = warm.WarmTestbedCache()
+    first = cache.acquire(
+        ("cubic-key",), 5, lambda: build_testbed(seed=5, cc="cubic"))
+    # Dirty the first build the way a trial does: advance the clock and
+    # open a connection (its cc clock now reads a nonzero sim time).
+    socket = first.client.tcp.connect(first.service_ip, 5001)
+    first.run_for(0.5)
+    assert first.world.sim.now > 0
+    assert socket.connection.cc.name == "cubic"
+
+    thawed = cache.acquire(("cubic-key",), 6, lambda: 1 / 0)
+    assert thawed.world.sim.now == 0
+    for host in (thawed.primary, thawed.backup, thawed.client):
+        assert host.tcp.connections == []
+    fresh = thawed.client.tcp.connect(thawed.service_ip, 5001).connection
+    assert fresh.cc.name == "cubic"
+    assert fresh.cc._epoch_start_ns == -1   # not inside a cubic epoch
+    assert fresh.cc._w_max == 0.0           # no remembered loss window
+
+
 def test_cache_acquire_returns_first_build_directly_then_thaws():
     from repro.scenarios.builder import build_testbed
 

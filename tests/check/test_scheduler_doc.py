@@ -17,7 +17,8 @@ DOC = Path(__file__).resolve().parents[2] / "docs" / "scheduler.md"
 
 #: Every geometry constant the chapter must document.
 CONSTANTS = ("L0_GRAIN_BITS", "WHEEL_BITS", "WHEEL_SLOTS", "L1_GRAIN_BITS",
-             "L0_HORIZON_NS", "L1_HORIZON_NS", "COMPACT_MIN_QUEUE")
+             "L0_HORIZON_NS", "L1_HORIZON_NS", "COMPACT_MIN_QUEUE",
+             "HANDLE_POOL_MAX", "BUCKET_POOL_MAX")
 
 
 def doc_table() -> dict[str, int]:

@@ -1,0 +1,192 @@
+"""Ownership-protocol invariants of the wire-path recycle pools.
+
+These tests pin the contract documented in ``repro.net.pool``:
+
+* objects from plain constructors are unmanaged (``_claims == 0``) and
+  release is a no-op on them;
+* acquire hands out exactly one creator claim and reuses pooled objects;
+* release at the last claim scrubs the object and cascades down the
+  frame -> packet -> segment wrapping order;
+* retain/release pairs balance (a holder who retains keeps the object
+  alive through another holder's release);
+* demotion zeroes the whole chain so later releases are no-ops;
+* pools are bounded and ``clear()`` empties them.
+"""
+
+import pytest
+
+from repro.net import pool
+from repro.net.addresses import IPAddress, MacAddress
+from repro.net.frame import ETHERNET_MIN_FRAME_BYTES, EtherType, EthernetFrame
+from repro.net.packet import IPPacket, IPProtocol
+from repro.tcp.segment import (SEGMENT_POOL, SEGMENT_POOL_MAX, TcpFlags,
+                               acquire_segment, release_segment)
+
+
+@pytest.fixture(autouse=True)
+def clean_pools():
+    """Each test starts and ends with empty free lists."""
+    pool.clear()
+    yield
+    pool.clear()
+
+
+def make_chain():
+    """A managed frame -> packet -> segment chain, as built on the
+    established-flow send path (one creator claim each)."""
+    segment = acquire_segment(1000, 2000, seq=1, ack=2,
+                              flags=TcpFlags.ACK, window=65535,
+                              payload=b"data")
+    packet = pool.acquire_packet(IPAddress("10.0.0.1"), IPAddress("10.0.0.2"),
+                                 IPProtocol.TCP, segment)
+    frame = pool.acquire_frame(MacAddress(1), MacAddress(2),
+                               EtherType.IPV4, packet)
+    return frame, packet, segment
+
+
+# ------------------------------------------------------------- unmanaged
+
+def test_plain_constructors_are_unmanaged():
+    frame = EthernetFrame(MacAddress(1), MacAddress(2), EtherType.IPV4, b"x")
+    packet = IPPacket(IPAddress("10.0.0.1"), IPAddress("10.0.0.2"),
+                      IPProtocol.TCP, b"y")
+    assert frame._claims == 0
+    assert packet._claims == 0
+
+
+def test_release_is_noop_on_unmanaged_objects():
+    frame = EthernetFrame(MacAddress(1), MacAddress(2), EtherType.IPV4, b"x")
+    pool.release_frame(frame)
+    pool.release_frame(frame)
+    assert frame._claims == 0
+    assert frame.payload == b"x"          # not scrubbed
+    assert pool.stats()["frame_pool"] == 0  # not recycled
+
+
+def test_retain_is_noop_on_unmanaged_objects():
+    packet = IPPacket(IPAddress("10.0.0.1"), IPAddress("10.0.0.2"),
+                      IPProtocol.TCP, b"y")
+    pool.retain(packet)
+    assert packet._claims == 0
+
+
+# --------------------------------------------------------------- acquire
+
+def test_acquire_hands_out_one_creator_claim():
+    frame, packet, segment = make_chain()
+    assert frame._claims == 1
+    assert packet._claims == 1
+    assert segment._claims == 1
+
+
+def test_acquire_reuses_recycled_objects():
+    frame, packet, segment = make_chain()
+    pool.release_frame(frame)  # cascades: all three hit their pools
+    frame2, packet2, segment2 = make_chain()
+    assert frame2 is frame
+    assert packet2 is packet
+    assert segment2 is segment
+
+
+def test_acquire_reinitialises_every_field():
+    frame, packet, segment = make_chain()
+    pool.release_frame(frame)
+    segment2 = acquire_segment(5, 6, seq=7, ack=8, flags=TcpFlags.SYN,
+                               window=1, payload=b"zz")
+    packet2 = pool.acquire_packet(IPAddress("10.9.9.9"), IPAddress("10.8.8.8"),
+                                  IPProtocol.TCP, segment2)
+    frame2 = pool.acquire_frame(MacAddress(7), MacAddress(8),
+                                EtherType.IPV4, packet2)
+    assert (segment2.src_port, segment2.dst_port) == (5, 6)
+    assert segment2.payload == b"zz"
+    assert packet2.src == IPAddress("10.9.9.9")
+    assert packet2.ttl == 64
+    assert frame2.dst == MacAddress(7)
+    assert frame2.size_bytes >= ETHERNET_MIN_FRAME_BYTES
+
+
+# --------------------------------------------------------------- release
+
+def test_release_cascades_frame_to_packet_to_segment():
+    frame, packet, segment = make_chain()
+    pool.release_frame(frame)
+    stats = pool.stats()
+    assert stats == {"frame_pool": 1, "packet_pool": 1, "segment_pool": 1}
+    # Scrubbed: the pool pins nothing downstream.
+    assert frame.payload is None
+    assert packet.payload is None
+    assert segment.payload == b""
+    assert frame._claims == packet._claims == segment._claims == 0
+
+
+def test_extra_claim_blocks_the_cascade():
+    """A holder who retained the packet keeps it (and its segment) alive
+    through the frame's final release — the demux-queue pattern."""
+    frame, packet, segment = make_chain()
+    pool.retain(packet)
+    pool.release_frame(frame)
+    assert pool.stats() == {"frame_pool": 1, "packet_pool": 0,
+                            "segment_pool": 0}
+    assert packet.payload is segment      # still intact for its holder
+    assert packet._claims == 1
+    pool.release_packet(packet)           # the holder finishes
+    assert pool.stats() == {"frame_pool": 1, "packet_pool": 1,
+                            "segment_pool": 1}
+
+
+def test_segment_retain_survives_packet_recycle():
+    frame, packet, segment = make_chain()
+    pool.retain(segment)                  # e.g. the demux queue
+    pool.release_frame(frame)
+    assert segment._claims == 1
+    assert segment.payload == b"data"
+    release_segment(segment)
+    assert segment._claims == 0
+    assert len(SEGMENT_POOL) == 1
+
+
+# -------------------------------------------------------------- demotion
+
+def test_demote_frame_zeroes_the_whole_chain():
+    frame, packet, segment = make_chain()
+    pool.demote_frame(frame)
+    assert frame._claims == packet._claims == segment._claims == 0
+    # Every later release is now a no-op: the GC owns the chain.
+    pool.release_frame(frame)
+    release_segment(segment)
+    assert pool.stats() == {"frame_pool": 0, "packet_pool": 0,
+                            "segment_pool": 0}
+    assert frame.payload is packet        # nothing scrubbed
+
+
+def test_demote_frame_handles_bytes_payloads():
+    frame = pool.acquire_frame(MacAddress(1), MacAddress(2),
+                               EtherType.ARP, b"arp-request")
+    pool.demote_frame(frame)
+    assert frame._claims == 0
+
+
+# ---------------------------------------------------------------- bounds
+
+def test_pools_are_bounded():
+    overflow = pool.FRAME_POOL_MAX + 10
+    frames = [pool.acquire_frame(MacAddress(i + 1), MacAddress(1),
+                                 EtherType.IPV4, b"x")
+              for i in range(overflow)]
+    for frame in frames:
+        pool.release_frame(frame)
+    assert pool.stats()["frame_pool"] == pool.FRAME_POOL_MAX
+    segments = [acquire_segment(1, 2, seq=0, ack=0, flags=TcpFlags.ACK,
+                                window=0)
+                for _ in range(SEGMENT_POOL_MAX + 10)]
+    for segment in segments:
+        release_segment(segment)
+    assert len(SEGMENT_POOL) == SEGMENT_POOL_MAX
+
+
+def test_clear_empties_all_pools():
+    frame, packet, segment = make_chain()
+    pool.release_frame(frame)
+    pool.clear()
+    assert pool.stats() == {"frame_pool": 0, "packet_pool": 0,
+                            "segment_pool": 0}
